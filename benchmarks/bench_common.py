@@ -1,0 +1,66 @@
+"""Shared builders for the experiment benchmarks (see DESIGN.md section 3).
+
+Each ``bench_eN_*.py`` regenerates one experiment: it prints the
+paper-shaped rows (who wins, by what factor, where crossovers fall) and
+asserts the shape, while the ``benchmark`` fixture times the experiment's
+hot operation.
+"""
+
+from __future__ import annotations
+
+from repro.apps.conferencing import ConferencingSystem
+from repro.apps.document import DocumentProcessor
+from repro.apps.message_system import MessageSystem
+from repro.apps.workflow import WorkflowSystem
+from repro.communication.model import Communicator
+from repro.environment.environment import CSCWEnvironment
+from repro.information.interchange import FormatConverter, make_common
+from repro.org.model import Organisation, Person
+from repro.sim.world import World
+
+
+def synthetic_converter(index: int) -> FormatConverter:
+    """A distinct format for synthetic app #index (used to scale N)."""
+    key = f"fmt{index}"
+
+    def to_common(document):
+        return make_common("note", document.get(f"{key}-title", ""),
+                           document.get(f"{key}-body", ""))
+
+    def from_common(common):
+        return {f"{key}-title": common["title"], f"{key}-body": common["body"]}
+
+    return FormatConverter(key, to_common, from_common)
+
+
+def build_environment(
+    world: World,
+    n_people: int = 2,
+    orgs: list[str] | None = None,
+    open_policies: bool = True,
+) -> CSCWEnvironment:
+    """An environment with people spread round-robin over organisations."""
+    env = CSCWEnvironment(world)
+    org_ids = orgs if orgs is not None else ["upc", "gmd"]
+    organisations = {org_id: Organisation(org_id, org_id.upper()) for org_id in org_ids}
+    for index in range(n_people):
+        org_id = org_ids[index % len(org_ids)]
+        person_id = f"p{index}"
+        organisations[org_id].add_person(Person(person_id, f"Person {index}", org_id))
+        node = f"ws-{person_id}"
+        if not world.network.has_node(node):
+            world.network.add_node(node, site=org_id)
+        env.register_person(Communicator(person_id, node))
+    for organisation in organisations.values():
+        env.knowledge_base.add_organisation(organisation)
+    if open_policies:
+        for a in org_ids:
+            for b in org_ids:
+                if a != b:
+                    env.knowledge_base.policies.declare(a, b, {"*"})
+    return env
+
+
+def standard_apps() -> list:
+    """The four heterogeneous stock applications."""
+    return [ConferencingSystem(), MessageSystem(), WorkflowSystem(), DocumentProcessor()]

@@ -1,0 +1,95 @@
+"""E10 (extension) — group communication via distribution lists.
+
+Paper reference [8] (the AMIGO activity model) grounds group
+communication for CSCW; X.400 realises it with MTA-expanded distribution
+lists.  The claim to check: addressing a group through a list costs the
+sender one submission and defers fan-out to the serving MTA, while
+point-to-point addressing costs the sender N submissions — and both
+deliver to everyone.
+
+Regenerated table: sender submissions and delivery counts for group
+sizes 4/16/64, list vs point-to-point.
+"""
+
+from __future__ import annotations
+
+from repro.messaging.mta import MessageTransferAgent
+from repro.messaging.names import OrName
+from repro.messaging.ua import UserAgent
+from repro.sim.world import World
+
+
+def _setup(group: int):
+    world = World(seed=group)
+    nodes = ["mta"] + [f"w{i}" for i in range(group + 1)]
+    world.add_site("campus", nodes)
+    mta = MessageTransferAgent(world, "mta", "upc", [("es", "", "upc")])
+    sender = UserAgent(
+        world, "w0", OrName(country="es", admd="", prmd="upc", surname="sender"), "mta"
+    )
+    sender.register()
+    members = []
+    for index in range(group):
+        user = OrName(country="es", admd="", prmd="upc", surname=f"member{index}")
+        ua = UserAgent(world, f"w{index + 1}", user, "mta")
+        ua.register()
+        members.append(ua)
+    return world, mta, sender, members
+
+
+def _run(group: int, use_list: bool) -> tuple[int, int]:
+    """Returns (sender submissions, total deliveries)."""
+    world, mta, sender, members = _setup(group)
+    if use_list:
+        team = OrName(country="es", admd="", prmd="upc", surname="team")
+        mta.create_distribution_list(team, [ua.user for ua in members])
+        sender.send([team], "to the group", "body")
+    else:
+        for ua in members:
+            sender.send([ua.user], "to you", "body")
+    world.run()
+    delivered = sum(len(ua.list_inbox()) for ua in members)
+    return sender.submitted, delivered
+
+
+def test_e10_list_vs_point_to_point(benchmark):
+    rows = []
+    for group in (4, 16, 64):
+        list_subs, list_delivered = _run(group, use_list=True)
+        p2p_subs, p2p_delivered = _run(group, use_list=False)
+        rows.append((group, list_subs, list_delivered, p2p_subs, p2p_delivered))
+
+    print("\nE10: group communication, list vs point-to-point")
+    print(f"{'group':>6} {'list subs':>10} {'list delivered':>15} "
+          f"{'p2p subs':>9} {'p2p delivered':>14}")
+    for group, list_subs, list_delivered, p2p_subs, p2p_delivered in rows:
+        print(f"{group:>6} {list_subs:>10} {list_delivered:>15} "
+              f"{p2p_subs:>9} {p2p_delivered:>14}")
+
+    for group, list_subs, list_delivered, p2p_subs, p2p_delivered in rows:
+        # Shape: one submission covers the whole group; both deliver fully.
+        assert list_subs == 1
+        assert p2p_subs == group
+        assert list_delivered == group
+        assert p2p_delivered == group
+
+    benchmark(lambda: _run(16, use_list=True))
+
+
+def test_e10_nested_lists_single_delivery(benchmark):
+    """Overlapping nested lists still deliver exactly once per member
+    per expansion path that reaches them (loop control bounds the blast)."""
+    world, mta, sender, members = _setup(6)
+    sub_team = OrName(country="es", admd="", prmd="upc", surname="subteam")
+    all_team = OrName(country="es", admd="", prmd="upc", surname="allteam")
+    mta.create_distribution_list(sub_team, [ua.user for ua in members[:3]])
+    mta.create_distribution_list(all_team, [sub_team] + [ua.user for ua in members[3:]])
+
+    def run() -> int:
+        sender.send([all_team], "nested", "body")
+        world.run()
+        return sum(len(ua.list_inbox()) for ua in members)
+
+    total = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert total == 6
+    print(f"\nE10b: nested list expansion delivered to all {total} members exactly once")

@@ -1,0 +1,155 @@
+"""E6 — scalability of the information-sharing and communication substrates.
+
+Paper claim (section 4): the environment must support "the distribution
+of information across a number of machines over different sites",
+standard repositories (X.500) and both real-time and asynchronous
+communication — i.e. the substrates must hold up as groups grow and
+survive failures.
+
+Regenerated tables: directory search latency vs entry count; message
+delivery ratio and simulated latency vs group size, with and without
+node crashes (store-and-forward retries mask transient MTA outages).
+"""
+
+from __future__ import annotations
+
+from repro.directory.dit import DirectoryInformationTree
+from repro.directory.filters import parse_filter
+from repro.messaging.mta import MessageTransferAgent
+from repro.messaging.names import OrName
+from repro.messaging.ua import UserAgent
+from repro.sim.world import World
+
+
+def _directory_with(n: int) -> DirectoryInformationTree:
+    dit = DirectoryInformationTree()
+    dit.add("c=EU", {"objectclass": ["country"]})
+    dit.add("o=Consortium,c=EU", {"objectclass": ["organization"]})
+    for index in range(n):
+        dit.add(
+            f"cn=Person {index:04d},o=Consortium,c=EU",
+            {"objectclass": ["person"], "sn": [f"Surname{index % 50}"],
+             "mail": [f"p{index}@consortium.eu"]},
+        )
+    return dit
+
+
+def test_e6_directory_search_scale(benchmark):
+    sizes = [64, 256, 1024]
+    rows = []
+    for n in sizes:
+        dit = _directory_with(n)
+        where = parse_filter("(&(objectClass=person)(sn=Surname7))")
+        hits = dit.search("o=Consortium,c=EU", where=where)
+        rows.append((n, len(hits)))
+    print("\nE6a: directory subtree search")
+    for n, hits in rows:
+        expected = len([i for i in range(n) if i % 50 == 7])
+        print(f"  entries={n:5d} matching={hits} (expected {expected})")
+        assert hits == expected
+
+    dit = _directory_with(1024)
+    where = parse_filter("(&(objectClass=person)(sn=Surname7))")
+    benchmark(lambda: dit.search("o=Consortium,c=EU", where=where))
+
+
+def _mhs(world: World, group: int):
+    """Two MTAs; half the group at each site."""
+    world.add_site("site-a", ["mta-a"] + [f"a{i}" for i in range(group // 2)])
+    world.add_site("site-b", ["mta-b"] + [f"b{i}" for i in range(group - group // 2)])
+    mta_a = MessageTransferAgent(world, "mta-a", "a", [("xx", "", "a")])
+    mta_b = MessageTransferAgent(world, "mta-b", "b", [("xx", "", "b")])
+    mta_a.add_peer("b", "mta-b")
+    mta_b.add_peer("a", "mta-a")
+    mta_a.routing.add_default("b")
+    mta_b.routing.add_default("a")
+    uas = []
+    for index in range(group):
+        side = "a" if index % 2 == 0 else "b"
+        node = f"{side}{index // 2}"
+        user = OrName(country="xx", admd="", prmd=side, surname=f"u{index}")
+        ua = UserAgent(world, node, user, f"mta-{side}")
+        ua.register()
+        uas.append(ua)
+    return mta_a, mta_b, uas
+
+
+def _run_group(group: int, crash: bool) -> tuple[float, float]:
+    """Returns (delivery ratio, mean simulated delivery latency)."""
+    world = World(seed=group + (1000 if crash else 0))
+    mta_a, mta_b, uas = _mhs(world, group)
+    if crash:
+        world.failures.crash_at("mta-b", at=world.now + 0.05, duration=3.0)
+    sent = 0
+    send_times = {}
+    deliveries = {}
+
+    def hook(mailbox, stored):
+        deliveries[stored.envelope.message_id] = world.now
+
+    mta_a.add_delivery_hook(hook)
+    mta_b.add_delivery_hook(hook)
+    # Senders all sit at site A (whose MTA stays up); receivers at site B.
+    # A crash of mta-b therefore hits the inter-MTA transfer, which
+    # store-and-forward retries must mask.
+    senders = [ua for ua in uas if ua.user.prmd == "a"]
+    receivers = [ua for ua in uas if ua.user.prmd == "b"]
+    for index, ua in enumerate(senders):
+        target = receivers[index % len(receivers)]
+        message_id = ua.send([target.user], f"msg {index}", "body")
+        send_times[message_id] = world.now
+        sent += 1
+    world.run()
+    delivered = len(deliveries)
+    latencies = [deliveries[m] - send_times[m] for m in deliveries]
+    mean_latency = sum(latencies) / len(latencies) if latencies else float("inf")
+    return delivered / sent, mean_latency
+
+
+def test_e6_messaging_scale_and_failures(benchmark):
+    rows = []
+    for group in (4, 16, 48):
+        clean_ratio, clean_latency = _run_group(group, crash=False)
+        crash_ratio, crash_latency = _run_group(group, crash=True)
+        rows.append((group, clean_ratio, clean_latency, crash_ratio, crash_latency))
+
+    print("\nE6b: message delivery vs group size (ratio / mean sim latency)")
+    print(f"{'group':>6} {'clean':>14} {'with MTA crash':>18}")
+    for group, clean_ratio, clean_latency, crash_ratio, crash_latency in rows:
+        print(f"{group:>6} {clean_ratio:>7.0%} {clean_latency * 1000:5.0f}ms "
+              f"{crash_ratio:>9.0%} {crash_latency * 1000:7.0f}ms")
+
+    for group, clean_ratio, clean_latency, crash_ratio, crash_latency in rows:
+        # Shape: clean delivery is total; a 3s MTA outage is fully masked
+        # by store-and-forward retries, at a latency cost.
+        assert clean_ratio == 1.0
+        assert crash_ratio == 1.0
+        assert crash_latency > clean_latency
+
+    benchmark(lambda: _run_group(8, crash=False))
+
+
+def test_e6_sync_vs_async_coexistence(benchmark):
+    """Both modes over one network: real-time fan-out while mail flows."""
+    world = World(seed=77)
+    mta_a, mta_b, uas = _mhs(world, 8)
+    from repro.communication.realtime import RealTimeSession
+
+    session = RealTimeSession(world, "standup")
+    heard = []
+    session.join("u0", "a0", lambda s, b: None)
+    session.join("u2", "a1", lambda s, b: heard.append(b))
+
+    def run() -> tuple[int, int]:
+        heard.clear()
+        session.say("u0", {"text": "now"})
+        uas[0].send([uas[1].user], "async note", "later")
+        world.run()
+        return len(heard), len(uas[1].list_inbox())
+
+    sync_heard, async_delivered = benchmark(run)
+    assert sync_heard == 1
+    assert async_delivered >= 1
+    # async_delivered accumulates across benchmark rounds; report per-round.
+    print(f"\nE6c: synchronous and asynchronous coexist over one network: "
+          f"live={sync_heard} per round, stored>=1 per round")

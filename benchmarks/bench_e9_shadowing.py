@@ -1,0 +1,89 @@
+"""E9 (ablation) — directory shadowing: staleness vs pull period.
+
+Paper claim (section 4): information sharing needs "support for the
+distribution of information across a number of machines over different
+sites" with "smooth integration" of the X.500 directory.  Shadowing is
+the mechanism; its one tuning knob is the pull period, trading update
+propagation delay (staleness) against replication traffic.
+
+Regenerated curve: for pull periods of 5/20/80 s, measured mean
+staleness of writes at the shadow and the number of pulls spent —
+staleness grows with the period while traffic shrinks (the trade-off a
+deployer must pick on).
+"""
+
+from __future__ import annotations
+
+from repro.directory.dsa import DirectoryServiceAgent
+from repro.directory.replication import ShadowingAgreement
+from repro.odp.binding import BindingFactory
+from repro.odp.node_mgmt import Capsule
+from repro.sim.world import World
+
+
+def _deploy(period_s: float):
+    world = World(seed=21)
+    world.add_site("hq", ["master-node"])
+    world.add_site("branch", ["shadow-node"])
+    factory = BindingFactory(world.network)
+    master_capsule = Capsule(world.network, "master-node")
+    shadow_capsule = Capsule(world.network, "shadow-node")
+    factory.register_capsule(master_capsule)
+    factory.register_capsule(shadow_capsule)
+    master = DirectoryServiceAgent("master")
+    shadow = DirectoryServiceAgent("shadow")
+    master_ref = master.deploy(master_capsule)
+    shadow.deploy(shadow_capsule)
+    agreement = ShadowingAgreement(
+        world, factory, shadow, "shadow-node", master_ref, period_s=period_s
+    ).start()
+    master.dit.add("o=Consortium", {"objectclass": ["organization"]})
+    return world, master, shadow, agreement
+
+
+def _staleness_run(period_s: float) -> tuple[float, int]:
+    """Write at t=10,20,...,100; measure when each appears at the shadow."""
+    world, master, shadow, agreement = _deploy(period_s)
+    write_times: dict[str, float] = {}
+    observed: dict[str, float] = {}
+
+    def write(index: int) -> None:
+        name = f"cn=entry{index},o=Consortium"
+        master.dit.add(name, {"objectclass": ["device"]})
+        write_times[name] = world.now
+
+    for index in range(10):
+        world.engine.schedule_at(10.0 * (index + 1), lambda i=index: write(i))
+
+    def probe() -> None:
+        for name, written in write_times.items():
+            if name not in observed and shadow.dit.exists(name):
+                observed[name] = world.now
+
+    from repro.sim.engine import PeriodicTask
+
+    PeriodicTask(world.engine, 0.5, probe).start()
+    world.engine.run_until(200.0)
+    agreement.stop()
+    stale = [observed[n] - write_times[n] for n in observed]
+    assert len(stale) == 10, "every write must eventually reach the shadow"
+    return sum(stale) / len(stale), agreement.pulls
+
+
+def test_e9_staleness_vs_period(benchmark):
+    periods = [5.0, 20.0, 80.0]
+    rows = [(p, *_staleness_run(p)) for p in periods]
+    print("\nE9: shadowing pull period vs staleness vs traffic (200 s run)")
+    print(f"{'period':>8} {'mean staleness':>15} {'pulls':>6}")
+    for period, staleness, pulls in rows:
+        print(f"{period:>7.0f}s {staleness:>13.1f}s {pulls:>6}")
+    # Shape: staleness increases with the period; pull traffic decreases.
+    stalenesses = [r[1] for r in rows]
+    pulls = [r[2] for r in rows]
+    assert stalenesses == sorted(stalenesses)
+    assert pulls == sorted(pulls, reverse=True)
+    # Staleness is bounded by roughly one period (plus transfer time).
+    for period, staleness, _ in rows:
+        assert staleness <= period + 1.0
+
+    benchmark(lambda: _staleness_run(20.0))

@@ -1,0 +1,14 @@
+"""Benchmark-suite fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.ids import reset_ids
+
+
+@pytest.fixture(autouse=True)
+def _fresh_ids():
+    reset_ids()
+    yield
+    reset_ids()

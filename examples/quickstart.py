@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Quickstart: an open CSCW environment in ~60 lines.
+
+Two organisations (UPC in Barcelona, GMD in Bonn), two different
+groupware applications (COM-style conferencing and an Object-Lens-style
+message system), one shared CSCW environment.  Ana posts from her
+conferencing tool; Wolf receives a typed memo in his message system —
+across organisations, across formats, with no pairwise gateway.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.apps.conferencing import ConferencingSystem
+from repro.apps.message_system import MessageSystem
+from repro.communication.model import Communicator
+from repro.environment.environment import CSCWEnvironment
+from repro.org.model import Organisation, Person
+from repro.org.policy import INTERACTION_MESSAGE
+from repro.sim.world import World
+
+
+def main() -> None:
+    # 1. A simulated deployment: two sites, one workstation each.
+    world = World(seed=7)
+    world.add_site("barcelona", ["ws-ana"])
+    world.add_site("bonn", ["ws-wolf"])
+
+    # 2. The CSCW environment with its organisational knowledge base.
+    env = CSCWEnvironment(world)
+    upc = Organisation("upc", "UPC")
+    upc.add_person(Person("ana", "Ana Lopez", "upc"))
+    gmd = Organisation("gmd", "GMD")
+    gmd.add_person(Person("wolf", "Wolfgang Prinz", "gmd"))
+    env.knowledge_base.add_organisation(upc)
+    env.knowledge_base.add_organisation(gmd)
+    env.knowledge_base.policies.declare(
+        "upc", "gmd", {INTERACTION_MESSAGE}, symmetric=True
+    )
+    env.register_person(Communicator("ana", "ws-ana"))
+    env.register_person(Communicator("wolf", "ws-wolf"))
+
+    # 3. Two heterogeneous applications integrate with ONE step each.
+    conferencing = ConferencingSystem()
+    messages = MessageSystem()
+    conferencing.attach(env, exporter_org="upc")
+    messages.attach(env, exporter_org="gmd")
+
+    # 4. Cross-application, cross-organisation exchange.
+    outcome = env.exchange(
+        sender="ana",
+        receiver="wolf",
+        sender_app="conferencing",
+        receiver_app="message-system",
+        document={
+            "topic": "Open CSCW systems",
+            "entry": "Will ODP help? We think: yes!",
+            "conference": "mocca",
+            "author": "ana",
+        },
+    )
+    print(f"delivered={outcome.delivered} mode={outcome.mode} "
+          f"translated={outcome.translated} handled={outcome.handled}")
+
+    memo = messages.folder("wolf")[0]
+    print(f"wolf's memo: subject={memo.subject!r} text={memo.text!r}")
+
+    # 5. The openness numbers (Figure 2 vs Figure 3 in miniature).
+    print(f"integration cost: {env.integration_cost()} converters "
+          f"(closed world would need {2 * 1} gateways for 2 apps, "
+          f"N*(N-1) in general)")
+    print(f"interop coverage: {env.interop_coverage():.0%}")
+
+
+if __name__ == "__main__":
+    main()

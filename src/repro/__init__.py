@@ -1,0 +1,22 @@
+"""repro - an open CSCW environment on an ODP substrate.
+
+A full reproduction of the system envisioned by Navarro, Prinz and Rodden
+in *Open CSCW Systems: Will ODP help?* (ICDCS 1992): the "MOCCA"-style CSCW
+environment (five models, four transparencies, common services) layered on
+an RM-ODP platform, with X.500-style directory and X.400-style messaging
+substrates, all running on a deterministic discrete-event simulator.
+
+Package map (see DESIGN.md for the full inventory):
+
+- :mod:`repro.sim` - discrete-event simulator (engine, network, failures)
+- :mod:`repro.odp` - RM-ODP platform (viewpoints, trader, bindings)
+- :mod:`repro.directory` - X.500-style directory service
+- :mod:`repro.messaging` - X.400-style message handling system
+- :mod:`repro.org`, :mod:`repro.activity`, :mod:`repro.information`,
+  :mod:`repro.communication`, :mod:`repro.expertise` - the five models
+- :mod:`repro.environment` - the CSCW environment (the paper's core)
+- :mod:`repro.apps` - groupware covering the time-space matrix
+- :mod:`repro.baselines` - the closed-world baseline (Figure 2)
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,59 @@
+"""The Inter-activity Model (paper section 5).
+
+Activities with lifecycle/membership, typed inter-activity dependencies
+(temporal, structural, resource, informational), dependency-aware
+scheduling and monitoring, responsibility/competence negotiation, and
+resource coordination with barriers.
+"""
+
+from repro.activity.coordination import Barrier, ResourceCoordinator
+from repro.activity.dependencies import (
+    ALL_KINDS,
+    BEFORE,
+    DURING,
+    MEETS,
+    ORDERING_KINDS,
+    SHARES_INFORMATION,
+    SHARES_RESOURCE,
+    SUBACTIVITY_OF,
+    Dependency,
+    DependencyGraph,
+)
+from repro.activity.model import (
+    Activity,
+    ActivityRegistry,
+    ActivityStatus,
+    Membership,
+)
+from repro.activity.negotiation import (
+    Negotiation,
+    NegotiationKind,
+    NegotiationService,
+    NegotiationState,
+)
+from repro.activity.scheduler import ActivityMonitor, ActivityScheduler
+
+__all__ = [
+    "Barrier",
+    "ResourceCoordinator",
+    "ALL_KINDS",
+    "BEFORE",
+    "DURING",
+    "MEETS",
+    "ORDERING_KINDS",
+    "SHARES_INFORMATION",
+    "SHARES_RESOURCE",
+    "SUBACTIVITY_OF",
+    "Dependency",
+    "DependencyGraph",
+    "Activity",
+    "ActivityRegistry",
+    "ActivityStatus",
+    "Membership",
+    "Negotiation",
+    "NegotiationKind",
+    "NegotiationService",
+    "NegotiationState",
+    "ActivityMonitor",
+    "ActivityScheduler",
+]

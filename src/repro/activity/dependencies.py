@@ -1,0 +1,195 @@
+"""Inter-activity dependencies.
+
+Paper section 5, "The Inter-activity Model": rather than imposing one
+representation of activities, the model captures *dependencies between*
+activities — the paper's section 3 lists the kinds we implement:
+
+* temporal: "activities can have well-defined temporal relationships"
+  (:data:`BEFORE`, :data:`DURING`, :data:`MEETS` — an Allen-algebra
+  subset sufficient for scheduling);
+* structural: :data:`SUBACTIVITY_OF`;
+* resource: "activities may use common resources" (:data:`SHARES_RESOURCE`);
+* informational: "activities may share common information"
+  (:data:`SHARES_INFORMATION`).
+
+The :class:`DependencyGraph` rejects cycles among ordering edges and
+computes a valid execution order.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass
+
+from repro.util.errors import DependencyCycleError, ModelError
+
+#: activity A must complete before B starts
+BEFORE = "before"
+#: A runs entirely within B's span
+DURING = "during"
+#: A ends exactly when B starts (tighter BEFORE)
+MEETS = "meets"
+#: A is a component of B
+SUBACTIVITY_OF = "subactivity-of"
+#: A and B use a common resource (annotated with the resource id)
+SHARES_RESOURCE = "shares-resource"
+#: A and B read/write common information (annotated with the object id)
+SHARES_INFORMATION = "shares-information"
+
+#: kinds that impose an execution ordering (edge A -> B means A first)
+ORDERING_KINDS = frozenset({BEFORE, MEETS})
+#: all recognised kinds
+ALL_KINDS = frozenset(
+    {BEFORE, DURING, MEETS, SUBACTIVITY_OF, SHARES_RESOURCE, SHARES_INFORMATION}
+)
+
+
+@dataclass(frozen=True)
+class Dependency:
+    """One typed dependency between two activities."""
+
+    kind: str
+    source: str
+    target: str
+    annotation: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ALL_KINDS:
+            raise ModelError(f"unknown dependency kind {self.kind!r}")
+        if self.source == self.target:
+            raise ModelError("an activity cannot depend on itself")
+
+
+class DependencyGraph:
+    """Typed dependency edges with cycle checking and ordering queries."""
+
+    def __init__(self) -> None:
+        self._dependencies: list[Dependency] = []
+
+    def add(self, kind: str, source: str, target: str, annotation: str = "") -> Dependency:
+        """Add a dependency; ordering edges that would close a cycle raise."""
+        dependency = Dependency(kind, source, target, annotation)
+        if kind in ORDERING_KINDS and self._would_cycle(source, target):
+            raise DependencyCycleError(
+                f"{kind} edge {source} -> {target} would create an ordering cycle"
+            )
+        self._dependencies.append(dependency)
+        return dependency
+
+    def all(self) -> list[Dependency]:
+        """All dependencies."""
+        return list(self._dependencies)
+
+    def of_kind(self, kind: str) -> list[Dependency]:
+        """Dependencies of one kind."""
+        return [d for d in self._dependencies if d.kind == kind]
+
+    def between(self, a: str, b: str) -> list[Dependency]:
+        """Dependencies touching both *a* and *b* in either direction."""
+        return [
+            d
+            for d in self._dependencies
+            if {d.source, d.target} == {a, b}
+        ]
+
+    def predecessors(self, activity_id: str) -> list[str]:
+        """Activities that must finish before *activity_id* may start."""
+        return sorted(
+            d.source
+            for d in self._dependencies
+            if d.kind in ORDERING_KINDS and d.target == activity_id
+        )
+
+    def successors(self, activity_id: str) -> list[str]:
+        """Activities ordered after *activity_id*."""
+        return sorted(
+            d.target
+            for d in self._dependencies
+            if d.kind in ORDERING_KINDS and d.source == activity_id
+        )
+
+    def subactivities_of(self, parent: str) -> list[str]:
+        """Direct subactivities of *parent*."""
+        return sorted(
+            d.source
+            for d in self._dependencies
+            if d.kind == SUBACTIVITY_OF and d.target == parent
+        )
+
+    def resource_partners(self, activity_id: str, resource: str | None = None) -> list[str]:
+        """Activities sharing a resource with *activity_id*."""
+        partners = set()
+        for d in self.of_kind(SHARES_RESOURCE):
+            if resource is not None and d.annotation != resource:
+                continue
+            if d.source == activity_id:
+                partners.add(d.target)
+            elif d.target == activity_id:
+                partners.add(d.source)
+        return sorted(partners)
+
+    def information_partners(self, activity_id: str) -> list[str]:
+        """Activities sharing information with *activity_id*."""
+        partners = set()
+        for d in self.of_kind(SHARES_INFORMATION):
+            if d.source == activity_id:
+                partners.add(d.target)
+            elif d.target == activity_id:
+                partners.add(d.source)
+        return sorted(partners)
+
+    def related(self, activity_id: str) -> set[str]:
+        """Every activity connected to *activity_id* by any dependency."""
+        related = set()
+        for d in self._dependencies:
+            if d.source == activity_id:
+                related.add(d.target)
+            elif d.target == activity_id:
+                related.add(d.source)
+        return related
+
+    # -- ordering ------------------------------------------------------------
+    def execution_order(self, activities: list[str]) -> list[str]:
+        """A start order of *activities* respecting ordering edges.
+
+        Kahn's algorithm restricted to the given set; ties break by
+        activity id for determinism.  Raises on cycles (which
+        :meth:`add` should already have prevented).
+        """
+        wanted = set(activities)
+        indegree: dict[str, int] = {a: 0 for a in activities}
+        outgoing: dict[str, list[str]] = defaultdict(list)
+        for d in self._dependencies:
+            if d.kind in ORDERING_KINDS and d.source in wanted and d.target in wanted:
+                outgoing[d.source].append(d.target)
+                indegree[d.target] += 1
+        ready = deque(sorted(a for a, deg in indegree.items() if deg == 0))
+        order: list[str] = []
+        while ready:
+            current = ready.popleft()
+            order.append(current)
+            for nxt in sorted(outgoing[current]):
+                indegree[nxt] -= 1
+                if indegree[nxt] == 0:
+                    ready.append(nxt)
+        if len(order) != len(activities):
+            raise DependencyCycleError("ordering edges contain a cycle")
+        return order
+
+    def _would_cycle(self, source: str, target: str) -> bool:
+        """True when target can already reach source via ordering edges."""
+        outgoing: dict[str, list[str]] = defaultdict(list)
+        for d in self._dependencies:
+            if d.kind in ORDERING_KINDS:
+                outgoing[d.source].append(d.target)
+        seen = set()
+        frontier = deque([target])
+        while frontier:
+            current = frontier.popleft()
+            if current == source:
+                return True
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier.extend(outgoing[current])
+        return False

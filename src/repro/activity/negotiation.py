@@ -1,0 +1,189 @@
+"""Negotiation of responsibility and competence.
+
+Paper section 4 asks for "mechanisms for negotiating the responsibility
+for activities" and "mechanisms for negotiating the division of
+competence within activities".  A :class:`Negotiation` is a small
+propose/counter/accept/reject state machine between an initiator and a
+responder; the :class:`NegotiationService` runs many of them and applies
+the outcome to the activity (responsibility) or to a competence division
+table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+from repro.activity.model import ActivityRegistry
+from repro.util.errors import NegotiationError
+from repro.util.ids import IdFactory
+
+
+class NegotiationState(Enum):
+    """Lifecycle of one negotiation."""
+
+    PROPOSED = "proposed"
+    COUNTERED = "countered"
+    ACCEPTED = "accepted"
+    REJECTED = "rejected"
+    WITHDRAWN = "withdrawn"
+
+
+class NegotiationKind(Enum):
+    """What is being negotiated."""
+
+    RESPONSIBILITY = "responsibility"
+    COMPETENCE = "competence"
+
+
+@dataclass
+class Negotiation:
+    """One running negotiation.
+
+    ``subject`` is the activity id; ``terms`` carries what is proposed —
+    for responsibility: ``{"responsible": person_id}``; for competence:
+    ``{"division": {person_id: [tasks...]}}``.
+    """
+
+    negotiation_id: str
+    kind: NegotiationKind
+    subject: str
+    initiator: str
+    responder: str
+    terms: dict[str, Any]
+    state: NegotiationState = NegotiationState.PROPOSED
+    rounds: int = 0
+    transcript: list[tuple[str, str, dict[str, Any]]] = field(default_factory=list)
+
+    def _require_open(self) -> None:
+        if self.state not in (NegotiationState.PROPOSED, NegotiationState.COUNTERED):
+            raise NegotiationError(
+                f"negotiation {self.negotiation_id} is closed ({self.state.value})"
+            )
+
+    def _current_responder(self) -> str:
+        """Whoever did not make the latest offer responds next."""
+        if not self.transcript:
+            return self.responder
+        last_actor = self.transcript[-1][0]
+        return self.initiator if last_actor == self.responder else self.responder
+
+    def counter(self, actor: str, terms: dict[str, Any]) -> None:
+        """The current responder proposes different terms."""
+        self._require_open()
+        if actor != self._current_responder():
+            raise NegotiationError(f"it is not {actor!r}'s turn to respond")
+        self.terms = dict(terms)
+        self.state = NegotiationState.COUNTERED
+        self.rounds += 1
+        self.transcript.append((actor, "counter", dict(terms)))
+
+    def accept(self, actor: str) -> None:
+        """The current responder accepts the terms on the table."""
+        self._require_open()
+        if actor != self._current_responder():
+            raise NegotiationError(f"it is not {actor!r}'s turn to respond")
+        self.state = NegotiationState.ACCEPTED
+        self.transcript.append((actor, "accept", dict(self.terms)))
+
+    def reject(self, actor: str) -> None:
+        """The current responder rejects and closes the negotiation."""
+        self._require_open()
+        if actor != self._current_responder():
+            raise NegotiationError(f"it is not {actor!r}'s turn to respond")
+        self.state = NegotiationState.REJECTED
+        self.transcript.append((actor, "reject", {}))
+
+    def withdraw(self, actor: str) -> None:
+        """The initiator withdraws the proposal."""
+        self._require_open()
+        if actor != self.initiator:
+            raise NegotiationError("only the initiator may withdraw")
+        self.state = NegotiationState.WITHDRAWN
+        self.transcript.append((actor, "withdraw", {}))
+
+
+class NegotiationService:
+    """Creates negotiations and applies accepted outcomes."""
+
+    def __init__(self, registry: ActivityRegistry) -> None:
+        self._registry = registry
+        self._negotiations: dict[str, Negotiation] = {}
+        self._ids = IdFactory()
+        #: activity id -> responsible person (accepted outcomes)
+        self.responsibilities: dict[str, str] = {}
+        #: activity id -> division of competence {person: [tasks]}
+        self.competence: dict[str, dict[str, list[str]]] = {}
+
+    def propose_responsibility(
+        self, activity_id: str, initiator: str, responder: str, responsible: str
+    ) -> Negotiation:
+        """Open a responsibility negotiation."""
+        self._registry.get(activity_id)  # must exist
+        negotiation = Negotiation(
+            negotiation_id=self._ids.next("neg"),
+            kind=NegotiationKind.RESPONSIBILITY,
+            subject=activity_id,
+            initiator=initiator,
+            responder=responder,
+            terms={"responsible": responsible},
+        )
+        negotiation.transcript.append((initiator, "propose", dict(negotiation.terms)))
+        self._negotiations[negotiation.negotiation_id] = negotiation
+        return negotiation
+
+    def propose_competence(
+        self,
+        activity_id: str,
+        initiator: str,
+        responder: str,
+        division: dict[str, list[str]],
+    ) -> Negotiation:
+        """Open a division-of-competence negotiation."""
+        self._registry.get(activity_id)
+        negotiation = Negotiation(
+            negotiation_id=self._ids.next("neg"),
+            kind=NegotiationKind.COMPETENCE,
+            subject=activity_id,
+            initiator=initiator,
+            responder=responder,
+            terms={"division": {k: list(v) for k, v in division.items()}},
+        )
+        negotiation.transcript.append((initiator, "propose", dict(negotiation.terms)))
+        self._negotiations[negotiation.negotiation_id] = negotiation
+        return negotiation
+
+    def get(self, negotiation_id: str) -> Negotiation:
+        """Look up a negotiation."""
+        try:
+            return self._negotiations[negotiation_id]
+        except KeyError:
+            raise NegotiationError(f"unknown negotiation {negotiation_id!r}") from None
+
+    def settle(self, negotiation_id: str) -> None:
+        """Apply an ACCEPTED negotiation's terms to the shared tables."""
+        negotiation = self.get(negotiation_id)
+        if negotiation.state is not NegotiationState.ACCEPTED:
+            raise NegotiationError(
+                f"negotiation {negotiation_id} is not accepted ({negotiation.state.value})"
+            )
+        if negotiation.kind is NegotiationKind.RESPONSIBILITY:
+            self.responsibilities[negotiation.subject] = negotiation.terms["responsible"]
+        else:
+            self.competence[negotiation.subject] = {
+                person: list(tasks)
+                for person, tasks in negotiation.terms["division"].items()
+            }
+
+    def responsible_for(self, activity_id: str) -> str | None:
+        """The negotiated responsible person, when settled."""
+        return self.responsibilities.get(activity_id)
+
+    def open_negotiations(self) -> list[Negotiation]:
+        """All negotiations still awaiting a response."""
+        return [
+            n
+            for n in self._negotiations.values()
+            if n.state in (NegotiationState.PROPOSED, NegotiationState.COUNTERED)
+        ]

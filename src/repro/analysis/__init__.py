@@ -1,0 +1,37 @@
+"""Analyses over the running environment: traffic, activity networks.
+
+Supports the monitoring side of the paper's activity services and the
+research questions its communication model is built for.
+"""
+
+from repro.analysis.activity_network import (
+    collaboration_graph,
+    coupling_clusters,
+    critical_path,
+    key_collaborators,
+    ordering_dag,
+)
+from repro.analysis.report import environment_report
+from repro.analysis.communication import (
+    TrafficSummary,
+    activity_breakdown,
+    cross_organisation_flows,
+    reciprocity,
+    summarize,
+    top_talkers,
+)
+
+__all__ = [
+    "environment_report",
+    "collaboration_graph",
+    "coupling_clusters",
+    "critical_path",
+    "key_collaborators",
+    "ordering_dag",
+    "TrafficSummary",
+    "activity_breakdown",
+    "cross_organisation_flows",
+    "reciprocity",
+    "summarize",
+    "top_talkers",
+]

@@ -1,0 +1,108 @@
+"""Graph analyses of the inter-activity model (networkx-backed).
+
+Section 3's picture — "many inter-related activities taking place within
+a world of shared resources, people and information" — is literally a
+graph.  These helpers expose it: the ordering DAG as a
+:class:`networkx.DiGraph`, critical paths under per-activity duration
+estimates, clusters of activities coupled by shared resources or
+information, and the people-to-people collaboration graph induced by
+activity co-membership.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.activity.dependencies import (
+    ORDERING_KINDS,
+    SHARES_INFORMATION,
+    SHARES_RESOURCE,
+    DependencyGraph,
+)
+from repro.activity.model import ActivityRegistry
+
+
+def ordering_dag(graph: DependencyGraph, activities: list[str]) -> "nx.DiGraph":
+    """The precedence DAG restricted to *activities*."""
+    dag = nx.DiGraph()
+    dag.add_nodes_from(activities)
+    wanted = set(activities)
+    for dependency in graph.all():
+        if dependency.kind in ORDERING_KINDS:
+            if dependency.source in wanted and dependency.target in wanted:
+                dag.add_edge(dependency.source, dependency.target)
+    return dag
+
+
+def critical_path(
+    graph: DependencyGraph,
+    durations: dict[str, float],
+) -> tuple[list[str], float]:
+    """The longest duration-weighted chain through the ordering DAG.
+
+    *durations* maps every activity to its estimated duration; the
+    returned pair is (path, total duration) — the minimum possible
+    makespan of the programme.
+    """
+    activities = list(durations)
+    dag = ordering_dag(graph, activities)
+    for node in dag.nodes:
+        dag.nodes[node]["duration"] = durations[node]
+    # Longest path by duration: dag_longest_path supports node weights via
+    # edge weights, so push each node's duration onto its outgoing edges
+    # and add the path-end duration afterwards.
+    weighted = nx.DiGraph()
+    weighted.add_nodes_from(dag.nodes)
+    for source, target in dag.edges:
+        weighted.add_edge(source, target, weight=durations[source])
+    if weighted.number_of_edges() == 0:
+        best = max(activities, key=lambda a: (durations[a], a))
+        return [best], durations[best]
+    path = nx.dag_longest_path(weighted, weight="weight")
+    total = sum(durations[a] for a in path)
+    # A lone heavier activity can still beat the chained path.
+    heaviest = max(activities, key=lambda a: (durations[a], a))
+    if durations[heaviest] > total:
+        return [heaviest], durations[heaviest]
+    return path, total
+
+
+def coupling_clusters(graph: DependencyGraph, activities: list[str]) -> list[set[str]]:
+    """Groups of activities coupled by shared resources/information.
+
+    Activities in one cluster cannot be managed in isolation — the
+    paper's argument for environment-level coordination.
+    """
+    undirected = nx.Graph()
+    undirected.add_nodes_from(activities)
+    wanted = set(activities)
+    for dependency in graph.all():
+        if dependency.kind in (SHARES_RESOURCE, SHARES_INFORMATION):
+            if dependency.source in wanted and dependency.target in wanted:
+                undirected.add_edge(dependency.source, dependency.target)
+    return [set(c) for c in nx.connected_components(undirected)]
+
+
+def collaboration_graph(registry: ActivityRegistry) -> "nx.Graph":
+    """People as nodes; edges weighted by shared-activity count."""
+    graph = nx.Graph()
+    for activity in registry.all():
+        members = activity.member_ids()
+        graph.add_nodes_from(members)
+        for index, first in enumerate(members):
+            for second in members[index + 1:]:
+                if graph.has_edge(first, second):
+                    graph[first][second]["weight"] += 1
+                else:
+                    graph.add_edge(first, second, weight=1)
+    return graph
+
+
+def key_collaborators(registry: ActivityRegistry, limit: int = 5) -> list[tuple[str, float]]:
+    """People ranked by degree centrality in the collaboration graph."""
+    graph = collaboration_graph(registry)
+    if graph.number_of_nodes() == 0:
+        return []
+    centrality = nx.degree_centrality(graph)
+    ordered = sorted(centrality.items(), key=lambda pair: (-pair[1], pair[0]))
+    return ordered[:limit]

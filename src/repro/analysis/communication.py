@@ -1,0 +1,88 @@
+"""Analyses over the communication log.
+
+The communication model records every exchange "in terms of the
+communicators, the information objects they exchange, and the context"
+(paper section 5); these helpers turn that log into the structures
+monitoring and research need: traffic matrices, cross-organisation flow
+summaries, mode mixes and per-activity breakdowns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.communication.model import CommunicationLog
+
+
+@dataclass(frozen=True)
+class TrafficSummary:
+    """Aggregate view of one log."""
+
+    exchanges: int
+    bytes_total: int
+    synchronous: int
+    asynchronous: int
+    distinct_pairs: int
+
+    @property
+    def synchronous_share(self) -> float:
+        """Fraction of exchanges that were synchronous."""
+        if self.exchanges == 0:
+            return 0.0
+        return self.synchronous / self.exchanges
+
+
+def summarize(log: CommunicationLog) -> TrafficSummary:
+    """Aggregate the whole log."""
+    exchanges = log.all()
+    pairs = {(e.sender, e.receiver) for e in exchanges}
+    return TrafficSummary(
+        exchanges=len(exchanges),
+        bytes_total=sum(e.size_bytes for e in exchanges),
+        synchronous=len(log.by_mode("synchronous")),
+        asynchronous=len(log.by_mode("asynchronous")),
+        distinct_pairs=len(pairs),
+    )
+
+
+def top_talkers(log: CommunicationLog, limit: int = 5) -> list[tuple[str, int]]:
+    """People by number of exchanges sent, busiest first."""
+    counts: dict[str, int] = {}
+    for exchange in log.all():
+        counts[exchange.sender] = counts.get(exchange.sender, 0) + 1
+    ordered = sorted(counts.items(), key=lambda pair: (-pair[1], pair[0]))
+    return ordered[:limit]
+
+
+def cross_organisation_flows(log: CommunicationLog) -> dict[tuple[str, str], int]:
+    """(from_org, to_org) -> exchange count, inter-org pairs only."""
+    flows: dict[tuple[str, str], int] = {}
+    for exchange in log.all():
+        from_org = exchange.context.from_org
+        to_org = exchange.context.to_org
+        if from_org and to_org and from_org != to_org:
+            key = (from_org, to_org)
+            flows[key] = flows.get(key, 0) + 1
+    return flows
+
+
+def activity_breakdown(log: CommunicationLog) -> dict[str, int]:
+    """activity id -> exchanges in that activity ('' for unscoped)."""
+    breakdown: dict[str, int] = {}
+    for exchange in log.all():
+        key = exchange.context.activity
+        breakdown[key] = breakdown.get(key, 0) + 1
+    return breakdown
+
+
+def reciprocity(log: CommunicationLog) -> float:
+    """Fraction of directed pairs whose reverse direction also occurs.
+
+    High reciprocity signals conversation; low signals broadcast-style
+    communication.
+    """
+    pairs = {(e.sender, e.receiver) for e in log.all()}
+    if not pairs:
+        return 0.0
+    reciprocated = sum(1 for (a, b) in pairs if (b, a) in pairs)
+    return reciprocated / len(pairs)

@@ -1,0 +1,83 @@
+"""Human-readable status reports over a running environment.
+
+Combines the environment's inventory snapshot with the communication and
+activity analyses into one plain-text report — the "monitoring the
+progress of activities" surface an administrator or project manager
+would actually read.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.activity_network import coupling_clusters, key_collaborators
+from repro.analysis.communication import (
+    cross_organisation_flows,
+    summarize,
+    top_talkers,
+)
+from repro.environment.environment import CSCWEnvironment
+
+
+def environment_report(environment: CSCWEnvironment) -> str:
+    """Render a multi-section status report for one environment."""
+    snapshot = environment.describe()
+    lines = [f"=== CSCW environment report: {snapshot['name']} ==="]
+
+    lines.append("")
+    lines.append("-- applications (time-space matrix) --")
+    for quadrant, apps in snapshot["applications"].items():
+        lines.append(f"  {quadrant:36s} {', '.join(apps) if apps else '-'}")
+    lines.append(
+        f"  integration cost: {snapshot['integration_cost']} converters; "
+        f"coverage: {snapshot['interop_coverage']:.0%}"
+    )
+
+    lines.append("")
+    lines.append("-- people --")
+    for person_id, info in sorted(snapshot["people"].items()):
+        presence = "present" if info["present"] else "away"
+        pending = environment.pending_for(person_id)
+        queued = f", {pending} queued" if pending else ""
+        lines.append(f"  {person_id:16s} {presence:8s} @{info['node']}{queued}")
+
+    lines.append("")
+    lines.append("-- activities --")
+    by_status: dict[str, list[str]] = {}
+    for activity_id, status in snapshot["activities"].items():
+        by_status.setdefault(status, []).append(activity_id)
+    for status in sorted(by_status):
+        lines.append(f"  {status:10s} {', '.join(sorted(by_status[status]))}")
+    all_ids = list(snapshot["activities"])
+    if all_ids:
+        clusters = coupling_clusters(environment.dependencies, all_ids)
+        coupled = [sorted(c) for c in clusters if len(c) > 1]
+        if coupled:
+            lines.append(f"  coupled clusters: {coupled}")
+    collaborators = key_collaborators(environment.activities, limit=3)
+    if collaborators:
+        names = ", ".join(f"{p} ({c:.2f})" for p, c in collaborators)
+        lines.append(f"  key collaborators: {names}")
+
+    lines.append("")
+    lines.append("-- communication --")
+    summary = summarize(environment.communication_log)
+    lines.append(
+        f"  {summary.exchanges} exchanges, {summary.bytes_total} bytes, "
+        f"{summary.synchronous_share:.0%} synchronous, "
+        f"{summary.distinct_pairs} pairs"
+    )
+    talkers = top_talkers(environment.communication_log, limit=3)
+    if talkers:
+        lines.append(
+            "  top talkers: " + ", ".join(f"{p} ({n})" for p, n in talkers)
+        )
+    flows = cross_organisation_flows(environment.communication_log)
+    if flows:
+        rendered = ", ".join(f"{a}->{b}: {n}" for (a, b), n in sorted(flows.items()))
+        lines.append(f"  cross-org flows: {rendered}")
+
+    lines.append("")
+    lines.append(
+        f"-- exchanges: {snapshot['exchanges']['attempted']} attempted, "
+        f"{snapshot['exchanges']['failed']} failed --"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,5 @@
+"""Baselines the paper argues against: the closed world of Figure 2."""
+
+from repro.baselines.closed import AdHocGateway, ClosedWorld, build_direct_gateway
+
+__all__ = ["AdHocGateway", "ClosedWorld", "build_direct_gateway"]

@@ -1,0 +1,152 @@
+"""The closed-world baseline: isolated applications, pairwise gateways.
+
+Figure 2 of the paper: "These applications are often unaware of the
+existence of other applications and provide few mechanisms for working in
+conjunction with other applications."  In the closed world every pair of
+applications that wants to interoperate needs a *hand-built ad-hoc
+gateway* per direction; nothing works by default.
+
+Experiment E2 compares this world with the environment world on two axes:
+integration cost (gateways built: O(N^2) vs converters: O(N)) and
+interoperability coverage (fraction of app pairs that can exchange).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.apps.base import GroupwareApp
+from repro.util.errors import ConfigurationError, InteropError
+
+Translator = Callable[[dict[str, Any]], dict[str, Any]]
+
+
+@dataclass(frozen=True)
+class AdHocGateway:
+    """A hand-built one-directional translator between two apps."""
+
+    source_app: str
+    target_app: str
+    translate: Translator
+    #: hand-built gateways are typically lossier than going through a
+    #: well-specified common form
+    fidelity: float = 0.85
+
+
+def build_direct_gateway(source: GroupwareApp, target: GroupwareApp) -> AdHocGateway:
+    """Hand-build a gateway by composing the two apps' converters.
+
+    In reality each such gateway was a bespoke engineering effort; here we
+    compose converters (what a bespoke gateway would effectively do) but
+    still *count* it as one built artifact, which is what E2 measures.
+    """
+    source_converter = source.converter()
+    target_converter = target.converter()
+
+    def translate(document: dict[str, Any]) -> dict[str, Any]:
+        return target_converter.from_common(source_converter.to_common(document))
+
+    return AdHocGateway(source.name, target.name, translate)
+
+
+class ClosedWorld:
+    """A population of isolated applications plus whatever gateways exist."""
+
+    def __init__(self) -> None:
+        self._apps: dict[str, GroupwareApp] = {}
+        self._gateways: dict[tuple[str, str], AdHocGateway] = {}
+        self.exchanges_attempted = 0
+        self.exchanges_failed = 0
+
+    # -- population -----------------------------------------------------------
+    def add_app(self, app: GroupwareApp) -> None:
+        """Add an isolated application."""
+        if app.name in self._apps:
+            raise ConfigurationError(f"app {app.name!r} already in the closed world")
+        if app.is_open:
+            raise ConfigurationError(
+                f"app {app.name!r} is attached to an environment; it is not closed"
+            )
+        self._apps[app.name] = app
+
+    def app(self, name: str) -> GroupwareApp:
+        """Look up an application."""
+        try:
+            return self._apps[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown app {name!r}") from None
+
+    def app_names(self) -> list[str]:
+        """All applications, sorted."""
+        return sorted(self._apps)
+
+    # -- gateways ---------------------------------------------------------------
+    def build_gateway(self, source_name: str, target_name: str) -> AdHocGateway:
+        """Hand-build a one-directional gateway between two apps."""
+        key = (source_name, target_name)
+        if key in self._gateways:
+            raise ConfigurationError(f"gateway {source_name}->{target_name} already built")
+        gateway = build_direct_gateway(self.app(source_name), self.app(target_name))
+        self._gateways[key] = gateway
+        return gateway
+
+    def build_all_gateways(self) -> int:
+        """Full pairwise integration: N*(N-1) gateways.  Returns the count."""
+        built = 0
+        for source in self._apps:
+            for target in self._apps:
+                if source != target and (source, target) not in self._gateways:
+                    self.build_gateway(source, target)
+                    built += 1
+        return built
+
+    def gateway_count(self) -> int:
+        """Integration artifacts built so far."""
+        return len(self._gateways)
+
+    def interop_coverage(self) -> float:
+        """Fraction of ordered app pairs that can exchange documents."""
+        names = list(self._apps)
+        if len(names) < 2:
+            return 1.0
+        total = len(names) * (len(names) - 1)
+        reachable = 0
+        for source in names:
+            for target in names:
+                if source == target:
+                    continue
+                same_format = (
+                    self._apps[source].format_name == self._apps[target].format_name
+                )
+                if same_format or (source, target) in self._gateways:
+                    reachable += 1
+        return reachable / total
+
+    # -- exchange -------------------------------------------------------------------
+    def send(
+        self, source_name: str, target_name: str, receiver: str, document: dict[str, Any]
+    ) -> bool:
+        """Attempt a cross-app exchange in the closed world.
+
+        Succeeds only when the formats already match or a gateway was
+        hand-built for this direction; otherwise the exchange is lost —
+        the Figure 2 failure mode.
+        """
+        self.exchanges_attempted += 1
+        source = self.app(source_name)
+        target = self.app(target_name)
+        if source.format_name == target.format_name:
+            target.deliver(receiver, dict(document), {"via": "same-format"})
+            return True
+        gateway = self._gateways.get((source_name, target_name))
+        if gateway is None:
+            self.exchanges_failed += 1
+            return False
+        try:
+            translated = gateway.translate(document)
+        except Exception as exc:
+            self.exchanges_failed += 1
+            raise InteropError(f"gateway {source_name}->{target_name} failed: {exc}") from exc
+        target.deliver(receiver, translated, {"via": "gateway", "fidelity": gateway.fidelity})
+        return True

@@ -1,0 +1,30 @@
+"""The Communication Model (paper section 5).
+
+Communicators with media capabilities and presence, a communication log of
+exchanges in context, real-time sessions with floor control, asynchronous
+channels over the MHS, and the time-transparency bridge unifying both
+modes behind one primitive.
+"""
+
+from repro.communication.asynchronous import AsyncChannel
+from repro.communication.bridge import ConverseResult, TimeTransparencyBridge
+from repro.communication.model import (
+    CommunicationContext,
+    CommunicationLog,
+    Communicator,
+    CommunicatorRegistry,
+    Exchange,
+)
+from repro.communication.realtime import RealTimeSession
+
+__all__ = [
+    "AsyncChannel",
+    "ConverseResult",
+    "TimeTransparencyBridge",
+    "CommunicationContext",
+    "CommunicationLog",
+    "Communicator",
+    "CommunicatorRegistry",
+    "Exchange",
+    "RealTimeSession",
+]

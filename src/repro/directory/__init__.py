@@ -1,0 +1,63 @@
+"""X.500-style directory service: DIT, schema, filters, DSA/DUA, shadowing.
+
+Built per the paper's requirement of "smooth integration and utilization of
+standard information repositories, for example, the X.500 directory
+service" (section 4) and reference [14]'s analysis of X.500's relevance to
+CSCW.
+"""
+
+from repro.directory.dit import (
+    SCOPE_BASE,
+    SCOPE_ONE,
+    SCOPE_SUBTREE,
+    ChangeRecord,
+    DirectoryInformationTree,
+    Entry,
+)
+from repro.directory.dsa import DIRECTORY_SIGNATURE, DirectoryServiceAgent
+from repro.directory.dua import DirectoryUserAgent
+from repro.directory.filters import (
+    And,
+    Eq,
+    Filter,
+    Ge,
+    Le,
+    Not,
+    Or,
+    Present,
+    Substr,
+    parse_filter,
+)
+from repro.directory.names import DistinguishedName, Rdn, dn
+from repro.directory.replication import ShadowingAgreement
+from repro.directory.schema import AttributeType, ObjectClass, Schema, standard_schema
+
+__all__ = [
+    "SCOPE_BASE",
+    "SCOPE_ONE",
+    "SCOPE_SUBTREE",
+    "ChangeRecord",
+    "DirectoryInformationTree",
+    "Entry",
+    "DIRECTORY_SIGNATURE",
+    "DirectoryServiceAgent",
+    "DirectoryUserAgent",
+    "And",
+    "Eq",
+    "Filter",
+    "Ge",
+    "Le",
+    "Not",
+    "Or",
+    "Present",
+    "Substr",
+    "parse_filter",
+    "DistinguishedName",
+    "Rdn",
+    "dn",
+    "ShadowingAgreement",
+    "AttributeType",
+    "ObjectClass",
+    "Schema",
+    "standard_schema",
+]

@@ -1,0 +1,116 @@
+"""The Directory User Agent: client-side access to a remote DSA.
+
+A DUA holds a channel to a DSA's ``directory`` interface and exposes the
+directory operations as ordinary methods.  Because everything runs on
+simulated time, each method takes the :class:`~repro.sim.world.World` and
+runs it until the reply lands (the asynchronous channel API remains
+available through :attr:`channel` for pipelined use).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.directory.dit import SCOPE_SUBTREE, Entry
+from repro.directory.dsa import entries_from_documents, parse_where
+from repro.directory.filters import Filter
+from repro.odp.binding import BindingFactory, Channel
+from repro.odp.objects import InterfaceRef
+from repro.sim.world import World
+
+
+class DirectoryUserAgent:
+    """Synchronous client facade over a DSA channel.
+
+    *identity* is the requestor name presented to the DSA for access
+    control decisions (anonymous by default — a simple bind, in X.500
+    terms).
+    """
+
+    def __init__(
+        self,
+        factory: BindingFactory,
+        client_node: str,
+        dsa_ref: InterfaceRef,
+        identity: str = "",
+    ) -> None:
+        self.channel: Channel = factory.bind(client_node, dsa_ref)
+        self.identity = identity
+
+    def read(self, world: World, name: str, dereference: bool = True) -> Entry:
+        """Fetch one entry by DN string (following aliases by default)."""
+        return Entry.from_document(
+            self.channel.call(
+                world,
+                "read",
+                {"dn": name, "dereference": dereference, "requestor": self.identity},
+            )
+        )
+
+    def search(
+        self,
+        world: World,
+        base: str = "",
+        scope: str = SCOPE_SUBTREE,
+        where: Filter | str | None = None,
+        limit: int | None = None,
+    ) -> list[Entry]:
+        """Scoped, filtered search; *where* accepts LDAP-style strings."""
+        parsed = parse_where(where)
+        documents = self.channel.call(
+            world,
+            "search",
+            {
+                "base": base,
+                "scope": scope,
+                "filter": parsed.to_document() if parsed is not None else None,
+                "limit": limit,
+                "requestor": self.identity,
+            },
+        )
+        return entries_from_documents(documents)
+
+    def add(self, world: World, name: str, attributes: dict[str, Any]) -> Entry:
+        """Create an entry."""
+        return Entry.from_document(
+            self.channel.call(
+                world,
+                "add",
+                {"dn": name, "attributes": attributes, "requestor": self.identity},
+            )
+        )
+
+    def modify(
+        self,
+        world: World,
+        name: str,
+        add: dict[str, Any] | None = None,
+        replace: dict[str, Any] | None = None,
+        delete: list[str] | None = None,
+    ) -> Entry:
+        """Modify an entry's attributes."""
+        return Entry.from_document(
+            self.channel.call(
+                world,
+                "modify",
+                {
+                    "dn": name,
+                    "add": add,
+                    "replace": replace,
+                    "delete": delete,
+                    "requestor": self.identity,
+                },
+            )
+        )
+
+    def delete(self, world: World, name: str) -> None:
+        """Delete a leaf entry."""
+        self.channel.call(world, "delete", {"dn": name, "requestor": self.identity})
+
+    def children(self, world: World, name: str = "") -> list[Entry]:
+        """Immediate children of an entry (or the root)."""
+        return entries_from_documents(self.channel.call(world, "children", {"dn": name}))
+
+    def csn(self, world: World) -> int:
+        """The DSA's current change sequence number."""
+        return self.channel.call(world, "csn", {})

@@ -1,0 +1,288 @@
+"""Search filters for the directory, with an LDAP-style string syntax.
+
+Filters form a small AST (:class:`Eq`, :class:`Present`, :class:`Substr`,
+:class:`Ge`, :class:`Le`, :class:`And`, :class:`Or`, :class:`Not`) that
+evaluates against an entry's attributes.  :func:`parse_filter` accepts the
+familiar parenthesised syntax::
+
+    (&(objectClass=person)(ou=AC)(!(title=student)))
+    (cn=An*)
+    (|(mail=*)(faxNumber=*))
+
+Filters serialize to/from plain documents so DUAs can ship them to DSAs
+over the simulated network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.util.errors import DirectoryError
+
+
+class Filter:
+    """Base class for filter nodes."""
+
+    def matches(self, attributes: dict[str, list[Any]]) -> bool:
+        """Evaluate against a lower-cased attribute map."""
+        raise NotImplementedError
+
+    def to_document(self) -> dict[str, Any]:
+        """Serialize to a plain document."""
+        raise NotImplementedError
+
+    @staticmethod
+    def from_document(document: dict[str, Any]) -> "Filter":
+        """Deserialize a filter document."""
+        kind = document.get("kind")
+        if kind == "eq":
+            return Eq(document["attribute"], document["value"])
+        if kind == "present":
+            return Present(document["attribute"])
+        if kind == "substr":
+            return Substr(document["attribute"], document["parts"])
+        if kind == "ge":
+            return Ge(document["attribute"], document["value"])
+        if kind == "le":
+            return Le(document["attribute"], document["value"])
+        if kind == "and":
+            return And([Filter.from_document(d) for d in document["children"]])
+        if kind == "or":
+            return Or([Filter.from_document(d) for d in document["children"]])
+        if kind == "not":
+            return Not(Filter.from_document(document["child"]))
+        raise DirectoryError(f"unknown filter kind {kind!r}")
+
+
+def _values(attributes: dict[str, list[Any]], attribute: str) -> list[Any]:
+    return attributes.get(attribute.lower(), [])
+
+
+def _fold(value: Any) -> Any:
+    return value.lower() if isinstance(value, str) else value
+
+
+@dataclass
+class Eq(Filter):
+    """attribute equals value (case-insensitive for strings)."""
+
+    attribute: str
+    value: Any
+
+    def matches(self, attributes: dict[str, list[Any]]) -> bool:
+        target = _fold(self.value)
+        return any(_fold(v) == target for v in _values(attributes, self.attribute))
+
+    def to_document(self) -> dict[str, Any]:
+        return {"kind": "eq", "attribute": self.attribute, "value": self.value}
+
+
+@dataclass
+class Present(Filter):
+    """attribute has at least one value."""
+
+    attribute: str
+
+    def matches(self, attributes: dict[str, list[Any]]) -> bool:
+        return bool(_values(attributes, self.attribute))
+
+    def to_document(self) -> dict[str, Any]:
+        return {"kind": "present", "attribute": self.attribute}
+
+
+@dataclass
+class Substr(Filter):
+    """Substring match: parts are [initial, *middles, final]; '' wildcards.
+
+    ``Substr("cn", ["an", ""])`` is the parse of ``cn=an*``;
+    ``Substr("cn", ["", "na", ""])`` is ``cn=*na*``.
+    """
+
+    attribute: str
+    parts: list[str]
+
+    def matches(self, attributes: dict[str, list[Any]]) -> bool:
+        for value in _values(attributes, self.attribute):
+            if isinstance(value, str) and self._match_one(value.lower()):
+                return True
+        return False
+
+    def _match_one(self, value: str) -> bool:
+        parts = [p.lower() for p in self.parts]
+        initial, *rest = parts
+        if initial and not value.startswith(initial):
+            return False
+        position = len(initial)
+        if rest:
+            final = rest[-1]
+            middles = rest[:-1]
+        else:
+            final = ""
+            middles = []
+        for middle in middles:
+            if not middle:
+                continue
+            index = value.find(middle, position)
+            if index < 0:
+                return False
+            position = index + len(middle)
+        if final:
+            return value.endswith(final) and len(value) - len(final) >= position
+        return True
+
+    def to_document(self) -> dict[str, Any]:
+        return {"kind": "substr", "attribute": self.attribute, "parts": list(self.parts)}
+
+
+@dataclass
+class Ge(Filter):
+    """attribute >= value."""
+
+    attribute: str
+    value: Any
+
+    def matches(self, attributes: dict[str, list[Any]]) -> bool:
+        return any(_fold(v) >= _fold(self.value) for v in _values(attributes, self.attribute))
+
+    def to_document(self) -> dict[str, Any]:
+        return {"kind": "ge", "attribute": self.attribute, "value": self.value}
+
+
+@dataclass
+class Le(Filter):
+    """attribute <= value."""
+
+    attribute: str
+    value: Any
+
+    def matches(self, attributes: dict[str, list[Any]]) -> bool:
+        return any(_fold(v) <= _fold(self.value) for v in _values(attributes, self.attribute))
+
+    def to_document(self) -> dict[str, Any]:
+        return {"kind": "le", "attribute": self.attribute, "value": self.value}
+
+
+@dataclass
+class And(Filter):
+    """All children match."""
+
+    children: list[Filter]
+
+    def matches(self, attributes: dict[str, list[Any]]) -> bool:
+        return all(child.matches(attributes) for child in self.children)
+
+    def to_document(self) -> dict[str, Any]:
+        return {"kind": "and", "children": [c.to_document() for c in self.children]}
+
+
+@dataclass
+class Or(Filter):
+    """At least one child matches."""
+
+    children: list[Filter]
+
+    def matches(self, attributes: dict[str, list[Any]]) -> bool:
+        return any(child.matches(attributes) for child in self.children)
+
+    def to_document(self) -> dict[str, Any]:
+        return {"kind": "or", "children": [c.to_document() for c in self.children]}
+
+
+@dataclass
+class Not(Filter):
+    """Child does not match."""
+
+    child: Filter
+
+    def matches(self, attributes: dict[str, list[Any]]) -> bool:
+        return not self.child.matches(attributes)
+
+    def to_document(self) -> dict[str, Any]:
+        return {"kind": "not", "child": self.child.to_document()}
+
+
+def parse_filter(text: str) -> Filter:
+    """Parse an LDAP-style filter string into a :class:`Filter`."""
+    parser = _Parser(text.strip())
+    node = parser.parse()
+    parser.expect_end()
+    return node
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self._text = text
+        self._pos = 0
+
+    def parse(self) -> Filter:
+        self._expect("(")
+        char = self._peek()
+        if char == "&":
+            self._pos += 1
+            node: Filter = And(self._parse_children())
+        elif char == "|":
+            self._pos += 1
+            node = Or(self._parse_children())
+        elif char == "!":
+            self._pos += 1
+            node = Not(self.parse())
+        else:
+            node = self._parse_simple()
+        self._expect(")")
+        return node
+
+    def expect_end(self) -> None:
+        if self._pos != len(self._text):
+            raise DirectoryError(f"trailing characters in filter at position {self._pos}")
+
+    def _parse_children(self) -> list[Filter]:
+        children = []
+        while self._peek() == "(":
+            children.append(self.parse())
+        if not children:
+            raise DirectoryError("composite filter needs at least one child")
+        return children
+
+    def _parse_simple(self) -> Filter:
+        end = self._text.find(")", self._pos)
+        if end < 0:
+            raise DirectoryError("unterminated filter component")
+        body = self._text[self._pos:end]
+        self._pos = end
+        for op, builder in ((">=", Ge), ("<=", Le)):
+            if op in body:
+                attribute, _, value = body.partition(op)
+                return builder(attribute.strip(), _convert(value.strip()))
+        if "=" not in body:
+            raise DirectoryError(f"filter component {body!r} has no operator")
+        attribute, _, value = body.partition("=")
+        attribute = attribute.strip()
+        value = value.strip()
+        if value == "*":
+            return Present(attribute)
+        if "*" in value:
+            return Substr(attribute, value.split("*"))
+        return Eq(attribute, _convert(value))
+
+    def _peek(self) -> str:
+        if self._pos >= len(self._text):
+            raise DirectoryError("unexpected end of filter")
+        return self._text[self._pos]
+
+    def _expect(self, char: str) -> None:
+        if self._peek() != char:
+            raise DirectoryError(f"expected {char!r} at position {self._pos}")
+        self._pos += 1
+
+
+def _convert(value: str) -> Any:
+    """Interpret numeric-looking filter values as numbers."""
+    try:
+        return int(value)
+    except ValueError:
+        pass
+    try:
+        return float(value)
+    except ValueError:
+        return value

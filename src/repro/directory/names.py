@@ -1,0 +1,129 @@
+"""Distinguished names for the X.500-style directory.
+
+A distinguished name (DN) is a sequence of relative distinguished names
+(RDNs), written little-endian like X.500/LDAP strings:
+``cn=Ana,ou=AC,o=UPC,c=ES`` — the leftmost RDN is the leaf, the rightmost
+hangs directly under the root.  Attribute types are case-insensitive;
+values keep their case but compare case-insensitively, matching X.500's
+caseIgnoreMatch for naming attributes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import total_ordering
+
+from repro.util.errors import NameError_
+
+
+@dataclass(frozen=True)
+@total_ordering
+class Rdn:
+    """One relative distinguished name: an attribute=value pair."""
+
+    attribute: str
+    value: str
+
+    def __post_init__(self) -> None:
+        if not self.attribute or not self.value:
+            raise NameError_("RDN attribute and value must be non-empty")
+        if "," in self.value or "=" in self.value:
+            raise NameError_(f"RDN value {self.value!r} contains reserved characters")
+
+    @staticmethod
+    def parse(text: str) -> "Rdn":
+        """Parse ``attr=value``."""
+        attribute, sep, value = text.partition("=")
+        if not sep:
+            raise NameError_(f"invalid RDN {text!r} (missing '=')")
+        return Rdn(attribute.strip().lower(), value.strip())
+
+    def normalized(self) -> tuple[str, str]:
+        """Case-normalized key used for comparisons."""
+        return (self.attribute.lower(), self.value.lower())
+
+    def __str__(self) -> str:
+        return f"{self.attribute}={self.value}"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Rdn):
+            return NotImplemented
+        return self.normalized() == other.normalized()
+
+    def __lt__(self, other: "Rdn") -> bool:
+        return self.normalized() < other.normalized()
+
+    def __hash__(self) -> int:
+        return hash(self.normalized())
+
+
+@dataclass(frozen=True)
+class DistinguishedName:
+    """An immutable sequence of RDNs, leaf first.
+
+    The empty DN (``DistinguishedName(())``) denotes the directory root.
+    """
+
+    rdns: tuple[Rdn, ...] = ()
+
+    @staticmethod
+    def parse(text: str) -> "DistinguishedName":
+        """Parse a string like ``cn=Ana,ou=AC,o=UPC,c=ES``.
+
+        An empty or whitespace-only string denotes the root.
+        """
+        stripped = text.strip()
+        if not stripped:
+            return DistinguishedName(())
+        parts = [p.strip() for p in stripped.split(",")]
+        return DistinguishedName(tuple(Rdn.parse(p) for p in parts))
+
+    @property
+    def is_root(self) -> bool:
+        """True for the empty (root) name."""
+        return not self.rdns
+
+    @property
+    def rdn(self) -> Rdn:
+        """The leaf RDN."""
+        if self.is_root:
+            raise NameError_("the root has no RDN")
+        return self.rdns[0]
+
+    def parent(self) -> "DistinguishedName":
+        """The name one level up (root's parent raises)."""
+        if self.is_root:
+            raise NameError_("the root has no parent")
+        return DistinguishedName(self.rdns[1:])
+
+    def child(self, rdn: Rdn | str) -> "DistinguishedName":
+        """The name of a child entry under this one."""
+        leaf = rdn if isinstance(rdn, Rdn) else Rdn.parse(rdn)
+        return DistinguishedName((leaf,) + self.rdns)
+
+    def is_descendant_of(self, ancestor: "DistinguishedName") -> bool:
+        """True when *ancestor* is a proper prefix (suffix-wise) of self."""
+        if len(self.rdns) <= len(ancestor.rdns):
+            return False
+        return self.rdns[len(self.rdns) - len(ancestor.rdns):] == ancestor.rdns
+
+    def depth(self) -> int:
+        """Number of RDNs (0 for the root)."""
+        return len(self.rdns)
+
+    def __str__(self) -> str:
+        return ",".join(str(r) for r in self.rdns)
+
+    def __lt__(self, other: "DistinguishedName") -> bool:
+        return tuple(r.normalized() for r in reversed(self.rdns)) < tuple(
+            r.normalized() for r in reversed(other.rdns)
+        )
+
+
+def dn(text: str) -> DistinguishedName:
+    """Shorthand for :meth:`DistinguishedName.parse`.
+
+    >>> dn("cn=Ana,o=UPC").depth()
+    2
+    """
+    return DistinguishedName.parse(text)

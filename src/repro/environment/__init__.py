@@ -1,0 +1,54 @@
+"""The CSCW environment — the paper's primary contribution (Figures 3-4).
+
+Common services (knowledge base, trader with organisational trading
+policy, interchange, activity services, expertise, tailoring), the four
+CSCW transparencies, application registration, and cooperation sessions.
+"""
+
+from repro.environment.awareness import AwarenessService, ColleagueInfo
+from repro.environment.environment import CSCWEnvironment, ExchangeOutcome
+from repro.environment.registry import (
+    Q_DIFFERENT_TIME_DIFFERENT_PLACE,
+    Q_DIFFERENT_TIME_SAME_PLACE,
+    Q_SAME_TIME_DIFFERENT_PLACE,
+    Q_SAME_TIME_SAME_PLACE,
+    QUADRANTS,
+    AppDescriptor,
+    ApplicationRegistry,
+)
+from repro.environment.server import EnvironmentClient, EnvironmentServer
+from repro.environment.session import CooperationSession, SessionMember
+from repro.environment.tailoring import (
+    LAYERS,
+    TailorableParameter,
+    TailoringService,
+)
+from repro.environment.transparency import (
+    CSCW_DIMENSIONS,
+    TransparencyProfile,
+    ViewRegistry,
+)
+
+__all__ = [
+    "AwarenessService",
+    "ColleagueInfo",
+    "CSCWEnvironment",
+    "ExchangeOutcome",
+    "Q_DIFFERENT_TIME_DIFFERENT_PLACE",
+    "Q_DIFFERENT_TIME_SAME_PLACE",
+    "Q_SAME_TIME_DIFFERENT_PLACE",
+    "Q_SAME_TIME_SAME_PLACE",
+    "QUADRANTS",
+    "AppDescriptor",
+    "ApplicationRegistry",
+    "EnvironmentClient",
+    "EnvironmentServer",
+    "CooperationSession",
+    "SessionMember",
+    "LAYERS",
+    "TailorableParameter",
+    "TailoringService",
+    "CSCW_DIMENSIONS",
+    "TransparencyProfile",
+    "ViewRegistry",
+]

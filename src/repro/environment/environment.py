@@ -1,0 +1,350 @@
+"""The CSCW environment facade — the paper's central artifact (Figure 3).
+
+*"A central aim of such environment is to provide interoperability
+between a variety of applications ensuring that CSCW applications can
+work in harmony rather than in isolation of each other."* (section 3)
+
+One :class:`CSCWEnvironment` aggregates the common services:
+
+* the **organisational knowledge base** (people, orgs, policies, rules),
+* the **activity services** (registry, dependencies, scheduler,
+  negotiation, resource coordination),
+* the **information services** (information base, interchange),
+* the **communication services** (communicators, log),
+* the **expertise registry**,
+* the **ODP trader** (with the org KB's trading policy installed —
+  section 6.1) and an **event bus**,
+* the **tailoring service** and the **view registry**.
+
+Applications integrate once (:meth:`register_application`) and then
+exchange documents through :meth:`exchange`, which applies the four CSCW
+transparencies per the caller's :class:`TransparencyProfile`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.activity.coordination import ResourceCoordinator
+from repro.activity.dependencies import DependencyGraph
+from repro.activity.model import Activity, ActivityRegistry
+from repro.activity.negotiation import NegotiationService
+from repro.activity.scheduler import ActivityScheduler
+from repro.communication.model import (
+    CommunicationContext,
+    CommunicationLog,
+    Communicator,
+    CommunicatorRegistry,
+    Exchange,
+)
+from repro.environment.registry import AppDescriptor, ApplicationRegistry, DeliveryCallback
+from repro.environment.tailoring import TailoringService
+from repro.environment.transparency import TransparencyProfile, ViewRegistry
+from repro.expertise.model import ExpertiseRegistry
+from repro.information.interchange import InterchangeService
+from repro.information.objects import InformationBase
+from repro.odp.trader import Trader
+from repro.org.knowledge_base import OrganisationalKnowledgeBase
+from repro.org.policy import INTERACTION_MESSAGE
+from repro.sim.world import World
+from repro.util.errors import InteropError, UnknownObjectError
+from repro.util.events import EventBus
+from repro.util.serialization import document_size
+
+
+@dataclass(frozen=True)
+class ExchangeOutcome:
+    """What happened to one cross-application exchange."""
+
+    delivered: bool
+    mode: str  # "synchronous" | "asynchronous" | "failed"
+    reason: str = ""
+    translated: bool = False
+    fidelity: float = 1.0
+    #: dimensions the environment handled on the caller's behalf
+    handled: tuple[str, ...] = ()
+
+
+class CSCWEnvironment:
+    """The shared environment mediating all open CSCW applications."""
+
+    def __init__(self, world: World, name: str = "mocca") -> None:
+        self.world = world
+        self.name = name
+        self.bus = EventBus()
+        self.knowledge_base = OrganisationalKnowledgeBase()
+        self.trader = Trader(f"{name}-trader", rng=world.rng.fork("trader"))
+        # Section 6.1: the org KB dictates the trading policy.
+        self.trader.add_policy_hook(self.knowledge_base.trader_policy_hook())
+        self.interchange = InterchangeService()
+        self.applications = ApplicationRegistry(self.interchange, self.trader)
+        self.activities = ActivityRegistry()
+        self.dependencies = DependencyGraph()
+        self.scheduler = ActivityScheduler(self.activities, self.dependencies, self.bus)
+        self.negotiations = NegotiationService(self.activities)
+        self.resources = ResourceCoordinator()
+        self.information = InformationBase()
+        self.communicators = CommunicatorRegistry()
+        self.communication_log = CommunicationLog()
+        self.expertise = ExpertiseRegistry()
+        self.tailoring = TailoringService()
+        self.views = ViewRegistry()
+        self.exchanges_attempted = 0
+        self.exchanges_failed = 0
+        #: store-and-forward queue: person -> [(app, document, info)]
+        self._pending_deliveries: dict[str, list[tuple[str, dict[str, Any], dict[str, Any]]]] = {}
+
+    # -- people ----------------------------------------------------------------
+    def register_person(self, communicator: Communicator) -> None:
+        """Register a person's communication endpoint with the environment."""
+        self.communicators.register(communicator)
+
+    def person_leaves(self, person_id: str) -> None:
+        """Mark a person absent; asynchronous exchanges to them queue."""
+        self.communicators.set_presence(person_id, False)
+
+    def person_arrives(self, person_id: str) -> int:
+        """Mark a person present and flush their queued deliveries.
+
+        Returns the number of deliveries flushed — the store-and-forward
+        half of time transparency: work done while you were away is
+        waiting when you return.
+        """
+        self.communicators.set_presence(person_id, True)
+        pending = self._pending_deliveries.pop(person_id, [])
+        for app_name, document, info in pending:
+            self.applications.deliver(app_name, person_id, document, info)
+        return len(pending)
+
+    def pending_for(self, person_id: str) -> int:
+        """Number of deliveries queued for an absent person."""
+        return len(self._pending_deliveries.get(person_id, []))
+
+    # -- applications ------------------------------------------------------------
+    def register_application(
+        self,
+        descriptor: AppDescriptor,
+        on_deliver: DeliveryCallback,
+        exporter_org: str = "",
+    ) -> None:
+        """One-step integration of an application (cost O(1) per app)."""
+        self.applications.register(descriptor, on_deliver, exporter_org=exporter_org)
+        self.bus.publish(
+            f"environment/applications/{descriptor.name}",
+            {"event": "registered", "quadrants": descriptor.quadrants},
+            source=self.name,
+            time=self.world.now,
+        )
+
+    # -- activities --------------------------------------------------------------
+    def create_activity(
+        self,
+        activity_id: str,
+        name: str,
+        members: dict[str, str] | None = None,
+        **kwargs: Any,
+    ) -> Activity:
+        """Create and register an activity, joining the given members."""
+        activity = self.activities.create(Activity(activity_id, name, **kwargs))
+        for person_id, role in (members or {}).items():
+            activity.join(person_id, role)
+        return activity
+
+    # -- the exchange primitive -----------------------------------------------------
+    def exchange(
+        self,
+        sender: str,
+        receiver: str,
+        sender_app: str,
+        receiver_app: str,
+        document: dict[str, Any],
+        activity_id: str = "",
+        profile: TransparencyProfile | None = None,
+        interaction: str = INTERACTION_MESSAGE,
+    ) -> ExchangeOutcome:
+        """Deliver *document* from one application's user to another's.
+
+        The environment applies each enabled transparency; a disabled
+        transparency whose dimension the exchange actually crosses makes
+        the exchange fail — quantifying exactly what each transparency
+        buys (experiment E4).
+        """
+        self.exchanges_attempted += 1
+        active = profile if profile is not None else TransparencyProfile.all_on()
+        handled: list[str] = []
+
+        # Membership check: activity-scoped exchanges require membership.
+        if activity_id:
+            activity = self.activities.get(activity_id)
+            for person in (sender, receiver):
+                if not activity.is_member(person):
+                    return self._fail(f"{person} is not a member of {activity_id}")
+
+        # 1. Organisation dimension.
+        try:
+            sender_org = self.knowledge_base.organisation_of(sender)
+            receiver_org = self.knowledge_base.organisation_of(receiver)
+        except UnknownObjectError:
+            sender_org = receiver_org = ""
+        if sender_org != receiver_org:
+            if not active.organisation:
+                return self._fail(
+                    f"cross-organisation exchange ({sender_org} -> {receiver_org}) "
+                    "with organisation transparency off"
+                )
+            if not self.knowledge_base.policies.compatible(
+                sender_org, receiver_org, interaction
+            ):
+                return self._fail(
+                    f"no compatible policy between {sender_org} and {receiver_org} "
+                    f"for {interaction}"
+                )
+            handled.append("organisation")
+
+        # 2. View (format) dimension.
+        translated = False
+        fidelity = 1.0
+        payload = dict(document)
+        sender_format = self.applications.descriptor(sender_app).format_name
+        receiver_format = self.applications.descriptor(receiver_app).format_name
+        if sender_format != receiver_format:
+            if not active.view:
+                return self._fail(
+                    f"format mismatch ({sender_format} -> {receiver_format}) "
+                    "with view transparency off"
+                )
+            try:
+                result = self.interchange.translate(sender_format, receiver_format, payload)
+            except InteropError as exc:
+                return self._fail(str(exc))
+            payload = result.document
+            fidelity = result.fidelity
+            translated = True
+            handled.append("view")
+
+        # 3. Time dimension.
+        try:
+            receiver_present = self.communicators.get(receiver).present
+        except UnknownObjectError:
+            receiver_present = False
+        if receiver_present:
+            mode = "synchronous"
+        else:
+            if not active.time:
+                return self._fail(
+                    f"receiver {receiver} absent with time transparency off"
+                )
+            mode = "asynchronous"
+            handled.append("time")
+
+        # 4. Activity dimension: scoped vs global event publication.
+        info = {
+            "sender": sender,
+            "sender_app": sender_app,
+            "mode": mode,
+            "fidelity": fidelity,
+            "activity": activity_id,
+        }
+        if active.activity and activity_id:
+            topic = f"activity/{activity_id}/exchange"
+            handled.append("activity")
+        else:
+            topic = "exchange"
+        self.bus.publish(topic, info, source=sender_app, time=self.world.now)
+
+        # Deliver into the receiving application — immediately when the
+        # receiver is present, queued for their return otherwise (true
+        # store-and-forward semantics).
+        rendered = self.views.render(receiver, payload)
+        if mode == "synchronous":
+            self.applications.deliver(receiver_app, receiver, rendered, info)
+        else:
+            self._pending_deliveries.setdefault(receiver, []).append(
+                (receiver_app, rendered, info)
+            )
+        self.communication_log.record(
+            Exchange(
+                sender=sender,
+                receiver=receiver,
+                mode=mode,
+                media="document",
+                size_bytes=document_size(payload),
+                time=self.world.now,
+                context=CommunicationContext(
+                    activity=activity_id, from_org=sender_org, to_org=receiver_org
+                ),
+            )
+        )
+        self.world.metrics.increment("env.exchange.delivered")
+        self.world.metrics.increment(f"env.exchange.{mode}")
+        return ExchangeOutcome(
+            delivered=True,
+            mode=mode,
+            translated=translated,
+            fidelity=fidelity,
+            handled=tuple(handled),
+        )
+
+    def _fail(self, reason: str) -> ExchangeOutcome:
+        self.exchanges_failed += 1
+        self.world.metrics.increment("env.exchange.failed")
+        return ExchangeOutcome(delivered=False, mode="failed", reason=reason)
+
+    def describe(self) -> dict[str, Any]:
+        """An inventory snapshot of the running environment.
+
+        Covers the registered applications (with their quadrants), people
+        and presence, activities by status, traded service types and
+        exchange counters — the administrator's view of Figure 3.
+        """
+        return {
+            "name": self.name,
+            "applications": self.applications.coverage_matrix(),
+            "people": {
+                c.person_id: {"node": c.node, "present": c.present}
+                for c in self.communicators.all()
+            },
+            "activities": {
+                a.activity_id: a.status.value for a in self.activities.all()
+            },
+            "service_offers": sorted(
+                {offer.service_type for offer in self.trader.offers()}
+            ),
+            "organisations": sorted(o.org_id for o in self.knowledge_base.organisations()),
+            "exchanges": {
+                "attempted": self.exchanges_attempted,
+                "failed": self.exchanges_failed,
+            },
+            "integration_cost": self.integration_cost(),
+            "interop_coverage": self.interop_coverage(),
+        }
+
+    # -- reporting ---------------------------------------------------------------
+    def interop_coverage(self) -> float:
+        """Fraction of ordered app pairs that can exchange documents.
+
+        In the environment world this is 1.0 as soon as every application
+        registers a converter — the quantified claim of Figure 3.
+        """
+        names = self.applications.names()
+        if len(names) < 2:
+            return 1.0
+        total = 0
+        reachable = 0
+        for a in names:
+            for b in names:
+                if a == b:
+                    continue
+                total += 1
+                fa = self.applications.descriptor(a).format_name
+                fb = self.applications.descriptor(b).format_name
+                if fa == fb or (
+                    self.interchange.is_registered(fa) and self.interchange.is_registered(fb)
+                ):
+                    reachable += 1
+        return reachable / total if total else 1.0
+
+    def integration_cost(self) -> int:
+        """Number of integration artifacts built: one converter per app."""
+        return self.interchange.converter_count()

@@ -1,0 +1,165 @@
+"""Tailorability: layered, run-time reconfiguration by users.
+
+Paper section 4, "Support for Tailorability": systems "need to be
+malleable and tailorable ... both by developers and users", with "the
+traditional divide between users and developers [becoming] less clear".
+
+The :class:`TailoringService` keeps configuration documents in four
+layers — system defaults, organisation, application, user — merged in that
+order so that *user settings override developer settings* (the paper's
+levelling of the divide).  Applications declare *tailorable parameters*
+with bounds; out-of-bounds values are rejected, and live listeners are
+notified so running sessions retailor without redeployment (experiment
+E7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.util.errors import TailoringError
+from repro.util.serialization import deep_merge
+
+#: configuration layers, lowest to highest precedence
+LAYERS = ("system", "organisation", "application", "user")
+
+ChangeListener = Callable[[str, dict[str, Any]], None]
+
+
+@dataclass(frozen=True)
+class TailorableParameter:
+    """One declared knob an application exposes to tailoring."""
+
+    path: str  # dotted path within the config document, e.g. "ui.font_size"
+    description: str = ""
+    #: permitted values (None = anything), or a (low, high) numeric range
+    choices: tuple[Any, ...] | None = None
+    numeric_range: tuple[float, float] | None = None
+
+    def validate(self, value: Any) -> None:
+        """Raise :class:`TailoringError` when *value* is out of bounds."""
+        if self.choices is not None and value not in self.choices:
+            raise TailoringError(
+                f"{self.path}: {value!r} not in {list(self.choices)}"
+            )
+        if self.numeric_range is not None:
+            low, high = self.numeric_range
+            if not isinstance(value, (int, float)) or not low <= value <= high:
+                raise TailoringError(
+                    f"{self.path}: {value!r} outside [{low}, {high}]"
+                )
+
+
+def _set_path(document: dict[str, Any], path: str, value: Any) -> dict[str, Any]:
+    """Return a nested dict setting dotted *path* to *value*."""
+    parts = path.split(".")
+    result: dict[str, Any] = {}
+    current = result
+    for part in parts[:-1]:
+        current[part] = {}
+        current = current[part]
+    current[parts[-1]] = value
+    return deep_merge(document, result)
+
+
+def _get_path(document: dict[str, Any], path: str, default: Any = None) -> Any:
+    current: Any = document
+    for part in path.split("."):
+        if not isinstance(current, dict) or part not in current:
+            return default
+        current = current[part]
+    return current
+
+
+class TailoringService:
+    """Layered configuration with declared parameters and live listeners."""
+
+    def __init__(self) -> None:
+        #: (app, layer, subject) -> config document; subject is the org or
+        #: user id for those layers, "" otherwise
+        self._configs: dict[tuple[str, str, str], dict[str, Any]] = {}
+        self._parameters: dict[str, dict[str, TailorableParameter]] = {}
+        self._listeners: dict[str, list[ChangeListener]] = {}
+        self.retailorings = 0
+        self.rejected = 0
+
+    # -- declarations --------------------------------------------------------
+    def declare(self, app: str, parameter: TailorableParameter) -> None:
+        """Declare a tailorable parameter of an application."""
+        per_app = self._parameters.setdefault(app, {})
+        if parameter.path in per_app:
+            raise TailoringError(f"{app}: parameter {parameter.path!r} already declared")
+        per_app[parameter.path] = parameter
+
+    def parameters_of(self, app: str) -> list[TailorableParameter]:
+        """All declared parameters of an application ('the toolkit')."""
+        return [self._parameters.get(app, {})[p] for p in sorted(self._parameters.get(app, {}))]
+
+    # -- configuration ---------------------------------------------------------
+    def set_default(self, app: str, config: dict[str, Any]) -> None:
+        """Install the developer's system-layer defaults."""
+        self._configs[(app, "system", "")] = dict(config)
+
+    def tailor(
+        self,
+        app: str,
+        path: str,
+        value: Any,
+        layer: str = "user",
+        subject: str = "",
+    ) -> None:
+        """Set one declared parameter at a layer (the tailoring operation).
+
+        Users and developers use the *same* operation — only the layer
+        differs — which is exactly the paper's claim about their powers.
+        """
+        if layer not in LAYERS:
+            raise TailoringError(f"unknown layer {layer!r}")
+        if layer in ("user", "organisation") and not subject:
+            raise TailoringError(f"layer {layer!r} needs a subject (who is tailoring)")
+        parameter = self._parameters.get(app, {}).get(path)
+        if parameter is None:
+            self.rejected += 1
+            raise TailoringError(f"{app}: {path!r} is not a tailorable parameter")
+        try:
+            parameter.validate(value)
+        except TailoringError:
+            self.rejected += 1
+            raise
+        key = (app, layer, subject if layer in ("user", "organisation") else "")
+        current = self._configs.get(key, {})
+        self._configs[key] = _set_path(current, path, value)
+        self.retailorings += 1
+        self._notify(app, self.effective_config(app, user=subject if layer == "user" else ""))
+
+    # -- resolution ---------------------------------------------------------------
+    def effective_config(self, app: str, user: str = "", organisation: str = "") -> dict[str, Any]:
+        """Merge layers lowest-to-highest for one user's session."""
+        merged: dict[str, Any] = {}
+        for layer in LAYERS:
+            if layer == "user":
+                subject = user
+            elif layer == "organisation":
+                subject = organisation
+            else:
+                subject = ""
+            config = self._configs.get((app, layer, subject))
+            if config:
+                merged = deep_merge(merged, config)
+        return merged
+
+    def effective_value(
+        self, app: str, path: str, user: str = "", organisation: str = "", default: Any = None
+    ) -> Any:
+        """Resolve one parameter for one user."""
+        return _get_path(self.effective_config(app, user, organisation), path, default)
+
+    # -- live retailoring -----------------------------------------------------------
+    def on_change(self, app: str, listener: ChangeListener) -> None:
+        """Register a live listener (running sessions subscribe here)."""
+        self._listeners.setdefault(app, []).append(listener)
+
+    def _notify(self, app: str, config: dict[str, Any]) -> None:
+        for listener in self._listeners.get(app, []):
+            listener(app, config)

@@ -1,0 +1,37 @@
+"""The User Expertise Model (paper section 5).
+
+Capabilities (individual skills) versus responsibilities (imposed by the
+organisation), per-person profiles, and matching/staffing services.
+"""
+
+from repro.expertise.matching import (
+    MatchScore,
+    SkillRequirement,
+    find_expert,
+    rank_candidates,
+    score_profile,
+    staff_activity,
+)
+from repro.expertise.model import (
+    MAX_LEVEL,
+    MIN_LEVEL,
+    Capability,
+    ExpertiseProfile,
+    ExpertiseRegistry,
+    Responsibility,
+)
+
+__all__ = [
+    "MatchScore",
+    "SkillRequirement",
+    "find_expert",
+    "rank_candidates",
+    "score_profile",
+    "staff_activity",
+    "MAX_LEVEL",
+    "MIN_LEVEL",
+    "Capability",
+    "ExpertiseProfile",
+    "ExpertiseRegistry",
+    "Responsibility",
+]

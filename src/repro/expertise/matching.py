@@ -1,0 +1,132 @@
+"""Capability matching: finding the right people for cooperative work.
+
+The expertise model exists "for use by the environment and other systems"
+(paper section 5) — concretely: rank candidates for a task, and staff a
+whole activity by assigning people to requirements while balancing load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.expertise.model import ExpertiseProfile, ExpertiseRegistry
+from repro.util.errors import ConfigurationError, ModelError
+
+
+@dataclass(frozen=True)
+class SkillRequirement:
+    """One skill a task needs, at a minimum level."""
+
+    skill: str
+    min_level: int = 1
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ConfigurationError("weight must be positive")
+
+
+@dataclass(frozen=True)
+class MatchScore:
+    """How well a person fits a requirement set."""
+
+    person_id: str
+    score: float
+    met: int
+    unmet: int
+
+    @property
+    def qualified(self) -> bool:
+        """True when every requirement is met."""
+        return self.unmet == 0
+
+
+def score_profile(profile: ExpertiseProfile, requirements: list[SkillRequirement]) -> MatchScore:
+    """Score one profile against the requirements.
+
+    Each met requirement contributes ``weight * level / min_level`` (being
+    above the bar earns proportional credit); unmet requirements
+    contribute nothing and are counted.
+    """
+    if not requirements:
+        raise ConfigurationError("at least one requirement is needed")
+    score = 0.0
+    met = 0
+    unmet = 0
+    for requirement in requirements:
+        level = profile.level_of(requirement.skill)
+        if level >= requirement.min_level:
+            met += 1
+            score += requirement.weight * level / requirement.min_level
+        else:
+            unmet += 1
+    return MatchScore(profile.person_id, score, met, unmet)
+
+
+def rank_candidates(
+    registry: ExpertiseRegistry,
+    requirements: list[SkillRequirement],
+    qualified_only: bool = False,
+) -> list[MatchScore]:
+    """Rank all known people against the requirements, best first.
+
+    Ties break by lighter current workload, then by person id.
+    """
+    scores = [score_profile(profile, requirements) for profile in registry.all()]
+    if qualified_only:
+        scores = [s for s in scores if s.qualified]
+    scores.sort(
+        key=lambda s: (-s.score, registry.get(s.person_id).workload(), s.person_id)
+    )
+    return scores
+
+
+def find_expert(
+    registry: ExpertiseRegistry, skill: str, min_level: int = 1
+) -> ExpertiseProfile:
+    """The single best person for one skill.
+
+    Raises :class:`ModelError` when nobody qualifies.
+    """
+    candidates = registry.with_skill(skill, min_level)
+    if not candidates:
+        raise ModelError(f"nobody has {skill!r} at level >= {min_level}")
+    candidates.sort(key=lambda p: (-p.level_of(skill), p.workload(), p.person_id))
+    return candidates[0]
+
+
+def staff_activity(
+    registry: ExpertiseRegistry,
+    requirements: list[SkillRequirement],
+    max_per_person: int = 2,
+) -> dict[str, str]:
+    """Assign a person to every requirement (skill -> person id).
+
+    Greedy by requirement difficulty (hardest first), balancing load by
+    never giving one person more than *max_per_person* assignments when an
+    alternative exists.  Raises :class:`ModelError` when a requirement
+    cannot be staffed at all.
+    """
+    assignments: dict[str, str] = {}
+    load: dict[str, int] = {}
+    ordered = sorted(requirements, key=lambda r: (-r.min_level, r.skill))
+    for requirement in ordered:
+        candidates = registry.with_skill(requirement.skill, requirement.min_level)
+        if not candidates:
+            raise ModelError(
+                f"cannot staff {requirement.skill!r} at level >= {requirement.min_level}"
+            )
+        candidates.sort(
+            key=lambda p: (
+                load.get(p.person_id, 0),
+                -p.level_of(requirement.skill),
+                p.person_id,
+            )
+        )
+        preferred = [
+            c for c in candidates if load.get(c.person_id, 0) < max_per_person
+        ]
+        chosen = (preferred or candidates)[0]
+        assignments[requirement.skill] = chosen.person_id
+        load[chosen.person_id] = load.get(chosen.person_id, 0) + 1
+    return assignments

@@ -1,0 +1,61 @@
+"""The Information Model (paper section 5).
+
+Versioned information objects with composition/derivation relationships,
+role-based access control, shared workspaces with optimistic concurrency,
+and the common-form interchange service that gives N applications full
+interoperability from N converters.
+"""
+
+from repro.information.access import (
+    EVERYONE,
+    OP_DELETE,
+    OP_READ,
+    OP_SHARE,
+    OP_WRITE,
+    OPERATIONS,
+    AccessControlList,
+    AccessController,
+    owner_acl,
+    private_acl,
+)
+from repro.information.interchange import (
+    COMMON_KEYS,
+    FormatConverter,
+    InterchangeService,
+    TranslationResult,
+    is_common,
+    make_common,
+)
+from repro.information.objects import InformationBase, InformationObject, Version
+from repro.information.sharing import (
+    Checkout,
+    ConflictError,
+    SharedWorkspace,
+    SharingPattern,
+)
+
+__all__ = [
+    "EVERYONE",
+    "OP_DELETE",
+    "OP_READ",
+    "OP_SHARE",
+    "OP_WRITE",
+    "OPERATIONS",
+    "AccessControlList",
+    "AccessController",
+    "owner_acl",
+    "private_acl",
+    "COMMON_KEYS",
+    "FormatConverter",
+    "InterchangeService",
+    "TranslationResult",
+    "is_common",
+    "make_common",
+    "InformationBase",
+    "InformationObject",
+    "Version",
+    "Checkout",
+    "ConflictError",
+    "SharedWorkspace",
+    "SharingPattern",
+]

@@ -1,0 +1,144 @@
+"""Interchange of information between applications.
+
+This module is the heart of the paper's openness argument (sections 3-4):
+"services for the access and exchange of information between CSCW and
+non-CSCW applications".  Each application registers a *format converter*
+that maps its native documents to/from a shared **common form**; the
+:class:`InterchangeService` then translates any registered format to any
+other in at most two hops (native -> common -> native).
+
+The baseline world (:mod:`repro.baselines`) instead builds pairwise ad-hoc
+gateways — experiment E2 measures the O(N) vs O(N^2) difference that
+motivates the environment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.util.errors import ConfigurationError, InteropError
+
+ToCommon = Callable[[dict[str, Any]], dict[str, Any]]
+FromCommon = Callable[[dict[str, Any]], dict[str, Any]]
+
+#: required keys in the common form
+COMMON_KEYS = ("kind", "title", "body", "attributes")
+
+
+def make_common(kind: str, title: str, body: str, **attributes: Any) -> dict[str, Any]:
+    """Construct a well-formed common-form document.
+
+    >>> doc = make_common("note", "minutes", "we met", author="ana")
+    >>> doc["attributes"]["author"]
+    'ana'
+    """
+    return {"kind": kind, "title": title, "body": body, "attributes": dict(attributes)}
+
+
+def is_common(document: dict[str, Any]) -> bool:
+    """True when the document carries all common-form keys."""
+    return all(key in document for key in COMMON_KEYS)
+
+
+@dataclass(frozen=True)
+class FormatConverter:
+    """One application format's bridge to the common form."""
+
+    format_name: str
+    to_common: ToCommon
+    from_common: FromCommon
+    #: how much structure survives the native->common mapping, in (0, 1]
+    fidelity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.fidelity <= 1.0:
+            raise ConfigurationError("fidelity must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class TranslationResult:
+    """Outcome of a cross-format translation."""
+
+    document: dict[str, Any]
+    source_format: str
+    target_format: str
+    fidelity: float
+    hops: int
+
+
+class InterchangeService:
+    """Translates documents between registered application formats."""
+
+    def __init__(self) -> None:
+        self._converters: dict[str, FormatConverter] = {}
+        self.translations = 0
+        self.failures = 0
+
+    def register(self, converter: FormatConverter) -> None:
+        """Register an application format (one per format name)."""
+        if converter.format_name in self._converters:
+            raise ConfigurationError(
+                f"format {converter.format_name!r} already registered"
+            )
+        self._converters[converter.format_name] = converter
+
+    def formats(self) -> list[str]:
+        """All registered format names, sorted."""
+        return sorted(self._converters)
+
+    def is_registered(self, format_name: str) -> bool:
+        """True when the format has a converter."""
+        return format_name in self._converters
+
+    def converter_count(self) -> int:
+        """Number of converters the environment needed — O(N)."""
+        return len(self._converters)
+
+    def _converter(self, format_name: str) -> FormatConverter:
+        try:
+            return self._converters[format_name]
+        except KeyError:
+            self.failures += 1
+            raise InteropError(f"no converter registered for {format_name!r}") from None
+
+    def to_common(self, format_name: str, document: dict[str, Any]) -> dict[str, Any]:
+        """Lift a native document to the common form (validating it)."""
+        converter = self._converter(format_name)
+        common = converter.to_common(document)
+        if not is_common(common):
+            self.failures += 1
+            raise InteropError(
+                f"converter {format_name!r} produced a malformed common document "
+                f"(missing keys from {COMMON_KEYS})"
+            )
+        return common
+
+    def translate(
+        self, source_format: str, target_format: str, document: dict[str, Any]
+    ) -> TranslationResult:
+        """Translate a native document between two registered formats."""
+        if source_format == target_format:
+            self.translations += 1
+            return TranslationResult(dict(document), source_format, target_format, 1.0, 0)
+        source = self._converter(source_format)
+        target = self._converter(target_format)
+        common = self.to_common(source_format, document)
+        native = target.from_common(common)
+        self.translations += 1
+        return TranslationResult(
+            document=native,
+            source_format=source_format,
+            target_format=target_format,
+            fidelity=source.fidelity * target.fidelity,
+            hops=2,
+        )
+
+    def reachable_pairs(self) -> int:
+        """Number of ordered format pairs the service can translate.
+
+        With N registered formats this is N*(N-1): full interoperability
+        from N converters — the paper's Figure 3 world.
+        """
+        n = len(self._converters)
+        return n * (n - 1)

@@ -1,0 +1,87 @@
+"""X.400-style message handling system: envelopes, MTAs, stores, UAs.
+
+The paper (section 4): "Traditionally, communication support for CSCW
+systems has been provided by asynchronous OSI communication standards such
+as X.400."  This package provides that substrate — P1 envelopes and P2
+interpersonal messages, multi-media body parts with a conversion matrix,
+store-and-forward MTAs with routing/trace/reports, message stores and user
+agents — all running on the simulator.
+"""
+
+from repro.messaging.body_parts import (
+    CONVERSION_FIDELITY,
+    MEDIA_BINARY,
+    MEDIA_FAX,
+    MEDIA_PAPER,
+    MEDIA_TEXT,
+    MEDIA_VOICE,
+    BodyPart,
+    binary_body,
+    can_convert,
+    conversion_fidelity,
+    convert,
+    fax_body,
+    text_body,
+    voice_body,
+)
+from repro.messaging.envelope import (
+    PRIORITY_LOW,
+    PRIORITY_NORMAL,
+    PRIORITY_URGENT,
+    Envelope,
+    InterpersonalMessage,
+    TraceEntry,
+)
+from repro.messaging.message_store import MessageStore, StoredMessage
+from repro.messaging.mta import MHS_PORT, MessageTransferAgent
+from repro.messaging.names import OrName, or_name
+from repro.messaging.reports import (
+    REASON_HOP_LIMIT,
+    REASON_NO_ROUTE,
+    REASON_TRANSFER_FAILURE,
+    REASON_UNKNOWN_RECIPIENT,
+    DeliveryReport,
+    NonDeliveryReport,
+    report_from_document,
+)
+from repro.messaging.routing import Route, RoutingTable
+from repro.messaging.ua import UserAgent
+
+__all__ = [
+    "CONVERSION_FIDELITY",
+    "MEDIA_BINARY",
+    "MEDIA_FAX",
+    "MEDIA_PAPER",
+    "MEDIA_TEXT",
+    "MEDIA_VOICE",
+    "BodyPart",
+    "binary_body",
+    "can_convert",
+    "conversion_fidelity",
+    "convert",
+    "fax_body",
+    "text_body",
+    "voice_body",
+    "PRIORITY_LOW",
+    "PRIORITY_NORMAL",
+    "PRIORITY_URGENT",
+    "Envelope",
+    "InterpersonalMessage",
+    "TraceEntry",
+    "MessageStore",
+    "StoredMessage",
+    "MHS_PORT",
+    "MessageTransferAgent",
+    "OrName",
+    "or_name",
+    "REASON_HOP_LIMIT",
+    "REASON_NO_ROUTE",
+    "REASON_TRANSFER_FAILURE",
+    "REASON_UNKNOWN_RECIPIENT",
+    "DeliveryReport",
+    "NonDeliveryReport",
+    "report_from_document",
+    "Route",
+    "RoutingTable",
+    "UserAgent",
+]

@@ -1,0 +1,133 @@
+"""Multi-media body parts for interpersonal messages.
+
+The paper requires "support for a wide range of media, including telefax
+and where applicable paper communication" and "interchange across
+communication media" (section 4).  Body parts carry a media type, an
+estimated wire size, and participate in a conversion matrix used by the
+communication model's interchange service: fax pages can be rendered from
+text, voice transcribed to text (lossy), and anything can be printed to
+paper (an exit from the electronic system).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.util.errors import MessagingError
+
+#: media types understood by the interchange service
+MEDIA_TEXT = "text"
+MEDIA_FAX = "fax"
+MEDIA_VOICE = "voice"
+MEDIA_BINARY = "binary"
+MEDIA_PAPER = "paper"
+
+
+@dataclass(frozen=True)
+class BodyPart:
+    """One body part: a media type plus its content document."""
+
+    media: str
+    content: dict[str, Any] = field(default_factory=dict)
+
+    def size_bytes(self) -> int:
+        """Estimated wire size used to charge network transmission."""
+        if self.media == MEDIA_TEXT:
+            return len(str(self.content.get("text", "")).encode("utf-8"))
+        if self.media == MEDIA_FAX:
+            return int(self.content.get("pages", 1)) * 30_000
+        if self.media == MEDIA_VOICE:
+            return int(self.content.get("duration_s", 1)) * 8_000
+        if self.media == MEDIA_PAPER:
+            return 0  # paper does not travel over the network
+        return int(self.content.get("size", 256))
+
+    def to_document(self) -> dict[str, Any]:
+        """Serialize for envelopes."""
+        return {"media": self.media, "content": dict(self.content)}
+
+    @staticmethod
+    def from_document(document: dict[str, Any]) -> "BodyPart":
+        """Deserialize from envelope form."""
+        return BodyPart(document["media"], dict(document.get("content", {})))
+
+
+def text_body(text: str) -> BodyPart:
+    """A plain text body part."""
+    return BodyPart(MEDIA_TEXT, {"text": text})
+
+
+def fax_body(pages: int, summary: str = "") -> BodyPart:
+    """A telefax body part of *pages* raster pages."""
+    if pages < 1:
+        raise MessagingError("a fax needs at least one page")
+    return BodyPart(MEDIA_FAX, {"pages": pages, "summary": summary})
+
+
+def voice_body(duration_s: float, transcript: str = "") -> BodyPart:
+    """A voice recording body part."""
+    if duration_s <= 0:
+        raise MessagingError("voice duration must be positive")
+    return BodyPart(MEDIA_VOICE, {"duration_s": duration_s, "transcript": transcript})
+
+
+def binary_body(size: int, description: str = "") -> BodyPart:
+    """An opaque binary body part."""
+    return BodyPart(MEDIA_BINARY, {"size": size, "description": description})
+
+
+#: (source media -> target media) -> conversion fidelity in (0, 1];
+#: absent pairs are not convertible.  Identity conversions are implicit.
+CONVERSION_FIDELITY: dict[tuple[str, str], float] = {
+    (MEDIA_TEXT, MEDIA_FAX): 1.0,     # render text onto fax pages
+    (MEDIA_TEXT, MEDIA_PAPER): 1.0,   # print
+    (MEDIA_FAX, MEDIA_PAPER): 1.0,    # print
+    (MEDIA_FAX, MEDIA_TEXT): 0.7,     # OCR, lossy
+    (MEDIA_VOICE, MEDIA_TEXT): 0.6,   # transcription, lossy
+    (MEDIA_VOICE, MEDIA_PAPER): 0.6,  # transcribe then print
+    (MEDIA_BINARY, MEDIA_PAPER): 0.3, # hex dump; technically paper
+}
+
+
+def can_convert(source: str, target: str) -> bool:
+    """True when the interchange service can convert source -> target."""
+    if source == target:
+        return True
+    return (source, target) in CONVERSION_FIDELITY
+
+
+def conversion_fidelity(source: str, target: str) -> float:
+    """Fidelity of converting source -> target (1.0 for identity)."""
+    if source == target:
+        return 1.0
+    try:
+        return CONVERSION_FIDELITY[(source, target)]
+    except KeyError:
+        raise MessagingError(f"no conversion from {source!r} to {target!r}") from None
+
+
+def convert(part: BodyPart, target: str) -> BodyPart:
+    """Convert a body part to the target media.
+
+    The converted content records provenance (original media and the
+    fidelity of the conversion) so tests and experiments can audit loss.
+    """
+    if part.media == target:
+        return part
+    fidelity = conversion_fidelity(part.media, target)
+    converted: dict[str, Any] = {
+        "converted_from": part.media,
+        "fidelity": fidelity,
+    }
+    if part.media == MEDIA_TEXT and target == MEDIA_FAX:
+        text = str(part.content.get("text", ""))
+        converted["pages"] = max(1, len(text) // 2000 + 1)
+        converted["summary"] = text[:64]
+    elif part.media == MEDIA_FAX and target == MEDIA_TEXT:
+        converted["text"] = str(part.content.get("summary", ""))
+    elif part.media == MEDIA_VOICE and target in (MEDIA_TEXT, MEDIA_PAPER):
+        converted["text"] = str(part.content.get("transcript", ""))
+    elif target == MEDIA_PAPER:
+        converted["rendering"] = f"printout of {part.media}"
+    return BodyPart(target, converted)

@@ -1,0 +1,160 @@
+"""P1 envelopes and P2 interpersonal message content.
+
+X.400 separates the *envelope* (P1: addressing, priority, trace) from the
+*content* (P2: the interpersonal message a user reads — heading plus body
+parts).  MTAs look only at envelopes; user agents author and read content.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.messaging.body_parts import BodyPart
+from repro.messaging.names import OrName
+from repro.util.errors import MessagingError
+
+#: envelope priorities, ordered
+PRIORITY_LOW = "low"
+PRIORITY_NORMAL = "normal"
+PRIORITY_URGENT = "urgent"
+_PRIORITIES = (PRIORITY_LOW, PRIORITY_NORMAL, PRIORITY_URGENT)
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One hop recorded in the envelope as it moves between MTAs."""
+
+    mta: str
+    arrival_time: float
+
+
+@dataclass
+class InterpersonalMessage:
+    """P2 content: heading fields plus an ordered list of body parts."""
+
+    ipm_id: str
+    subject: str
+    body_parts: list[BodyPart] = field(default_factory=list)
+    in_reply_to: str = ""
+    importance: str = "normal"
+    #: ask the receiving UA to confirm when the user reads the message
+    receipt_requested: bool = False
+    #: semi-structured heading extensions (Object-Lens-style typed fields)
+    extensions: dict[str, Any] = field(default_factory=dict)
+
+    def to_document(self) -> dict[str, Any]:
+        """Serialize for transport."""
+        return {
+            "ipm_id": self.ipm_id,
+            "subject": self.subject,
+            "body_parts": [p.to_document() for p in self.body_parts],
+            "in_reply_to": self.in_reply_to,
+            "importance": self.importance,
+            "receipt_requested": self.receipt_requested,
+            "extensions": dict(self.extensions),
+        }
+
+    @staticmethod
+    def from_document(document: dict[str, Any]) -> "InterpersonalMessage":
+        """Deserialize from transport form."""
+        return InterpersonalMessage(
+            ipm_id=document["ipm_id"],
+            subject=document.get("subject", ""),
+            body_parts=[BodyPart.from_document(d) for d in document.get("body_parts", [])],
+            in_reply_to=document.get("in_reply_to", ""),
+            importance=document.get("importance", "normal"),
+            receipt_requested=document.get("receipt_requested", False),
+            extensions=dict(document.get("extensions", {})),
+        )
+
+    def total_size(self) -> int:
+        """Wire size of all body parts plus a heading allowance."""
+        return 256 + sum(part.size_bytes() for part in self.body_parts)
+
+
+@dataclass
+class Envelope:
+    """P1 envelope: what MTAs route on."""
+
+    message_id: str
+    originator: OrName
+    recipients: list[OrName]
+    content: InterpersonalMessage
+    priority: str = PRIORITY_NORMAL
+    delivery_report_requested: bool = False
+    deferred_until: float | None = None
+    max_hops: int = 8
+    trace: list[TraceEntry] = field(default_factory=list)
+    #: distribution lists already expanded for this message (loop control)
+    expanded_lists: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.recipients:
+            raise MessagingError("an envelope needs at least one recipient")
+        if self.priority not in _PRIORITIES:
+            raise MessagingError(f"unknown priority {self.priority!r}")
+
+    def hop_count(self) -> int:
+        """Number of MTAs the envelope has traversed."""
+        return len(self.trace)
+
+    def stamp(self, mta: str, time: float) -> None:
+        """Record a hop through *mta*."""
+        self.trace.append(TraceEntry(mta, time))
+
+    def visited(self, mta: str) -> bool:
+        """True when *mta* already appears in the trace (loop check)."""
+        return any(entry.mta == mta for entry in self.trace)
+
+    def size_bytes(self) -> int:
+        """Wire size for network transmission charging."""
+        return 128 + len(self.recipients) * 64 + self.content.total_size()
+
+    def for_single_recipient(self, recipient: OrName) -> "Envelope":
+        """A copy of this envelope addressed to one recipient (splitting)."""
+        return Envelope(
+            message_id=self.message_id,
+            originator=self.originator,
+            recipients=[recipient],
+            content=self.content,
+            priority=self.priority,
+            delivery_report_requested=self.delivery_report_requested,
+            deferred_until=self.deferred_until,
+            max_hops=self.max_hops,
+            trace=list(self.trace),
+            expanded_lists=list(self.expanded_lists),
+        )
+
+    def to_document(self) -> dict[str, Any]:
+        """Serialize for transport between MTAs."""
+        return {
+            "message_id": self.message_id,
+            "originator": self.originator.to_document(),
+            "recipients": [r.to_document() for r in self.recipients],
+            "content": self.content.to_document(),
+            "priority": self.priority,
+            "delivery_report_requested": self.delivery_report_requested,
+            "deferred_until": self.deferred_until,
+            "max_hops": self.max_hops,
+            "trace": [{"mta": t.mta, "arrival_time": t.arrival_time} for t in self.trace],
+            "expanded_lists": list(self.expanded_lists),
+        }
+
+    @staticmethod
+    def from_document(document: dict[str, Any]) -> "Envelope":
+        """Deserialize from transport form."""
+        return Envelope(
+            message_id=document["message_id"],
+            originator=OrName.from_document(document["originator"]),
+            recipients=[OrName.from_document(d) for d in document["recipients"]],
+            content=InterpersonalMessage.from_document(document["content"]),
+            priority=document.get("priority", PRIORITY_NORMAL),
+            delivery_report_requested=document.get("delivery_report_requested", False),
+            deferred_until=document.get("deferred_until"),
+            max_hops=document.get("max_hops", 8),
+            trace=[
+                TraceEntry(t["mta"], t["arrival_time"]) for t in document.get("trace", [])
+            ],
+            expanded_lists=list(document.get("expanded_lists", [])),
+        )

@@ -1,0 +1,327 @@
+"""Message Transfer Agents: store-and-forward routing of envelopes.
+
+Each MTA serves one or more routing domains, holds the message store for
+its local mailboxes, and relays foreign envelopes to peer MTAs according
+to its routing table.  Transfers retry on timeout (store-and-forward must
+survive transient outages); final failures, unknown recipients, missing
+routes and hop-limit violations produce non-delivery reports back to the
+originator.  Delivery reports are generated when the envelope asks for
+one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.messaging.envelope import (
+    PRIORITY_LOW,
+    PRIORITY_NORMAL,
+    PRIORITY_URGENT,
+    Envelope,
+    InterpersonalMessage,
+)
+from repro.messaging.message_store import MessageStore, StoredMessage
+from repro.messaging.names import OrName
+from repro.messaging.reports import (
+    REASON_HOP_LIMIT,
+    REASON_NO_ROUTE,
+    REASON_TRANSFER_FAILURE,
+    REASON_UNKNOWN_RECIPIENT,
+    DeliveryReport,
+    NonDeliveryReport,
+)
+from repro.messaging.routing import RoutingTable
+from repro.sim.transport import RequestReply
+from repro.sim.world import World
+from repro.util.errors import MessagingError, NoRouteError
+from repro.util.ids import IdFactory
+
+DeliveryHook = Callable[[str, StoredMessage], None]
+
+#: RPC port MTAs and their clients use
+MHS_PORT = "mhs"
+
+#: per-hop processing delay (seconds) by envelope priority: urgent mail
+#: jumps the queue, low-priority mail waits for quiet periods
+PRIORITY_DELAYS = {
+    PRIORITY_URGENT: 0.0,
+    PRIORITY_NORMAL: 0.05,
+    PRIORITY_LOW: 1.0,
+}
+
+
+class MessageTransferAgent:
+    """One MTA bound to a simulated node."""
+
+    def __init__(
+        self,
+        world: World,
+        node: str,
+        name: str,
+        domains: list[tuple[str, str, str]],
+        transfer_retry_s: float = 2.0,
+        transfer_attempts: int = 4,
+    ) -> None:
+        self._world = world
+        self.node = node
+        self.name = name
+        self._domains = {tuple(d.lower() for d in domain) for domain in domains}
+        self.routing = RoutingTable()
+        self.store = MessageStore()
+        self._peers: dict[str, str] = {}
+        self._mailboxes: set[str] = set()
+        #: mailbox key -> distribution list members (AMIGO-style group
+        #: communication: a message to the list fans out to all members)
+        self._dlists: dict[str, list[OrName]] = {}
+        self._ids = IdFactory(width=6)
+        self._retry_s = transfer_retry_s
+        self._attempts = transfer_attempts
+        self._delivery_hooks: list[DeliveryHook] = []
+        self._report_hooks: list[Callable[[dict[str, Any]], None]] = []
+        self.relayed = 0
+        self.delivered = 0
+        self.reports_issued = 0
+        self.rpc = RequestReply(world.network, node, port=MHS_PORT)
+        self.rpc.serve("submit", self._op_submit)
+        self.rpc.serve("transfer", self._op_transfer)
+        self.rpc.serve("register", self._op_register)
+        self.rpc.serve("list", self._op_list)
+        self.rpc.serve("fetch", self._op_fetch)
+        self.rpc.serve("delete", self._op_delete)
+
+    # -- configuration ----------------------------------------------------
+    def add_peer(self, name: str, node: str) -> None:
+        """Teach this MTA where a peer MTA lives."""
+        if name == self.name:
+            raise MessagingError("an MTA cannot peer with itself")
+        self._peers[name] = node
+
+    def register_mailbox(self, user: OrName) -> None:
+        """Register a local mailbox (idempotent)."""
+        if user.routing_domain not in self._domains:
+            raise MessagingError(
+                f"{user} is not in MTA {self.name!r}'s domains {sorted(self._domains)}"
+            )
+        if user.mailbox in self._dlists:
+            raise MessagingError(
+                f"{user.mailbox!r} names a distribution list, not a mailbox"
+            )
+        self._mailboxes.add(user.mailbox)
+
+    def has_mailbox(self, mailbox: str) -> bool:
+        """True when the mailbox is registered locally."""
+        return mailbox in self._mailboxes
+
+    def create_distribution_list(self, list_name: OrName, members: list[OrName]) -> None:
+        """Create a distribution list served by this MTA.
+
+        The list has an O/R name in one of this MTA's domains; messages
+        addressed to it are expanded to all members (who may live
+        anywhere) and re-routed.  Nested lists are allowed; expansion
+        history on the envelope prevents loops.
+        """
+        if list_name.routing_domain not in self._domains:
+            raise MessagingError(
+                f"list {list_name} is not in MTA {self.name!r}'s domains"
+            )
+        if not members:
+            raise MessagingError("a distribution list needs at least one member")
+        if list_name.mailbox in self._mailboxes:
+            raise MessagingError(
+                f"mailbox {list_name.mailbox!r} already exists; cannot be a list"
+            )
+        self._dlists[list_name.mailbox] = list(members)
+
+    def list_members(self, list_name: OrName) -> list[OrName]:
+        """Members of a local distribution list."""
+        try:
+            return list(self._dlists[list_name.mailbox])
+        except KeyError:
+            raise MessagingError(f"no distribution list {list_name}") from None
+
+    def add_delivery_hook(self, hook: DeliveryHook) -> None:
+        """Call *hook*(mailbox, stored) on every local delivery."""
+        self._delivery_hooks.append(hook)
+
+    def add_report_hook(self, hook: "Callable[[dict[str, Any]], None]") -> None:
+        """Call *hook*(report_document) whenever this MTA issues a report.
+
+        Gives operators an audit stream even for reports that later prove
+        undeliverable themselves (which are dropped, never re-reported).
+        """
+        self._report_hooks.append(hook)
+
+    def serves_domain(self, domain: tuple[str, str, str]) -> bool:
+        """True when this MTA is responsible for the routing domain."""
+        return tuple(d.lower() for d in domain) in self._domains
+
+    # -- RPC operation handlers --------------------------------------------
+    def _op_submit(self, body: dict[str, Any]) -> dict[str, Any]:
+        envelope = Envelope.from_document(body)
+        self.accept(envelope)
+        return {"accepted": envelope.message_id}
+
+    def _op_transfer(self, body: dict[str, Any]) -> dict[str, Any]:
+        envelope = Envelope.from_document(body)
+        self.accept(envelope)
+        return {"accepted": envelope.message_id}
+
+    def _op_register(self, body: dict[str, Any]) -> bool:
+        self.register_mailbox(OrName.from_document(body["user"]))
+        return True
+
+    def _op_list(self, body: dict[str, Any]) -> list[dict[str, Any]]:
+        return self.store.summary_documents(
+            body["mailbox"], unread_only=body.get("unread_only", False)
+        )
+
+    def _op_fetch(self, body: dict[str, Any]) -> dict[str, Any]:
+        stored = self.store.fetch(body["mailbox"], body["sequence"])
+        return {
+            "sequence": stored.sequence,
+            "delivered_at": stored.delivered_at,
+            "envelope": stored.envelope.to_document(),
+        }
+
+    def _op_delete(self, body: dict[str, Any]) -> bool:
+        self.store.delete(body["mailbox"], body["sequence"])
+        return True
+
+    # -- transfer machinery -----------------------------------------------
+    def accept(self, envelope: Envelope) -> None:
+        """Accept an envelope for processing (from a UA or a peer MTA).
+
+        Deferred envelopes wait for their release time; otherwise the
+        envelope pays a per-hop processing delay determined by its
+        priority (urgent mail jumps the queue).
+        """
+        if envelope.deferred_until is not None and envelope.deferred_until > self._world.now:
+            delay = envelope.deferred_until - self._world.now
+            self._world.engine.schedule(delay, lambda: self._process(envelope), label="deferred")
+            return
+        processing = PRIORITY_DELAYS.get(envelope.priority, PRIORITY_DELAYS[PRIORITY_NORMAL])
+        if processing > 0:
+            self._world.engine.schedule(
+                processing, lambda: self._process(envelope), label="mta-processing"
+            )
+        else:
+            self._process(envelope)
+
+    def _process(self, envelope: Envelope) -> None:
+        if envelope.visited(self.name) or envelope.hop_count() >= envelope.max_hops:
+            self._non_deliver(envelope, REASON_HOP_LIMIT, f"at {self.name}")
+            return
+        envelope.stamp(self.name, self._world.now)
+        for recipient in list(envelope.recipients):
+            single = envelope.for_single_recipient(recipient)
+            self._route_single(single)
+
+    def _route_single(self, envelope: Envelope) -> None:
+        recipient = envelope.recipients[0]
+        if self.serves_domain(recipient.routing_domain):
+            self._deliver_local(envelope, recipient)
+            return
+        try:
+            hop = self.routing.next_hop(recipient.routing_domain)
+        except NoRouteError:
+            self._non_deliver(envelope, REASON_NO_ROUTE, str(recipient.routing_domain))
+            return
+        node = self._peers.get(hop)
+        if node is None:
+            self._non_deliver(envelope, REASON_NO_ROUTE, f"unknown peer {hop!r}")
+            return
+        self._transfer(envelope, node, attempt=1)
+
+    def _deliver_local(self, envelope: Envelope, recipient: OrName) -> None:
+        if recipient.mailbox in self._dlists:
+            self._expand_list(envelope, recipient)
+            return
+        if recipient.mailbox not in self._mailboxes:
+            self._non_deliver(envelope, REASON_UNKNOWN_RECIPIENT, recipient.mailbox)
+            return
+        stored = self.store.deliver(recipient.mailbox, envelope, self._world.now)
+        self.delivered += 1
+        for hook in self._delivery_hooks:
+            hook(recipient.mailbox, stored)
+        if envelope.delivery_report_requested:
+            report = DeliveryReport(
+                subject_message_id=envelope.message_id,
+                recipient=str(recipient),
+                delivered_at=self._world.now,
+            )
+            self._send_report(envelope, report.to_document())
+
+    def _expand_list(self, envelope: Envelope, list_name: OrName) -> None:
+        """Fan a list-addressed message out to the members."""
+        key = f"{self.name}:{list_name.mailbox}"
+        if key in envelope.expanded_lists:
+            return  # already expanded once for this message: loop control
+        for member in self._dlists[list_name.mailbox]:
+            expanded = envelope.for_single_recipient(member)
+            expanded.expanded_lists.append(key)
+            self._route_single(expanded)
+
+    def _transfer(self, envelope: Envelope, node: str, attempt: int) -> None:
+        self.relayed += 1
+
+        def on_timeout() -> None:
+            if attempt >= self._attempts:
+                self._non_deliver(
+                    envelope, REASON_TRANSFER_FAILURE, f"{attempt} attempts to {node}"
+                )
+                return
+            self._world.engine.schedule(
+                self._retry_s,
+                lambda: self._transfer(envelope, node, attempt + 1),
+                label="mta-retry",
+            )
+
+        self.rpc.request(
+            node,
+            "transfer",
+            envelope.to_document(),
+            on_reply=lambda reply: None,
+            timeout_s=self._retry_s,
+            on_timeout=on_timeout,
+            size_bytes=envelope.size_bytes(),
+        )
+
+    # -- reports ---------------------------------------------------------------
+    def postmaster(self) -> OrName:
+        """The O/R name reports originate from at this MTA."""
+        country, admd, prmd = sorted(self._domains)[0]
+        return OrName(
+            country=country or "xx",
+            admd=admd,
+            prmd=prmd or "mhs",
+            surname=f"postmaster-{self.name}",
+        )
+
+    def _non_deliver(self, envelope: Envelope, reason: str, diagnostic: str) -> None:
+        # Never report about a report: that way lies mail loops.
+        if envelope.content.extensions.get("report"):
+            return
+        report = NonDeliveryReport(
+            subject_message_id=envelope.message_id,
+            recipient=str(envelope.recipients[0]),
+            reason=reason,
+            diagnostic=diagnostic,
+        )
+        self._send_report(envelope, report.to_document())
+
+    def _send_report(self, subject: Envelope, report_document: dict[str, Any]) -> None:
+        self.reports_issued += 1
+        for hook in self._report_hooks:
+            hook(dict(report_document))
+        content = InterpersonalMessage(
+            ipm_id=self._ids.next("report"),
+            subject=f"Report on {subject.message_id}",
+            extensions=report_document,
+        )
+        report_envelope = Envelope(
+            message_id=self._ids.next(f"{self.name}-rpt"),
+            originator=self.postmaster(),
+            recipients=[subject.originator],
+            content=content,
+        )
+        self.accept(report_envelope)

@@ -1,0 +1,110 @@
+"""O/R (Originator/Recipient) names for the message handling system.
+
+X.400 addresses users by attribute lists rather than flat strings.  We keep
+the attributes that matter for routing and directory lookup: country,
+ADMD (administration domain), PRMD (private domain — typically the
+organisation), organisational units, and personal name parts.
+
+The *routing domain* of an O/R name — ``(country, admd, prmd)`` — is what
+MTAs route on; the personal parts select the mailbox within the domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import MessagingError
+
+
+@dataclass(frozen=True)
+class OrName:
+    """An X.400-style originator/recipient name."""
+
+    country: str
+    admd: str
+    prmd: str
+    surname: str
+    given_name: str = ""
+    organizational_units: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.country or not self.prmd or not self.surname:
+            raise MessagingError("O/R name needs at least country, prmd and surname")
+
+    @property
+    def routing_domain(self) -> tuple[str, str, str]:
+        """The (country, admd, prmd) triple MTAs route on."""
+        return (self.country.lower(), self.admd.lower(), self.prmd.lower())
+
+    @property
+    def mailbox(self) -> str:
+        """The within-domain mailbox key."""
+        parts = [self.given_name.lower(), self.surname.lower()]
+        return ".".join(p for p in parts if p)
+
+    def __str__(self) -> str:
+        attributes = [f"C={self.country}", f"A={self.admd}", f"P={self.prmd}"]
+        attributes.extend(f"OU={ou}" for ou in self.organizational_units)
+        if self.given_name:
+            attributes.append(f"G={self.given_name}")
+        attributes.append(f"S={self.surname}")
+        return ";".join(attributes)
+
+    @staticmethod
+    def parse(text: str) -> "OrName":
+        """Parse the ``C=..;A=..;P=..;OU=..;G=..;S=..`` form."""
+        fields: dict[str, str] = {}
+        org_units: list[str] = []
+        for part in text.split(";"):
+            key, sep, value = part.partition("=")
+            if not sep:
+                raise MessagingError(f"invalid O/R name component {part!r}")
+            key = key.strip().upper()
+            value = value.strip()
+            if key == "OU":
+                org_units.append(value)
+            else:
+                fields[key] = value
+        try:
+            return OrName(
+                country=fields["C"],
+                admd=fields.get("A", ""),
+                prmd=fields["P"],
+                surname=fields["S"],
+                given_name=fields.get("G", ""),
+                organizational_units=tuple(org_units),
+            )
+        except KeyError as missing:
+            raise MessagingError(f"O/R name {text!r} is missing {missing}") from None
+
+    def to_document(self) -> dict:
+        """Serialize for envelopes."""
+        return {
+            "country": self.country,
+            "admd": self.admd,
+            "prmd": self.prmd,
+            "surname": self.surname,
+            "given_name": self.given_name,
+            "organizational_units": list(self.organizational_units),
+        }
+
+    @staticmethod
+    def from_document(document: dict) -> "OrName":
+        """Deserialize from envelope form."""
+        return OrName(
+            country=document["country"],
+            admd=document.get("admd", ""),
+            prmd=document["prmd"],
+            surname=document["surname"],
+            given_name=document.get("given_name", ""),
+            organizational_units=tuple(document.get("organizational_units", ())),
+        )
+
+
+def or_name(text: str) -> OrName:
+    """Shorthand for :meth:`OrName.parse`.
+
+    >>> or_name("C=ES;A= ;P=UPC;G=Ana;S=Lopez").mailbox
+    'ana.lopez'
+    """
+    return OrName.parse(text)

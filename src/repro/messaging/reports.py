@@ -1,0 +1,76 @@
+"""Delivery and non-delivery reports.
+
+After attempting delivery an MTA generates a report back to the
+originator: a :class:`DeliveryReport` when the envelope requested one, or
+a :class:`NonDeliveryReport` on failure (no route, unknown recipient, hop
+limit).  Reports travel as ordinary messages whose content carries the
+report document, so they need no special transfer machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+#: non-delivery reason codes
+REASON_NO_ROUTE = "no-route"
+REASON_UNKNOWN_RECIPIENT = "unknown-recipient"
+REASON_HOP_LIMIT = "hop-limit-exceeded"
+REASON_TRANSFER_FAILURE = "transfer-failure"
+
+
+@dataclass(frozen=True)
+class DeliveryReport:
+    """Positive confirmation: the message reached the recipient's store."""
+
+    subject_message_id: str
+    recipient: str
+    delivered_at: float
+
+    def to_document(self) -> dict[str, Any]:
+        """Serialize as message content extensions."""
+        return {
+            "report": "delivery",
+            "subject_message_id": self.subject_message_id,
+            "recipient": self.recipient,
+            "delivered_at": self.delivered_at,
+        }
+
+
+@dataclass(frozen=True)
+class NonDeliveryReport:
+    """Negative report: the message could not be delivered."""
+
+    subject_message_id: str
+    recipient: str
+    reason: str
+    diagnostic: str = ""
+
+    def to_document(self) -> dict[str, Any]:
+        """Serialize as message content extensions."""
+        return {
+            "report": "non-delivery",
+            "subject_message_id": self.subject_message_id,
+            "recipient": self.recipient,
+            "reason": self.reason,
+            "diagnostic": self.diagnostic,
+        }
+
+
+def report_from_document(document: dict[str, Any]) -> "DeliveryReport | NonDeliveryReport | None":
+    """Reconstruct a report from message extensions (None when not a report)."""
+    kind = document.get("report")
+    if kind == "delivery":
+        return DeliveryReport(
+            subject_message_id=document["subject_message_id"],
+            recipient=document["recipient"],
+            delivered_at=document["delivered_at"],
+        )
+    if kind == "non-delivery":
+        return NonDeliveryReport(
+            subject_message_id=document["subject_message_id"],
+            recipient=document["recipient"],
+            reason=document["reason"],
+            diagnostic=document.get("diagnostic", ""),
+        )
+    return None

@@ -1,0 +1,164 @@
+"""User Agents: authoring, submission and retrieval of messages.
+
+A user agent lives on the user's workstation node, holds the user's O/R
+name, and speaks to its home MTA over the simulated network: ``submit``
+for outgoing mail, ``list``/``fetch``/``delete`` against the message
+store for incoming mail.  Synchronous convenience methods run the world
+until the RPC completes, mirroring the DUA style.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.messaging.body_parts import BodyPart, text_body
+from repro.messaging.envelope import PRIORITY_NORMAL, Envelope, InterpersonalMessage
+from repro.messaging.mta import MHS_PORT
+from repro.messaging.names import OrName
+from repro.messaging.reports import report_from_document
+from repro.sim.transport import RequestReply
+from repro.sim.world import World
+from repro.util.errors import MessagingError
+from repro.util.ids import IdFactory
+
+
+class UserAgent:
+    """One user's messaging endpoint."""
+
+    def __init__(self, world: World, node: str, user: OrName, mta_node: str) -> None:
+        self._world = world
+        self.node = node
+        self.user = user
+        self._mta_node = mta_node
+        self._ids = IdFactory(width=6)
+        # Distinct port per mailbox: several UAs may share a workstation.
+        self._rpc = RequestReply(world.network, node, port=f"{MHS_PORT}-ua-{user.mailbox}")
+        self.submitted = 0
+
+    # -- plumbing -------------------------------------------------------------
+    def _call(self, operation: str, body: dict[str, Any], size_bytes: int = 256) -> Any:
+        outcome: dict[str, Any] = {}
+        self._rpc.request(
+            self._mta_node,
+            operation,
+            body,
+            on_reply=lambda reply: outcome.__setitem__("reply", reply),
+            timeout_s=10.0,
+            on_timeout=lambda: outcome.__setitem__("error", "timeout"),
+            size_bytes=size_bytes,
+            server_port=MHS_PORT,
+        )
+        while "reply" not in outcome and "error" not in outcome:
+            if not self._world.engine.step():
+                break
+        if "error" in outcome:
+            raise MessagingError(f"{operation} failed: {outcome['error']}")
+        reply = outcome.get("reply")
+        if isinstance(reply, dict) and "error" in reply:
+            raise MessagingError(f"{operation} failed: {reply['error']}")
+        return reply
+
+    # -- outgoing -------------------------------------------------------------
+    def register(self) -> None:
+        """Register this user's mailbox at the home MTA."""
+        self._call("register", {"user": self.user.to_document()})
+
+    def compose(
+        self,
+        recipients: list[OrName],
+        subject: str,
+        body: "list[BodyPart] | str",
+        in_reply_to: str = "",
+        extensions: dict[str, Any] | None = None,
+        priority: str = PRIORITY_NORMAL,
+        delivery_report: bool = False,
+        deferred_until: float | None = None,
+        receipt_requested: bool = False,
+    ) -> Envelope:
+        """Build an envelope ready for submission."""
+        parts = [text_body(body)] if isinstance(body, str) else list(body)
+        content = InterpersonalMessage(
+            ipm_id=self._ids.next(f"ipm-{self.user.mailbox}"),
+            subject=subject,
+            body_parts=parts,
+            in_reply_to=in_reply_to,
+            receipt_requested=receipt_requested,
+            extensions=dict(extensions or {}),
+        )
+        return Envelope(
+            message_id=self._ids.next(f"msg-{self.user.mailbox}"),
+            originator=self.user,
+            recipients=list(recipients),
+            content=content,
+            priority=priority,
+            delivery_report_requested=delivery_report,
+            deferred_until=deferred_until,
+        )
+
+    def submit(self, envelope: Envelope) -> str:
+        """Submit an envelope to the home MTA; returns the message id."""
+        reply = self._call("submit", envelope.to_document(), size_bytes=envelope.size_bytes())
+        self.submitted += 1
+        return reply["accepted"]
+
+    def send(
+        self,
+        recipients: list[OrName],
+        subject: str,
+        body: "list[BodyPart] | str",
+        **kwargs: Any,
+    ) -> str:
+        """Compose and submit in one step."""
+        return self.submit(self.compose(recipients, subject, body, **kwargs))
+
+    # -- incoming -------------------------------------------------------------
+    def list_inbox(self, unread_only: bool = False) -> list[dict[str, Any]]:
+        """Summaries of messages in this user's mailbox."""
+        return self._call(
+            "list", {"mailbox": self.user.mailbox, "unread_only": unread_only}
+        )
+
+    def fetch(self, sequence: int) -> Envelope:
+        """Fetch (and mark read) one message by sequence number.
+
+        When the message asks for a read receipt, one is sent back to the
+        originator automatically (a P2-level receipt notification, as
+        distinct from the MTA-level delivery report).
+        """
+        reply = self._call("fetch", {"mailbox": self.user.mailbox, "sequence": sequence})
+        envelope = Envelope.from_document(reply["envelope"])
+        if envelope.content.receipt_requested and not envelope.content.extensions.get("receipt"):
+            self.send(
+                [envelope.originator],
+                f"Read: {envelope.content.subject}",
+                "",
+                extensions={
+                    "receipt": "read",
+                    "subject_ipm": envelope.content.ipm_id,
+                    "reader": str(self.user),
+                },
+            )
+        return envelope
+
+    def read_receipts(self) -> list[dict[str, Any]]:
+        """Fetch all unread read-receipt notifications, marking them read."""
+        receipts = []
+        for summary in self.list_inbox(unread_only=True):
+            envelope = self.fetch(summary["sequence"])
+            if envelope.content.extensions.get("receipt") == "read":
+                receipts.append(dict(envelope.content.extensions))
+        return receipts
+
+    def delete(self, sequence: int) -> None:
+        """Delete one message from the store."""
+        self._call("delete", {"mailbox": self.user.mailbox, "sequence": sequence})
+
+    def unread_reports(self) -> list[Any]:
+        """Fetch all unread report messages (DR/NDR), marking them read."""
+        reports = []
+        for summary in self.list_inbox(unread_only=True):
+            envelope = self.fetch(summary["sequence"])
+            report = report_from_document(envelope.content.extensions)
+            if report is not None:
+                reports.append(report)
+        return reports

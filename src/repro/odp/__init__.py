@@ -1,0 +1,93 @@
+"""RM-ODP platform substrate: viewpoints, objects, bindings, trader.
+
+Implements the Open Distributed Processing concepts the paper builds on
+(section 6): the five viewpoints with consistency checks, computational
+objects and interfaces, engineering capsules and channels, the trader with
+pluggable trading policy, distribution transparencies as binder
+interceptors, federated naming, and QoS monitoring.
+"""
+
+from repro.odp.binding import Binder, BindingFactory, Channel, Interceptor, Invocation, Stub
+from repro.odp.naming import NamingContext, NamingDomain
+from repro.odp.node_mgmt import ODP_PORT, Capsule
+from repro.odp.objects import (
+    ComputationalObject,
+    InterfaceRef,
+    InterfaceSignature,
+    OperationSpec,
+    signature,
+)
+from repro.odp.qos import MESSAGING_QOS, REALTIME_QOS, QoSMonitor, QoSSpec
+from repro.odp.reflection import conformance_errors, describe_deployment
+from repro.odp.trader import (
+    Constraint,
+    ImportContext,
+    ServiceOffer,
+    Trader,
+    constraints_from,
+)
+from repro.odp.transparencies import (
+    TRANSPARENCY_NAMES,
+    AccessTransparency,
+    FailureTransparency,
+    LocationTransparency,
+    MigrationTransparency,
+    Relocator,
+    ReplicationTransparency,
+    TransparencySelection,
+)
+from repro.odp.viewpoints import (
+    ComputationalSpec,
+    DeonticModality,
+    EngineeringSpec,
+    EnterpriseSpec,
+    InformationSpec,
+    OdpSystemSpec,
+    PolicyStatement,
+    TechnologySpec,
+)
+
+__all__ = [
+    "Binder",
+    "BindingFactory",
+    "Channel",
+    "Interceptor",
+    "Invocation",
+    "Stub",
+    "NamingContext",
+    "NamingDomain",
+    "ODP_PORT",
+    "Capsule",
+    "ComputationalObject",
+    "InterfaceRef",
+    "InterfaceSignature",
+    "OperationSpec",
+    "signature",
+    "MESSAGING_QOS",
+    "REALTIME_QOS",
+    "QoSMonitor",
+    "QoSSpec",
+    "conformance_errors",
+    "describe_deployment",
+    "Constraint",
+    "ImportContext",
+    "ServiceOffer",
+    "Trader",
+    "constraints_from",
+    "TRANSPARENCY_NAMES",
+    "AccessTransparency",
+    "FailureTransparency",
+    "LocationTransparency",
+    "MigrationTransparency",
+    "Relocator",
+    "ReplicationTransparency",
+    "TransparencySelection",
+    "ComputationalSpec",
+    "DeonticModality",
+    "EngineeringSpec",
+    "EnterpriseSpec",
+    "InformationSpec",
+    "OdpSystemSpec",
+    "PolicyStatement",
+    "TechnologySpec",
+]

@@ -1,0 +1,133 @@
+"""Naming contexts and federated naming domains.
+
+ODP systems span administrative domains; interface references need names
+that survive federation.  A :class:`NamingContext` is a hierarchical
+name-to-reference map (``/``-separated paths); a :class:`NamingDomain`
+owns one root context and can federate with other domains, resolving
+names of the form ``other-domain:/path/in/other``.
+
+The CSCW environment stores well-known service names here (and richer,
+attribute-searchable data in the X.500-style directory).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.odp.objects import InterfaceRef
+from repro.util.errors import ConfigurationError, NameError_
+
+
+class NamingContext:
+    """A hierarchical mapping of path names to interface references."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._bindings: dict[str, InterfaceRef] = {}
+        self._children: dict[str, "NamingContext"] = {}
+
+    def bind(self, path: str, ref: InterfaceRef) -> None:
+        """Bind *path* (e.g. ``services/mail/ua``) to a reference."""
+        context, leaf = self._descend(path, create=True)
+        if leaf in context._bindings:
+            raise ConfigurationError(f"name {path!r} already bound")
+        context._bindings[leaf] = ref
+
+    def rebind(self, path: str, ref: InterfaceRef) -> None:
+        """Bind *path*, replacing any existing binding."""
+        context, leaf = self._descend(path, create=True)
+        context._bindings[leaf] = ref
+
+    def unbind(self, path: str) -> None:
+        """Remove the binding at *path*."""
+        context, leaf = self._descend(path, create=False)
+        if leaf not in context._bindings:
+            raise NameError_(f"name {path!r} is not bound")
+        del context._bindings[leaf]
+
+    def resolve(self, path: str) -> InterfaceRef:
+        """Look up the reference bound at *path*."""
+        context, leaf = self._descend(path, create=False)
+        try:
+            return context._bindings[leaf]
+        except KeyError:
+            raise NameError_(f"name {path!r} is not bound") from None
+
+    def list_names(self, prefix: str = "") -> list[str]:
+        """All bound paths under *prefix*, sorted."""
+        return sorted(self._walk(prefix))
+
+    def _walk(self, prefix: str) -> Iterator[str]:
+        base = self
+        if prefix:
+            for part in prefix.split("/"):
+                child = base._children.get(part)
+                if child is None:
+                    return
+                base = child
+        yield from base._iterate(prefix)
+
+    def _iterate(self, at: str) -> Iterator[str]:
+        for leaf in self._bindings:
+            yield f"{at}/{leaf}" if at else leaf
+        for name, child in self._children.items():
+            yield from child._iterate(f"{at}/{name}" if at else name)
+
+    def _descend(self, path: str, create: bool) -> tuple["NamingContext", str]:
+        parts = [p for p in path.split("/") if p]
+        if not parts:
+            raise NameError_(f"invalid empty path {path!r}")
+        context = self
+        for part in parts[:-1]:
+            child = context._children.get(part)
+            if child is None:
+                if not create:
+                    raise NameError_(f"no context {part!r} while resolving {path!r}")
+                child = NamingContext(part)
+                context._children[part] = child
+            context = child
+        return context, parts[-1]
+
+
+class NamingDomain:
+    """One administrative domain's naming, with federation.
+
+    Names are either local paths (``services/mail``) or federated
+    (``gmd:/services/mail``), where the prefix before ``:/`` names a
+    federated domain.
+    """
+
+    def __init__(self, name: str) -> None:
+        if not name or ":" in name:
+            raise ConfigurationError("domain name must be non-empty and contain no ':'")
+        self.name = name
+        self.root = NamingContext(name)
+        self._federated: dict[str, "NamingDomain"] = {}
+
+    def federate(self, other: "NamingDomain") -> None:
+        """Make *other*'s names resolvable as ``other.name:/path``."""
+        if other.name == self.name:
+            raise ConfigurationError("cannot federate a domain with itself")
+        if other.name in self._federated:
+            raise ConfigurationError(f"already federated with {other.name!r}")
+        self._federated[other.name] = other
+
+    def federated_domains(self) -> list[str]:
+        """Names of federated domains, sorted."""
+        return sorted(self._federated)
+
+    def resolve(self, name: str) -> InterfaceRef:
+        """Resolve a local or federated name to a reference."""
+        if ":/" in name:
+            domain_name, _, path = name.partition(":/")
+            domain = self._federated.get(domain_name)
+            if domain is None:
+                raise NameError_(f"unknown federated domain {domain_name!r}")
+            return domain.root.resolve(path)
+        return self.root.resolve(name)
+
+    def bind(self, name: str, ref: InterfaceRef) -> None:
+        """Bind a local name (federated names are bound by their owner)."""
+        if ":/" in name:
+            raise NameError_("cannot bind into a federated domain")
+        self.root.bind(name, ref)

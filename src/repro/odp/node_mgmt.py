@@ -1,0 +1,83 @@
+"""Engineering viewpoint: capsules hosting computational objects.
+
+A :class:`Capsule` is the engineering-viewpoint container (RM-ODP nucleus +
+capsule collapsed into one class) that activates computational objects on a
+simulated node, dispatches remote invocations to them, and supports
+migrating an object to another capsule — the mechanism under migration
+transparency (:mod:`repro.odp.transparencies`).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.odp.objects import ComputationalObject, InterfaceRef
+from repro.sim.network import Network
+from repro.sim.transport import RequestReply
+from repro.util.errors import BindingError, ConfigurationError
+
+#: RPC port shared by all ODP capsules
+ODP_PORT = "odp"
+
+
+class Capsule:
+    """Hosts computational objects on one node and serves invocations.
+
+    The capsule exposes a single RPC operation, ``invoke``, whose body names
+    the target object, interface, operation and arguments.  Objects are
+    deployed with :meth:`deploy`, which returns the interface references
+    clients bind to.
+    """
+
+    def __init__(self, network: Network, node: str) -> None:
+        self._network = network
+        self.node = node
+        self._objects: dict[str, ComputationalObject] = {}
+        self.rpc = RequestReply(network, node, port=ODP_PORT)
+        self.rpc.serve("invoke", self._handle_invoke)
+        self.dispatched = 0
+
+    def deploy(self, obj: ComputationalObject) -> dict[str, InterfaceRef]:
+        """Activate *obj* in this capsule; return refs per interface name."""
+        if obj.object_id in self._objects:
+            raise ConfigurationError(f"object {obj.object_id!r} already deployed on {self.node}")
+        self._objects[obj.object_id] = obj
+        return {
+            sig.name: InterfaceRef(self.node, obj.object_id, sig.name)
+            for sig in obj.interfaces()
+        }
+
+    def withdraw(self, object_id: str) -> ComputationalObject:
+        """Deactivate an object and return it (e.g. to migrate it)."""
+        try:
+            return self._objects.pop(object_id)
+        except KeyError:
+            raise BindingError(f"object {object_id!r} not deployed on {self.node}") from None
+
+    def hosts(self, object_id: str) -> bool:
+        """True when the object is currently deployed here."""
+        return object_id in self._objects
+
+    def object_ids(self) -> list[str]:
+        """Ids of all deployed objects, sorted."""
+        return sorted(self._objects)
+
+    def local_object(self, object_id: str) -> ComputationalObject:
+        """Direct access to a deployed object (tests, co-located calls)."""
+        try:
+            return self._objects[object_id]
+        except KeyError:
+            raise BindingError(f"object {object_id!r} not deployed on {self.node}") from None
+
+    def migrate_to(self, object_id: str, target: "Capsule") -> dict[str, InterfaceRef]:
+        """Move an object to *target*; return its new interface refs."""
+        obj = self.withdraw(object_id)
+        return target.deploy(obj)
+
+    def _handle_invoke(self, body: dict[str, Any]) -> Any:
+        object_id = body["object_id"]
+        obj = self._objects.get(object_id)
+        if obj is None:
+            raise BindingError(f"object {object_id!r} not found on node {self.node!r}")
+        self.dispatched += 1
+        return obj.invoke(body["interface"], body["operation"], body.get("arguments", {}))

@@ -1,0 +1,184 @@
+"""Computational viewpoint: objects, interfaces and operations.
+
+RM-ODP's computational viewpoint structures a system as objects that
+interact only through typed interfaces.  An :class:`InterfaceSignature`
+declares the operations an interface offers; a :class:`ComputationalObject`
+implements one or more interfaces by binding Python callables to operation
+names; an :class:`InterfaceRef` is a location-dependent handle that the
+engineering layer (bindings, trader) passes around.
+
+The paper (section 6.1) treats the computational viewpoint as ODP's
+"central matter"; the CSCW environment is itself built from these objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.util.errors import BindingError, ConfigurationError
+
+Operation = Callable[[dict[str, Any]], Any]
+
+
+@dataclass(frozen=True)
+class OperationSpec:
+    """Declaration of one operation on an interface."""
+
+    name: str
+    description: str = ""
+    #: names of expected argument keys; empty tuple = unchecked
+    parameters: tuple[str, ...] = ()
+    #: operations marked one-way get no reply (announcement semantics)
+    one_way: bool = False
+
+    def check_arguments(self, arguments: dict[str, Any]) -> None:
+        """Validate an argument document against the declared parameters.
+
+        Declared-parameter operations reject missing and unknown keys;
+        operations declared without parameters accept anything (the
+        common loosely-typed document style).
+        """
+        if not self.parameters:
+            return
+        declared = set(self.parameters)
+        provided = set(arguments)
+        missing = declared - provided
+        if missing:
+            raise BindingError(
+                f"operation {self.name!r} missing arguments {sorted(missing)}"
+            )
+        unknown = provided - declared
+        if unknown:
+            raise BindingError(
+                f"operation {self.name!r} got unknown arguments {sorted(unknown)}"
+            )
+
+
+@dataclass(frozen=True)
+class InterfaceSignature:
+    """The type of an interface: a named set of operations.
+
+    Signatures support structural subtyping: ``a.subsumes(b)`` is True when
+    an object offering ``a`` can serve clients expecting ``b``.
+    """
+
+    name: str
+    operations: tuple[OperationSpec, ...] = ()
+
+    def operation(self, name: str) -> OperationSpec:
+        """Look up one operation spec by name."""
+        for op in self.operations:
+            if op.name == name:
+                return op
+        raise ConfigurationError(f"interface {self.name!r} has no operation {name!r}")
+
+    def operation_names(self) -> list[str]:
+        """All operation names, in declaration order."""
+        return [op.name for op in self.operations]
+
+    def subsumes(self, other: "InterfaceSignature") -> bool:
+        """True when this signature offers every operation of *other*."""
+        mine = {op.name for op in self.operations}
+        return all(op.name in mine for op in other.operations)
+
+
+def signature(name: str, *operations: str) -> InterfaceSignature:
+    """Shorthand to declare a signature from bare operation names.
+
+    >>> sig = signature("printer", "submit", "status")
+    >>> sig.operation_names()
+    ['submit', 'status']
+    """
+    return InterfaceSignature(name, tuple(OperationSpec(op) for op in operations))
+
+
+@dataclass(frozen=True)
+class InterfaceRef:
+    """A resolvable reference to one interface instance somewhere.
+
+    ``node`` names the engineering node (capsule) hosting the object;
+    ``object_id``/``interface`` select the interface within the capsule.
+    References are plain values — they can be traded, stored in the
+    directory, or embedded in messages.
+    """
+
+    node: str
+    object_id: str
+    interface: str
+
+    @property
+    def address(self) -> str:
+        """Stable dotted address used on the wire."""
+        return f"{self.node}/{self.object_id}.{self.interface}"
+
+
+class ComputationalObject:
+    """An object offering operations through declared interfaces.
+
+    Implementations register a handler per operation.  The object is
+    deliberately passive: activation/deployment onto a node is the
+    engineering layer's job (:mod:`repro.odp.node_mgmt`).
+    """
+
+    def __init__(self, object_id: str) -> None:
+        if not object_id:
+            raise ConfigurationError("object_id must be non-empty")
+        self.object_id = object_id
+        self._interfaces: dict[str, InterfaceSignature] = {}
+        self._handlers: dict[tuple[str, str], Operation] = {}
+        self.invocations = 0
+
+    def offer(self, sig: InterfaceSignature, implementation: dict[str, Operation]) -> None:
+        """Offer interface *sig*, implemented by the given handlers.
+
+        Every operation in the signature must be implemented; extra
+        handlers not named in the signature are rejected.
+        """
+        if sig.name in self._interfaces:
+            raise ConfigurationError(f"interface {sig.name!r} already offered by {self.object_id}")
+        declared = set(sig.operation_names())
+        provided = set(implementation)
+        missing = declared - provided
+        if missing:
+            raise ConfigurationError(f"missing handlers for {sorted(missing)} on {sig.name!r}")
+        extra = provided - declared
+        if extra:
+            raise ConfigurationError(f"handlers {sorted(extra)} not declared on {sig.name!r}")
+        self._interfaces[sig.name] = sig
+        for op_name, handler in implementation.items():
+            self._handlers[(sig.name, op_name)] = handler
+
+    def interfaces(self) -> list[InterfaceSignature]:
+        """All offered interface signatures."""
+        return list(self._interfaces.values())
+
+    def has_interface(self, name: str) -> bool:
+        """True when an interface named *name* is offered."""
+        return name in self._interfaces
+
+    def interface(self, name: str) -> InterfaceSignature:
+        """Look up an offered interface signature."""
+        try:
+            return self._interfaces[name]
+        except KeyError:
+            raise BindingError(f"{self.object_id} offers no interface {name!r}") from None
+
+    def invoke(self, interface: str, operation: str, arguments: dict[str, Any]) -> Any:
+        """Invoke *operation* on the named interface.
+
+        Raises :class:`BindingError` for unknown interface/operation; any
+        exception from the handler propagates (the engineering layer turns
+        it into an error reply).
+        """
+        sig = self.interface(interface)
+        spec = sig.operation(operation)  # validates the operation exists
+        spec.check_arguments(arguments)
+        handler = self._handlers[(interface, operation)]
+        self.invocations += 1
+        result = handler(arguments)
+        # One-way operations have announcement semantics: any handler
+        # return value is discarded rather than leaked to the caller.
+        if spec.one_way:
+            return None
+        return result

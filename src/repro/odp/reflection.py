@@ -1,0 +1,74 @@
+"""Deployment reflection: derive viewpoint specs from a running system.
+
+The ODP design trajectory (paper section 6.1, reference [19]) runs from
+viewpoint specifications toward implementations.  Reflection runs the
+other way: given live capsules and a trader, reconstruct the
+computational and engineering viewpoints of what is actually deployed —
+useful for conformance checks ("does the running system match its spec?")
+and for documenting a grown deployment.
+"""
+
+from __future__ import annotations
+
+from repro.odp.node_mgmt import Capsule
+from repro.odp.trader import Trader
+from repro.odp.viewpoints import OdpSystemSpec
+
+
+def describe_deployment(
+    name: str,
+    capsules: list[Capsule],
+    trader: Trader | None = None,
+) -> OdpSystemSpec:
+    """Build an :class:`OdpSystemSpec` reflecting the live deployment.
+
+    The computational viewpoint lists every deployed object with its
+    offered interfaces; the engineering viewpoint records placements; the
+    technology viewpoint notes the substrate choices this library makes.
+    The resulting spec is consistent by construction.
+    """
+    spec = OdpSystemSpec(name)
+    for capsule in capsules:
+        for object_id in capsule.object_ids():
+            obj = capsule.local_object(object_id)
+            interfaces = [sig.name for sig in obj.interfaces()]
+            spec.computation.declare_object(object_id, interfaces)
+            spec.engineering.place(capsule.node, object_id)
+    if trader is not None:
+        for offer in trader.offers():
+            spec.technology.choose(
+                f"service:{offer.service_type}:{offer.offer_id}",
+                offer.ref.address,
+            )
+    spec.technology.choose("directory", "X.500-workalike (repro.directory)")
+    spec.technology.choose("messaging", "X.400-workalike (repro.messaging)")
+    spec.technology.choose("transport", "simulated RPC (repro.sim.transport)")
+    return spec
+
+
+def conformance_errors(declared: OdpSystemSpec, capsules: list[Capsule]) -> list[str]:
+    """Differences between a declared spec and the live deployment.
+
+    Reports objects declared but not deployed, deployed but not declared,
+    and placement mismatches.  An empty list means the deployment
+    conforms to its specification.
+    """
+    errors: list[str] = []
+    live: dict[str, str] = {}
+    for capsule in capsules:
+        for object_id in capsule.object_ids():
+            live[object_id] = capsule.node
+    for object_id in declared.computation.objects:
+        if object_id not in live:
+            errors.append(f"declared object {object_id!r} is not deployed")
+            continue
+        declared_node = declared.engineering.node_of(object_id)
+        if declared_node is not None and declared_node != live[object_id]:
+            errors.append(
+                f"object {object_id!r} declared on {declared_node!r} "
+                f"but deployed on {live[object_id]!r}"
+            )
+    for object_id, node in sorted(live.items()):
+        if object_id not in declared.computation.objects:
+            errors.append(f"deployed object {object_id!r} (on {node!r}) is undeclared")
+    return errors

@@ -1,0 +1,53 @@
+"""The Organisational Model (paper section 5).
+
+Organisational objects (people, roles, units, resources, projects),
+typed relations, role-based deontic rules with person-level exceptions,
+inter-organisational policies, and the organisational knowledge base that
+feeds the trader and the directory.
+"""
+
+from repro.org.knowledge_base import OrganisationalKnowledgeBase
+from repro.org.model import (
+    Organisation,
+    OrgUnit,
+    Person,
+    Project,
+    Resource,
+    ResourceKind,
+    Role,
+)
+from repro.org.policy import (
+    INTERACTION_MESSAGE,
+    INTERACTION_REALTIME,
+    INTERACTION_SERVICE_IMPORT,
+    INTERACTION_SHARE_DOCUMENT,
+    INTERACTION_SHARE_RESOURCE,
+    InterOrgPolicy,
+    PolicyRegistry,
+)
+from repro.org.relations import Relation, RelationKind, RelationStore
+from repro.org.rules import RoleDelegation, RuleEngine, RuleException
+
+__all__ = [
+    "OrganisationalKnowledgeBase",
+    "Organisation",
+    "OrgUnit",
+    "Person",
+    "Project",
+    "Resource",
+    "ResourceKind",
+    "Role",
+    "INTERACTION_MESSAGE",
+    "INTERACTION_REALTIME",
+    "INTERACTION_SERVICE_IMPORT",
+    "INTERACTION_SHARE_DOCUMENT",
+    "INTERACTION_SHARE_RESOURCE",
+    "InterOrgPolicy",
+    "PolicyRegistry",
+    "Relation",
+    "RelationKind",
+    "RelationStore",
+    "RoleDelegation",
+    "RuleEngine",
+    "RuleException",
+]

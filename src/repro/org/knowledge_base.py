@@ -1,0 +1,158 @@
+"""The organisational knowledge base.
+
+Paper section 4: the environment must "maintain a knowledge base of
+people, resources and on-going activities" and provide "mechanisms for
+modelling organisations".  Section 6.1 proposes that this knowledge base
+"will be associated to the trader, containing or dictating among other the
+trading policy" — realised here by :meth:`OrganisationalKnowledgeBase.trader_policy_hook`
+and measured by experiment E5.
+
+The knowledge base aggregates organisations, their relations, rules and
+inter-org policies, and can publish its contents into the X.500-style
+directory so that non-CSCW applications find the same data.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.directory.dit import DirectoryInformationTree
+from repro.odp.trader import ImportContext, PolicyHook, ServiceOffer
+from repro.org.model import Organisation, Person
+from repro.org.policy import INTERACTION_SERVICE_IMPORT, PolicyRegistry
+from repro.org.relations import RelationStore
+from repro.org.rules import RuleEngine
+from repro.util.errors import UnknownObjectError
+
+
+class OrganisationalKnowledgeBase:
+    """Aggregated organisational knowledge for one CSCW environment."""
+
+    def __init__(self) -> None:
+        self._organisations: dict[str, Organisation] = {}
+        self.relations = RelationStore()
+        self.rules = RuleEngine(self.relations)
+        self.policies = PolicyRegistry()
+
+    # -- organisations -----------------------------------------------------
+    def add_organisation(self, organisation: Organisation) -> Organisation:
+        """Register an organisation."""
+        self._organisations[organisation.org_id] = organisation
+        return organisation
+
+    def organisation(self, org_id: str) -> Organisation:
+        """Look up an organisation."""
+        try:
+            return self._organisations[org_id]
+        except KeyError:
+            raise UnknownObjectError(f"unknown organisation {org_id!r}") from None
+
+    def organisations(self) -> list[Organisation]:
+        """All registered organisations."""
+        return list(self._organisations.values())
+
+    def find_person(self, person_id: str) -> Person:
+        """Find a person across all organisations."""
+        for organisation in self._organisations.values():
+            try:
+                return organisation.person(person_id)
+            except UnknownObjectError:
+                continue
+        raise UnknownObjectError(f"person {person_id!r} not found in any organisation")
+
+    def organisation_of(self, person_id: str) -> str:
+        """The organisation id a person belongs to."""
+        return self.find_person(person_id).organisation
+
+    # -- trader integration (paper section 6.1) ------------------------------
+    def trader_policy_hook(self, exporter_org: "dict[str, str] | None" = None) -> PolicyHook:
+        """Build the trading-policy predicate for an ODP trader.
+
+        An offer is visible to an importer only when the importer's
+        organisation and the exporter's organisation have compatible
+        policies for service import.  *exporter_org* optionally maps
+        exporter names to organisation ids; by default the offer's
+        ``exporter`` field is taken to be the organisation id itself.
+        """
+        mapping = dict(exporter_org or {})
+
+        def hook(offer: ServiceOffer, context: ImportContext) -> bool:
+            if not context.organisation:
+                return True  # anonymous imports see everything (plain ODP)
+            offer_org = mapping.get(offer.exporter, offer.exporter)
+            if not offer_org:
+                return True
+            return self.policies.compatible(
+                context.organisation, offer_org, INTERACTION_SERVICE_IMPORT
+            )
+
+        return hook
+
+    # -- directory publication ----------------------------------------------
+    def publish_expertise(
+        self,
+        dit: DirectoryInformationTree,
+        expertise: "Any",
+        country: str = "ES",
+    ) -> int:
+        """Annotate published person entries with their capabilities.
+
+        *expertise* is an :class:`~repro.expertise.model.ExpertiseRegistry`;
+        capabilities become multi-valued ``capability`` attributes of the
+        form ``skill:level`` so the white pages double as yellow pages
+        ("find me an expert").  Returns the number of entries annotated.
+        """
+        annotated = 0
+        for organisation in self._organisations.values():
+            for person in organisation.persons():
+                if not expertise.known(person.person_id):
+                    continue
+                profile = expertise.get(person.person_id)
+                capabilities = [
+                    f"{c.skill}:{c.level}" for c in profile.capabilities()
+                ]
+                if not capabilities:
+                    continue
+                person_dn = f"cn={person.name},o={organisation.name},c={country}"
+                if not dit.exists(person_dn):
+                    continue
+                dit.modify(person_dn, replace={"capability": capabilities})
+                annotated += 1
+        return annotated
+
+    def publish_to_directory(self, dit: DirectoryInformationTree, country: str = "ES") -> int:
+        """Write organisations, units and people into a DIT.
+
+        Returns the number of entries created.  Layout:
+        ``c=<country>`` / ``o=<org>`` / ``ou=<unit>`` and people under
+        their organisation.  Existing entries are left in place.
+        """
+        created = 0
+        country_dn = f"c={country}"
+        if not dit.exists(country_dn):
+            dit.add(country_dn, {"objectclass": ["country"]})
+            created += 1
+        for organisation in self._organisations.values():
+            org_dn = f"o={organisation.name},{country_dn}"
+            if not dit.exists(org_dn):
+                dit.add(org_dn, {"objectclass": ["organization"]})
+                created += 1
+            for unit in organisation.units():
+                unit_dn = f"ou={unit.name},{org_dn}"
+                if not dit.exists(unit_dn):
+                    dit.add(unit_dn, {"objectclass": ["organizationalunit"]})
+                    created += 1
+            for person in organisation.persons():
+                person_dn = f"cn={person.name},{org_dn}"
+                if dit.exists(person_dn):
+                    continue
+                attributes = {
+                    "objectclass": ["person"],
+                    "sn": [person.name.split()[-1]],
+                    "role": self.relations.roles_of(person.person_id),
+                }
+                if person.or_name is not None:
+                    attributes["mail"] = [str(person.or_name)]
+                dit.add(person_dn, attributes)
+                created += 1
+        return created

@@ -1,0 +1,186 @@
+"""The discrete-event simulation engine.
+
+The engine keeps a priority queue of timed callbacks and a simulated clock.
+Everything that "takes time" in the library — network transmission, MTA
+relaying, meeting turns — is expressed by scheduling callbacks on a shared
+engine, which makes whole-system runs deterministic and fast (no real
+sleeping).
+
+This stands in for the distributed testbed the paper's authors did not have
+either; see DESIGN.md section 4 for the substitution rationale.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.util.errors import SchedulingError
+
+Callback = Callable[[], None]
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    seq: int
+    callback: Callback = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    label: str = field(default="", compare=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`Engine.schedule`; allows cancellation."""
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """Simulated time at which the callback fires."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        """True when the event was cancelled before firing."""
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing (idempotent)."""
+        self._event.cancelled = True
+
+
+class Engine:
+    """A deterministic discrete-event scheduler with a simulated clock."""
+
+    def __init__(self) -> None:
+        self._queue: list[_ScheduledEvent] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def processed_count(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    @property
+    def pending_count(self) -> int:
+        """Number of events scheduled but not yet executed or cancelled."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def schedule(self, delay: float, callback: Callback, label: str = "") -> EventHandle:
+        """Schedule *callback* to run *delay* seconds from now."""
+        if delay < 0:
+            raise SchedulingError(f"cannot schedule into the past (delay={delay})")
+        event = _ScheduledEvent(self._now + delay, next(self._seq), callback, label=label)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def schedule_at(self, time: float, callback: Callback, label: str = "") -> EventHandle:
+        """Schedule *callback* at an absolute simulated time."""
+        return self.schedule(time - self._now, callback, label=label)
+
+    def call_soon(self, callback: Callback, label: str = "") -> EventHandle:
+        """Schedule *callback* at the current time (after pending same-time events)."""
+        return self.schedule(0.0, callback, label=label)
+
+    def step(self) -> bool:
+        """Execute the next event; return False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._processed += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, max_events: int = 1_000_000) -> int:
+        """Run until the queue drains; return the number of events executed.
+
+        *max_events* guards against runaway feedback loops; exceeding it
+        raises :class:`SchedulingError`.
+        """
+        executed = 0
+        while self.step():
+            executed += 1
+            if executed > max_events:
+                raise SchedulingError(f"exceeded max_events={max_events}")
+        return executed
+
+    def run_until(self, time: float, max_events: int = 1_000_000) -> int:
+        """Run events with timestamp <= *time*; advance the clock to *time*.
+
+        Events scheduled later than *time* remain queued.
+        """
+        executed = 0
+        while self._queue:
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if head.time > time:
+                break
+            self.step()
+            executed += 1
+            if executed > max_events:
+                raise SchedulingError(f"exceeded max_events={max_events}")
+        self._now = max(self._now, time)
+        return executed
+
+    def run_for(self, duration: float, max_events: int = 1_000_000) -> int:
+        """Run for *duration* simulated seconds from now."""
+        return self.run_until(self._now + duration, max_events=max_events)
+
+
+class PeriodicTask:
+    """Re-schedules a callback at a fixed period until stopped.
+
+    Used by monitors (activity progress checks, directory shadowing) that
+    poll on simulated time.
+    """
+
+    def __init__(self, engine: Engine, period: float, callback: Callback, label: str = "") -> None:
+        if period <= 0:
+            raise SchedulingError("period must be > 0")
+        self._engine = engine
+        self._period = period
+        self._callback = callback
+        self._label = label
+        self._stopped = False
+        self._fired = 0
+        self._handle: EventHandle | None = None
+
+    @property
+    def fired_count(self) -> int:
+        """Number of times the callback has run."""
+        return self._fired
+
+    def start(self) -> "PeriodicTask":
+        """Arm the first firing one period from now; returns self."""
+        self._handle = self._engine.schedule(self._period, self._fire, label=self._label)
+        return self
+
+    def stop(self) -> None:
+        """Stop future firings (idempotent)."""
+        self._stopped = True
+        if self._handle is not None:
+            self._handle.cancel()
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self._fired += 1
+        self._callback()
+        if not self._stopped:
+            self._handle = self._engine.schedule(self._period, self._fire, label=self._label)

@@ -1,0 +1,94 @@
+"""Failure injection for robustness experiments.
+
+Experiment E6 (DESIGN.md) exercises delivery ratios under node crashes and
+partitions; tests use the injector for failure-path coverage.  All schedules
+run on simulated time and all randomness comes from the injector's RNG
+stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.network import Network
+from repro.sim.rng import SeededRng
+from repro.util.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PlannedOutage:
+    """A recorded crash/recovery window for reporting."""
+
+    node: str
+    start: float
+    end: float
+
+
+class FailureInjector:
+    """Schedules crashes, recoveries and partitions on a network."""
+
+    def __init__(self, network: Network, rng: SeededRng | None = None) -> None:
+        self._network = network
+        self._engine = network.engine
+        self._rng = rng if rng is not None else network.rng.fork("failures")
+        self._outages: list[PlannedOutage] = []
+
+    @property
+    def planned_outages(self) -> list[PlannedOutage]:
+        """All crash windows scheduled so far."""
+        return list(self._outages)
+
+    def crash_at(self, node: str, at: float, duration: float | None = None) -> PlannedOutage:
+        """Crash *node* at simulated time *at*; recover after *duration*.
+
+        With ``duration=None`` the node stays down forever.
+        """
+        target = self._network.node(node)
+        if at < self._engine.now:
+            raise ConfigurationError("cannot schedule a crash in the past")
+        self._engine.schedule_at(at, target.crash, label=f"crash:{node}")
+        end = float("inf")
+        if duration is not None:
+            if duration <= 0:
+                raise ConfigurationError("duration must be > 0")
+            end = at + duration
+            self._engine.schedule_at(end, target.recover, label=f"recover:{node}")
+        outage = PlannedOutage(node=node, start=at, end=end)
+        self._outages.append(outage)
+        return outage
+
+    def partition_at(self, groups: list[list[str]], at: float, duration: float | None = None) -> None:
+        """Partition the network into *groups* at time *at*; heal after *duration*."""
+        if at < self._engine.now:
+            raise ConfigurationError("cannot schedule a partition in the past")
+        self._engine.schedule_at(at, lambda: self._network.partition(groups), label="partition")
+        if duration is not None:
+            self._engine.schedule_at(at + duration, self._network.heal, label="heal")
+
+    def random_crashes(
+        self,
+        horizon: float,
+        rate_per_node: float,
+        mean_downtime: float,
+        nodes: list[str] | None = None,
+    ) -> list[PlannedOutage]:
+        """Schedule Poisson crash/recover cycles over [now, now+horizon].
+
+        Each listed node independently crashes at exponential inter-arrival
+        times with the given rate; downtime is exponential with
+        *mean_downtime*.  Returns the planned outages.
+        """
+        if rate_per_node <= 0:
+            raise ConfigurationError("rate_per_node must be > 0")
+        names = nodes if nodes is not None else [n.name for n in self._network.nodes()]
+        planned: list[PlannedOutage] = []
+        for name in names:
+            t = self._engine.now
+            while True:
+                t += self._rng.exponential(1.0 / rate_per_node)
+                if t >= self._engine.now + horizon:
+                    break
+                downtime = self._rng.exponential(mean_downtime)
+                planned.append(self.crash_at(name, t, duration=downtime))
+                t += downtime
+        return planned

@@ -1,0 +1,279 @@
+"""Simulated network: nodes, links, latency models, loss and partitions.
+
+The network charges each packet a delay of ``propagation + size/bandwidth``
+(plus optional jitter), drops packets with a per-link loss probability, and
+refuses delivery across partition boundaries or to crashed nodes.  All
+randomness comes from the network's seeded RNG stream, so runs replay
+exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.sim.engine import Engine
+from repro.sim.rng import SeededRng
+from repro.sim.trace import MetricsRegistry
+from repro.util.errors import ConfigurationError, NetworkError
+
+PacketHandler = Callable[["Packet"], None]
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Characteristics of a (directed) link between two nodes.
+
+    latency_s
+        One-way propagation delay in seconds.
+    bandwidth_bps
+        Bytes per second used to charge serialization delay.
+    loss
+        Probability in [0, 1] that a packet silently disappears.
+    jitter_s
+        Uniform jitter added to latency, in [0, jitter_s].
+    """
+
+    latency_s: float = 0.01
+    bandwidth_bps: float = 1_000_000.0
+    loss: float = 0.0
+    jitter_s: float = 0.0
+
+    def transmission_delay(self, size_bytes: int, rng: SeededRng) -> float:
+        """Total delay for a packet of *size_bytes* over this link."""
+        delay = self.latency_s + size_bytes / self.bandwidth_bps
+        if self.jitter_s > 0:
+            delay += rng.uniform(0.0, self.jitter_s)
+        return delay
+
+
+#: A link spec that models a co-located (same room / same LAN) connection.
+LAN_LINK = LinkSpec(latency_s=0.0005, bandwidth_bps=10_000_000.0)
+
+#: A link spec modelling a 1992-era wide-area connection between sites.
+WAN_LINK = LinkSpec(latency_s=0.08, bandwidth_bps=64_000.0, jitter_s=0.02)
+
+
+@dataclass
+class Packet:
+    """One datagram moving through the simulated network."""
+
+    source: str
+    destination: str
+    port: str
+    payload: Any
+    size_bytes: int
+    sent_at: float = 0.0
+    delivered_at: float = 0.0
+
+
+class Node:
+    """A simulated host: named, crashable, with per-port packet handlers."""
+
+    def __init__(self, name: str, site: str = "default") -> None:
+        if not name:
+            raise ConfigurationError("node name must be non-empty")
+        self.name = name
+        self.site = site
+        self._up = True
+        self._handlers: dict[str, PacketHandler] = {}
+        self._received = 0
+
+    @property
+    def is_up(self) -> bool:
+        """True while the node has not crashed."""
+        return self._up
+
+    @property
+    def received_count(self) -> int:
+        """Packets successfully delivered to this node."""
+        return self._received
+
+    def crash(self) -> None:
+        """Take the node down; packets to/from it are dropped."""
+        self._up = False
+
+    def recover(self) -> None:
+        """Bring the node back up (handlers survive the crash)."""
+        self._up = True
+
+    def bind(self, port: str, handler: PacketHandler) -> None:
+        """Register *handler* for packets addressed to *port*."""
+        if port in self._handlers:
+            raise ConfigurationError(f"port {port!r} already bound on {self.name}")
+        self._handlers[port] = handler
+
+    def unbind(self, port: str) -> None:
+        """Remove the handler for *port* if present."""
+        self._handlers.pop(port, None)
+
+    def bound_ports(self) -> list[str]:
+        """Ports with a registered handler, sorted."""
+        return sorted(self._handlers)
+
+    def deliver(self, packet: Packet) -> bool:
+        """Dispatch a packet to its port handler; False when unbound/down."""
+        if not self._up:
+            return False
+        handler = self._handlers.get(packet.port)
+        if handler is None:
+            return False
+        self._received += 1
+        handler(packet)
+        return True
+
+
+class Network:
+    """The simulated internetwork connecting all nodes.
+
+    Nodes at the same *site* default to :data:`LAN_LINK`; nodes at different
+    sites default to :data:`WAN_LINK`.  Specific node pairs can be overridden
+    with :meth:`set_link`.  Partitions are modelled as a node->group mapping;
+    delivery only succeeds within a group.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        rng: SeededRng | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.engine = engine
+        self.rng = rng if rng is not None else SeededRng(0)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._nodes: dict[str, Node] = {}
+        self._links: dict[tuple[str, str], LinkSpec] = {}
+        self._partition: dict[str, int] = {}
+
+    # -- topology ---------------------------------------------------------
+    def add_node(self, name: str, site: str = "default") -> Node:
+        """Create and register a node; names must be unique."""
+        if name in self._nodes:
+            raise ConfigurationError(f"node {name!r} already exists")
+        node = Node(name, site=site)
+        self._nodes[name] = node
+        return node
+
+    def node(self, name: str) -> Node:
+        """Look up a node by name."""
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise NetworkError(f"unknown node {name!r}") from None
+
+    def has_node(self, name: str) -> bool:
+        """True when a node with *name* is registered."""
+        return name in self._nodes
+
+    def nodes(self) -> list[Node]:
+        """All registered nodes, in insertion order."""
+        return list(self._nodes.values())
+
+    def set_link(self, source: str, destination: str, spec: LinkSpec, symmetric: bool = True) -> None:
+        """Override the link spec between two nodes."""
+        self.node(source)
+        self.node(destination)
+        self._links[(source, destination)] = spec
+        if symmetric:
+            self._links[(destination, source)] = spec
+
+    def link_between(self, source: str, destination: str) -> LinkSpec:
+        """The effective link spec between two nodes."""
+        explicit = self._links.get((source, destination))
+        if explicit is not None:
+            return explicit
+        if self.node(source).site == self.node(destination).site:
+            return LAN_LINK
+        return WAN_LINK
+
+    # -- partitions -------------------------------------------------------
+    def partition(self, groups: list[list[str]]) -> None:
+        """Split the network into the given groups of node names.
+
+        Nodes not named in any group remain in an implicit group 0 together
+        with nothing else listed — i.e. they can only reach other unlisted
+        nodes.
+        """
+        self._partition = {}
+        for index, group in enumerate(groups, start=1):
+            for name in group:
+                self.node(name)
+                self._partition[name] = index
+
+    def heal(self) -> None:
+        """Remove all partitions."""
+        self._partition = {}
+
+    def reachable(self, source: str, destination: str) -> bool:
+        """True when no partition separates the two nodes."""
+        if not self._partition:
+            return True
+        return self._partition.get(source, 0) == self._partition.get(destination, 0)
+
+    # -- transmission -----------------------------------------------------
+    def send(
+        self,
+        source: str,
+        destination: str,
+        port: str,
+        payload: Any,
+        size_bytes: int = 128,
+    ) -> Packet:
+        """Send a datagram; delivery (or loss) happens asynchronously.
+
+        Returns the in-flight packet.  Loss, partition and crash drops are
+        silent at the sender — exactly like a real datagram network — but
+        are counted in the network metrics.
+        """
+        src = self.node(source)
+        dst = self.node(destination)
+        packet = Packet(
+            source=source,
+            destination=destination,
+            port=port,
+            payload=payload,
+            size_bytes=size_bytes,
+            sent_at=self.engine.now,
+        )
+        self.metrics.increment("net.sent")
+        if not src.is_up:
+            self.metrics.increment("net.dropped.source_down")
+            return packet
+        link = self.link_between(source, destination)
+        if link.loss > 0 and self.rng.chance(link.loss):
+            self.metrics.increment("net.dropped.loss")
+            return packet
+        delay = link.transmission_delay(size_bytes, self.rng)
+
+        def arrive() -> None:
+            if not self.reachable(source, destination):
+                self.metrics.increment("net.dropped.partition")
+                return
+            if not dst.is_up:
+                self.metrics.increment("net.dropped.destination_down")
+                return
+            packet.delivered_at = self.engine.now
+            if dst.deliver(packet):
+                self.metrics.increment("net.delivered")
+                self.metrics.record("net.latency", packet.delivered_at - packet.sent_at)
+            else:
+                self.metrics.increment("net.dropped.no_handler")
+
+        self.engine.schedule(delay, arrive, label=f"net:{source}->{destination}:{port}")
+        return packet
+
+    def broadcast(
+        self,
+        source: str,
+        port: str,
+        payload: Any,
+        size_bytes: int = 128,
+    ) -> int:
+        """Send to every other node; return the number of sends attempted."""
+        count = 0
+        for name in self._nodes:
+            if name == source:
+                continue
+            self.send(source, name, port, payload, size_bytes=size_bytes)
+            count += 1
+        return count

@@ -1,0 +1,126 @@
+"""Metrics collection for simulation runs.
+
+Benchmarks and experiments (EXPERIMENTS.md) report counters, simple
+statistics and timelines gathered through a :class:`MetricsRegistry`.  Pure
+stdlib; no numpy dependency so the core library stays dependency-free.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class SeriesStats:
+    """Summary statistics over a recorded series of floats."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    p50: float
+    p95: float
+    stddev: float
+
+    @staticmethod
+    def of(values: list[float]) -> "SeriesStats":
+        """Compute stats over *values*; raises on an empty list."""
+        if not values:
+            raise ValueError("cannot summarise an empty series")
+        ordered = sorted(values)
+        n = len(ordered)
+        mean = sum(ordered) / n
+        variance = sum((v - mean) ** 2 for v in ordered) / n
+        return SeriesStats(
+            count=n,
+            mean=mean,
+            minimum=ordered[0],
+            maximum=ordered[-1],
+            p50=_percentile(ordered, 0.50),
+            p95=_percentile(ordered, 0.95),
+            stddev=math.sqrt(variance),
+        )
+
+
+def _percentile(ordered: list[float], fraction: float) -> float:
+    """Nearest-rank percentile over a pre-sorted list."""
+    if not ordered:
+        raise ValueError("empty series")
+    rank = max(0, min(len(ordered) - 1, math.ceil(fraction * len(ordered)) - 1))
+    return ordered[rank]
+
+
+@dataclass
+class TimelineEntry:
+    """One timestamped observation in a named timeline."""
+
+    time: float
+    label: str
+    detail: dict[str, Any] = field(default_factory=dict)
+
+
+class MetricsRegistry:
+    """Counters, series and timelines for one simulation run."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, int] = {}
+        self._series: dict[str, list[float]] = {}
+        self._timeline: list[TimelineEntry] = []
+
+    # -- counters ---------------------------------------------------------
+    def increment(self, name: str, amount: int = 1) -> int:
+        """Add *amount* to counter *name*; return the new value."""
+        value = self._counters.get(name, 0) + amount
+        self._counters[name] = value
+        return value
+
+    def counter(self, name: str) -> int:
+        """Current value of counter *name* (0 when never incremented)."""
+        return self._counters.get(name, 0)
+
+    def counters(self) -> dict[str, int]:
+        """Snapshot of all counters."""
+        return dict(self._counters)
+
+    # -- series -----------------------------------------------------------
+    def record(self, name: str, value: float) -> None:
+        """Append *value* to series *name*."""
+        self._series.setdefault(name, []).append(float(value))
+
+    def series(self, name: str) -> list[float]:
+        """The raw values of series *name* (empty list when absent)."""
+        return list(self._series.get(name, []))
+
+    def stats(self, name: str) -> SeriesStats:
+        """Summary statistics for series *name*."""
+        return SeriesStats.of(self._series.get(name, []))
+
+    def has_series(self, name: str) -> bool:
+        """True when at least one value was recorded under *name*."""
+        return bool(self._series.get(name))
+
+    # -- timeline ---------------------------------------------------------
+    def mark(self, time: float, label: str, **detail: Any) -> None:
+        """Record a timestamped event on the run timeline."""
+        self._timeline.append(TimelineEntry(time=time, label=label, detail=detail))
+
+    def timeline(self, label: str | None = None) -> list[TimelineEntry]:
+        """The timeline, optionally filtered to entries with *label*."""
+        if label is None:
+            return list(self._timeline)
+        return [e for e in self._timeline if e.label == label]
+
+    # -- reporting --------------------------------------------------------
+    def summary(self) -> dict[str, Any]:
+        """A plain-dict summary suitable for printing or JSON dumping."""
+        return {
+            "counters": dict(sorted(self._counters.items())),
+            "series": {
+                name: SeriesStats.of(values).__dict__
+                for name, values in sorted(self._series.items())
+                if values
+            },
+            "timeline_entries": len(self._timeline),
+        }

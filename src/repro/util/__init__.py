@@ -1,0 +1,31 @@
+"""Shared utilities: ids, logical clocks, events, errors, serialization."""
+
+from repro.util.clock import LamportClock, Ordering, VectorClock, VectorTimestamp
+from repro.util.events import Event, EventBus, EventRecorder, topic_matches
+from repro.util.ids import IdFactory, next_id, reset_ids
+from repro.util.serialization import (
+    TYPE_KEY,
+    CodecRegistry,
+    canonical_json,
+    deep_merge,
+    document_size,
+)
+
+__all__ = [
+    "LamportClock",
+    "Ordering",
+    "VectorClock",
+    "VectorTimestamp",
+    "Event",
+    "EventBus",
+    "EventRecorder",
+    "topic_matches",
+    "IdFactory",
+    "next_id",
+    "reset_ids",
+    "TYPE_KEY",
+    "CodecRegistry",
+    "canonical_json",
+    "deep_merge",
+    "document_size",
+]

@@ -1,0 +1,141 @@
+"""In-process publish/subscribe event bus with hierarchical topics.
+
+The CSCW environment's *activity transparency* (paper section 4) requires
+that "a set of objects cooperating in one activity ... not be disturbed by
+other unrelated activities".  We realise this by scoping event delivery to
+topics: subscribers name a topic prefix and only see events published at or
+below it.  Topics are ``/``-separated paths, e.g. ``activity/act-0001/chat``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(frozen=True)
+class Event:
+    """A published event: a topic, a payload, and the publisher's identity."""
+
+    topic: str
+    payload: Any
+    source: str = ""
+    time: float = 0.0
+
+
+Handler = Callable[[Event], None]
+
+
+def topic_matches(pattern: str, topic: str) -> bool:
+    """Return True when *topic* falls under *pattern*.
+
+    A pattern matches itself and any descendant topic.  The special pattern
+    ``"*"`` matches every topic.
+
+    >>> topic_matches("activity/a1", "activity/a1/chat")
+    True
+    >>> topic_matches("activity/a1", "activity/a2")
+    False
+    """
+    if pattern == "*":
+        return True
+    if pattern == topic:
+        return True
+    return topic.startswith(pattern + "/")
+
+
+@dataclass
+class _Subscription:
+    pattern: str
+    handler: Handler
+    subscriber: str
+    token: int
+
+
+class EventBus:
+    """A synchronous, deterministic publish/subscribe bus.
+
+    Handlers run inline in subscription order, which keeps simulations
+    reproducible.  Exceptions in handlers propagate to the publisher (errors
+    should never pass silently); callers that want isolation can wrap their
+    handler.
+    """
+
+    def __init__(self) -> None:
+        self._subs: list[_Subscription] = []
+        self._next_token = 1
+        self._delivered = 0
+        self._published = 0
+
+    @property
+    def delivered_count(self) -> int:
+        """Total number of handler invocations so far."""
+        return self._delivered
+
+    @property
+    def published_count(self) -> int:
+        """Total number of publish calls so far."""
+        return self._published
+
+    def subscribe(self, pattern: str, handler: Handler, subscriber: str = "") -> int:
+        """Register *handler* for events under *pattern*; return a token."""
+        if not pattern:
+            raise ValueError("pattern must be non-empty")
+        token = self._next_token
+        self._next_token += 1
+        self._subs.append(_Subscription(pattern, handler, subscriber, token))
+        return token
+
+    def unsubscribe(self, token: int) -> bool:
+        """Remove the subscription with *token*; return True if it existed."""
+        before = len(self._subs)
+        self._subs = [s for s in self._subs if s.token != token]
+        return len(self._subs) < before
+
+    def subscriptions_for(self, subscriber: str) -> list[str]:
+        """Return the patterns a subscriber is currently registered under."""
+        return [s.pattern for s in self._subs if s.subscriber == subscriber]
+
+    def publish(self, topic: str, payload: Any, source: str = "", time: float = 0.0) -> int:
+        """Publish an event; return the number of handlers that saw it."""
+        if not topic:
+            raise ValueError("topic must be non-empty")
+        event = Event(topic=topic, payload=payload, source=source, time=time)
+        self._published += 1
+        count = 0
+        for sub in list(self._subs):
+            if topic_matches(sub.pattern, topic):
+                sub.handler(event)
+                count += 1
+        self._delivered += count
+        return count
+
+
+@dataclass
+class EventRecorder:
+    """A handler that records events, handy in tests and metrics.
+
+    >>> bus = EventBus()
+    >>> rec = EventRecorder()
+    >>> _ = bus.subscribe("a", rec)
+    >>> _ = bus.publish("a/b", 1)
+    >>> rec.topics()
+    ['a/b']
+    """
+
+    events: list[Event] = field(default_factory=list)
+
+    def __call__(self, event: Event) -> None:
+        self.events.append(event)
+
+    def topics(self) -> list[str]:
+        """Topics of recorded events, in delivery order."""
+        return [e.topic for e in self.events]
+
+    def payloads(self) -> list[Any]:
+        """Payloads of recorded events, in delivery order."""
+        return [e.payload for e in self.events]
+
+    def clear(self) -> None:
+        """Forget all recorded events."""
+        self.events.clear()

@@ -1,0 +1,72 @@
+"""Deterministic identifier generation.
+
+The simulator must be fully reproducible, so identifiers are never derived
+from ``uuid4`` or wall-clock time.  Instead each :class:`IdFactory` hands out
+sequential ids within a namespace (``"act-0001"``, ``"act-0002"``, ...), and
+a process-global factory is provided for convenience.  Tests can reset the
+global factory to get stable ids across runs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import defaultdict
+
+
+class IdFactory:
+    """Hands out deterministic, namespaced, sequential identifiers.
+
+    >>> ids = IdFactory()
+    >>> ids.next("msg")
+    'msg-0001'
+    >>> ids.next("msg")
+    'msg-0002'
+    >>> ids.next("node")
+    'node-0001'
+    """
+
+    def __init__(self, width: int = 4) -> None:
+        if width < 1:
+            raise ValueError("width must be >= 1")
+        self._width = width
+        self._counters: dict[str, itertools.count] = defaultdict(
+            lambda: itertools.count(1)
+        )
+
+    def next(self, namespace: str) -> str:
+        """Return the next id in *namespace*, e.g. ``"msg-0007"``."""
+        if not namespace:
+            raise ValueError("namespace must be non-empty")
+        value = next(self._counters[namespace])
+        return f"{namespace}-{value:0{self._width}d}"
+
+    def peek(self, namespace: str) -> int:
+        """Return the integer the next id in *namespace* would carry.
+
+        Peeking does not consume an id.
+        """
+        counter = self._counters[namespace]
+        value = next(counter)
+        # Re-prime the counter so the peeked value is handed out next.
+        self._counters[namespace] = itertools.count(value)
+        return value
+
+    def reset(self, namespace: str | None = None) -> None:
+        """Reset one namespace, or every namespace when *namespace* is None."""
+        if namespace is None:
+            self._counters.clear()
+        else:
+            self._counters.pop(namespace, None)
+
+
+_GLOBAL = IdFactory()
+
+
+def next_id(namespace: str) -> str:
+    """Return the next id from the process-global factory."""
+    return _GLOBAL.next(namespace)
+
+
+def reset_ids(namespace: str | None = None) -> None:
+    """Reset the process-global factory (used by test fixtures)."""
+    _GLOBAL.reset(namespace)

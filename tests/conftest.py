@@ -1,0 +1,22 @@
+"""Shared pytest fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.world import World
+from repro.util.ids import reset_ids
+
+
+@pytest.fixture(autouse=True)
+def _fresh_ids():
+    """Reset the global id factory so ids are stable within each test."""
+    reset_ids()
+    yield
+    reset_ids()
+
+
+@pytest.fixture
+def world() -> World:
+    """A fresh simulated world with a fixed seed."""
+    return World(seed=42)

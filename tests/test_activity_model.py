@@ -1,0 +1,331 @@
+"""Tests for activities, dependencies, scheduling and coordination."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.activity.coordination import Barrier, ResourceCoordinator
+from repro.activity.dependencies import (
+    BEFORE,
+    MEETS,
+    SHARES_INFORMATION,
+    SHARES_RESOURCE,
+    SUBACTIVITY_OF,
+    DependencyGraph,
+)
+from repro.activity.model import Activity, ActivityRegistry, ActivityStatus
+from repro.activity.scheduler import ActivityMonitor, ActivityScheduler
+from repro.org.model import Resource
+from repro.util.errors import (
+    ConfigurationError,
+    DependencyCycleError,
+    ModelError,
+    UnknownObjectError,
+)
+from repro.util.events import EventBus, EventRecorder
+
+
+class TestActivityLifecycle:
+    def test_happy_path(self):
+        activity = Activity("a1", "write report")
+        activity.start(1.0)
+        activity.report_progress(0.5, 2.0)
+        activity.complete(3.0)
+        assert activity.status is ActivityStatus.COMPLETED
+        assert activity.progress == 1.0
+        assert activity.started_at == 1.0
+        assert activity.finished_at == 3.0
+
+    def test_illegal_transition_rejected(self):
+        activity = Activity("a1", "x")
+        with pytest.raises(ModelError):
+            activity.complete()
+
+    def test_suspend_resume(self):
+        activity = Activity("a1", "x")
+        activity.start()
+        activity.suspend()
+        activity.resume()
+        assert activity.status is ActivityStatus.ACTIVE
+
+    def test_cancel_from_pending(self):
+        activity = Activity("a1", "x")
+        activity.cancel(5.0)
+        assert activity.status is ActivityStatus.CANCELLED
+
+    def test_completed_is_final(self):
+        activity = Activity("a1", "x")
+        activity.start()
+        activity.complete()
+        with pytest.raises(ModelError):
+            activity.cancel()
+
+    def test_progress_requires_active(self):
+        activity = Activity("a1", "x")
+        with pytest.raises(ModelError):
+            activity.report_progress(0.5)
+
+    def test_progress_bounds(self):
+        activity = Activity("a1", "x")
+        activity.start()
+        with pytest.raises(ModelError):
+            activity.report_progress(1.5)
+
+    def test_overdue(self):
+        activity = Activity("a1", "x", deadline=10.0)
+        activity.start()
+        assert not activity.is_overdue(5.0)
+        assert activity.is_overdue(11.0)
+        activity.complete()
+        assert not activity.is_overdue(11.0)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Activity("a1", "x", mode="psychic")
+
+
+class TestMembership:
+    def test_join_leave_roles(self):
+        activity = Activity("a1", "x")
+        activity.join("ana", "chair")
+        activity.join("joan")
+        assert activity.member_ids() == ["ana", "joan"]
+        assert activity.role_of("ana") == "chair"
+        assert activity.members_with_role("participant") == ["joan"]
+        activity.leave("joan")
+        assert not activity.is_member("joan")
+
+    def test_leave_nonmember_rejected(self):
+        with pytest.raises(UnknownObjectError):
+            Activity("a1", "x").leave("ghost")
+
+    def test_registry_involving(self):
+        registry = ActivityRegistry()
+        a1 = registry.create(Activity("a1", "one", project="tunnel"))
+        a2 = registry.create(Activity("a2", "two", project="tunnel"))
+        a1.join("ana")
+        a2.join("ana")
+        a2.join("joan")
+        assert [a.activity_id for a in registry.involving("ana")] == ["a1", "a2"]
+        assert len(registry.by_project("tunnel")) == 2
+
+    def test_duplicate_activity_rejected(self):
+        registry = ActivityRegistry()
+        registry.create(Activity("a1", "x"))
+        with pytest.raises(ConfigurationError):
+            registry.create(Activity("a1", "y"))
+
+
+class TestDependencies:
+    def test_ordering_and_cycle_rejection(self):
+        graph = DependencyGraph()
+        graph.add(BEFORE, "a", "b")
+        graph.add(MEETS, "b", "c")
+        with pytest.raises(DependencyCycleError):
+            graph.add(BEFORE, "c", "a")
+
+    def test_self_dependency_rejected(self):
+        with pytest.raises(ModelError):
+            DependencyGraph().add(BEFORE, "a", "a")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ModelError):
+            DependencyGraph().add("psychic-link", "a", "b")
+
+    def test_execution_order(self):
+        graph = DependencyGraph()
+        graph.add(BEFORE, "draft", "review")
+        graph.add(BEFORE, "review", "publish")
+        graph.add(BEFORE, "draft", "publish")
+        assert graph.execution_order(["publish", "draft", "review"]) == [
+            "draft",
+            "review",
+            "publish",
+        ]
+
+    def test_execution_order_deterministic_ties(self):
+        graph = DependencyGraph()
+        order = graph.execution_order(["b", "a", "c"])
+        assert order == ["a", "b", "c"]
+
+    def test_non_ordering_kinds_do_not_constrain(self):
+        graph = DependencyGraph()
+        graph.add(SHARES_RESOURCE, "a", "b", annotation="room")
+        graph.add(SHARES_INFORMATION, "b", "a")
+        # No cycle error: these are not ordering edges.
+        assert graph.execution_order(["a", "b"]) == ["a", "b"]
+
+    def test_partner_queries(self):
+        graph = DependencyGraph()
+        graph.add(SHARES_RESOURCE, "a", "b", annotation="room")
+        graph.add(SHARES_RESOURCE, "a", "c", annotation="budget")
+        assert graph.resource_partners("a") == ["b", "c"]
+        assert graph.resource_partners("a", resource="room") == ["b"]
+
+    def test_subactivities(self):
+        graph = DependencyGraph()
+        graph.add(SUBACTIVITY_OF, "meeting", "project")
+        graph.add(SUBACTIVITY_OF, "report", "project")
+        assert graph.subactivities_of("project") == ["meeting", "report"]
+
+    def test_related_set(self):
+        graph = DependencyGraph()
+        graph.add(BEFORE, "a", "b")
+        graph.add(SHARES_INFORMATION, "a", "c")
+        assert graph.related("a") == {"b", "c"}
+
+
+class TestScheduler:
+    @pytest.fixture
+    def setup(self):
+        registry = ActivityRegistry()
+        graph = DependencyGraph()
+        for name in ("draft", "review", "publish"):
+            registry.create(Activity(name, name))
+        graph.add(BEFORE, "draft", "review")
+        graph.add(BEFORE, "review", "publish")
+        bus = EventBus()
+        scheduler = ActivityScheduler(registry, graph, bus)
+        return registry, graph, scheduler, bus
+
+    def test_only_roots_start_initially(self, setup):
+        registry, graph, scheduler, bus = setup
+        started = scheduler.start_ready(0.0)
+        assert started == ["draft"]
+        assert registry.get("review").status is ActivityStatus.PENDING
+
+    def test_completion_unblocks_successors(self, setup):
+        registry, graph, scheduler, bus = setup
+        scheduler.start_ready(0.0)
+        newly = scheduler.complete("draft", 1.0)
+        assert newly == ["review"]
+        newly = scheduler.complete("review", 2.0)
+        assert newly == ["publish"]
+
+    def test_lifecycle_events_published(self, setup):
+        registry, graph, scheduler, bus = setup
+        recorder = EventRecorder()
+        bus.subscribe("activity/draft", recorder)
+        scheduler.start_ready(0.0)
+        scheduler.complete("draft", 1.0)
+        events = [e.payload["event"] for e in recorder.events]
+        assert events == ["started", "completed"]
+
+    def test_plan_is_total_order(self, setup):
+        registry, graph, scheduler, bus = setup
+        assert scheduler.plan() == ["draft", "review", "publish"]
+
+
+class TestMonitor:
+    def test_overdue_alert(self, world):
+        registry = ActivityRegistry()
+        activity = registry.create(Activity("late", "late", deadline=30.0))
+        activity.start(0.0)
+        bus = EventBus()
+        recorder = EventRecorder()
+        bus.subscribe("activity/late/alert", recorder)
+        monitor = ActivityMonitor(world, registry, bus, period_s=20.0).start()
+        world.run_for(70.0)
+        monitor.stop()
+        reasons = {e.payload["reason"] for e in recorder.events}
+        assert "overdue" in reasons
+        assert monitor.alerts_raised >= 1
+
+    def test_stall_alert(self, world):
+        registry = ActivityRegistry()
+        activity = registry.create(Activity("stuck", "stuck"))
+        activity.start(0.0)
+        bus = EventBus()
+        recorder = EventRecorder()
+        bus.subscribe("stuck-alerts", lambda e: None)  # unrelated topic
+        bus.subscribe("activity/stuck/alert", recorder)
+        ActivityMonitor(world, registry, bus, period_s=50.0, stall_after_s=100.0).start()
+        world.run_for(300.0)
+        reasons = [e.payload["reason"] for e in recorder.events]
+        assert "stalled" in reasons
+
+    def test_progressing_activity_not_stalled(self, world):
+        registry = ActivityRegistry()
+        activity = registry.create(Activity("busy", "busy"))
+        activity.start(0.0)
+        bus = EventBus()
+        recorder = EventRecorder()
+        bus.subscribe("activity/busy/alert", recorder)
+        ActivityMonitor(world, registry, bus, period_s=50.0, stall_after_s=100.0).start()
+        for i in range(1, 6):
+            world.engine.schedule(i * 40.0, lambda i=i: activity.report_progress(i / 10))
+        world.run_for(220.0)
+        assert recorder.events == []
+
+
+class TestCoordination:
+    def test_capacity_and_queue(self):
+        coordinator = ResourceCoordinator()
+        coordinator.register(Resource("room", "Sala", "upc", capacity=1))
+        granted = []
+        assert coordinator.claim("room", "a1", granted.append)
+        assert not coordinator.claim("room", "a2", granted.append)
+        assert coordinator.queue_length("room") == 1
+        coordinator.release("room", "a1")
+        assert coordinator.holders_of("room") == ["a2"]
+        assert granted == ["room", "room"]
+
+    def test_double_claim_rejected(self):
+        coordinator = ResourceCoordinator()
+        coordinator.register(Resource("room", "Sala", "upc"))
+        coordinator.claim("room", "a1")
+        with pytest.raises(ModelError):
+            coordinator.claim("room", "a1")
+
+    def test_release_without_hold_rejected(self):
+        coordinator = ResourceCoordinator()
+        coordinator.register(Resource("room", "Sala", "upc"))
+        with pytest.raises(ModelError):
+            coordinator.release("room", "a1")
+
+    def test_withdraw_queued_claim(self):
+        coordinator = ResourceCoordinator()
+        coordinator.register(Resource("room", "Sala", "upc", capacity=1))
+        coordinator.claim("room", "a1")
+        coordinator.claim("room", "a2")
+        assert coordinator.withdraw_claim("room", "a2")
+        coordinator.release("room", "a1")
+        assert coordinator.holders_of("room") == []
+
+    def test_multi_capacity(self):
+        coordinator = ResourceCoordinator()
+        coordinator.register(Resource("lab", "Lab", "upc", capacity=2))
+        assert coordinator.claim("lab", "a1")
+        assert coordinator.claim("lab", "a2")
+        assert not coordinator.claim("lab", "a3")
+
+    def test_unknown_resource_rejected(self):
+        with pytest.raises(UnknownObjectError):
+            ResourceCoordinator().claim("ghost", "a1")
+
+
+class TestBarrier:
+    def test_fires_when_all_arrive(self):
+        barrier = Barrier(parties=frozenset({"a", "b"}))
+        fired = []
+        barrier.on_complete(lambda: fired.append(1))
+        assert not barrier.arrive("a")
+        assert barrier.waiting_for() == ["b"]
+        assert barrier.arrive("b")
+        assert fired == [1]
+
+    def test_non_party_rejected(self):
+        with pytest.raises(ModelError):
+            Barrier(parties=frozenset({"a"})).arrive("z")
+
+    def test_fires_once(self):
+        barrier = Barrier(parties=frozenset({"a"}))
+        fired = []
+        barrier.on_complete(lambda: fired.append(1))
+        barrier.arrive("a")
+        assert not barrier.arrive("a")
+        assert fired == [1]
+
+    def test_empty_barrier_rejected(self):
+        with pytest.raises(ModelError):
+            Barrier(parties=frozenset())

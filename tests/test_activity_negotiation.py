@@ -1,0 +1,93 @@
+"""Tests for responsibility/competence negotiation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.activity.model import Activity, ActivityRegistry
+from repro.activity.negotiation import NegotiationService, NegotiationState
+from repro.util.errors import NegotiationError
+
+
+@pytest.fixture
+def service() -> NegotiationService:
+    registry = ActivityRegistry()
+    registry.create(Activity("report", "write report"))
+    return NegotiationService(registry)
+
+
+class TestResponsibilityNegotiation:
+    def test_propose_accept_settle(self, service):
+        negotiation = service.propose_responsibility("report", "ana", "joan", "joan")
+        negotiation.accept("joan")
+        service.settle(negotiation.negotiation_id)
+        assert service.responsible_for("report") == "joan"
+
+    def test_counter_swaps_turn(self, service):
+        negotiation = service.propose_responsibility("report", "ana", "joan", "joan")
+        negotiation.counter("joan", {"responsible": "ana"})
+        # Now it is ana's turn; joan may not respond again.
+        with pytest.raises(NegotiationError):
+            negotiation.accept("joan")
+        negotiation.accept("ana")
+        service.settle(negotiation.negotiation_id)
+        assert service.responsible_for("report") == "ana"
+
+    def test_reject_closes(self, service):
+        negotiation = service.propose_responsibility("report", "ana", "joan", "joan")
+        negotiation.reject("joan")
+        assert negotiation.state is NegotiationState.REJECTED
+        with pytest.raises(NegotiationError):
+            negotiation.accept("joan")
+        with pytest.raises(NegotiationError):
+            service.settle(negotiation.negotiation_id)
+
+    def test_withdraw_only_by_initiator(self, service):
+        negotiation = service.propose_responsibility("report", "ana", "joan", "joan")
+        with pytest.raises(NegotiationError):
+            negotiation.withdraw("joan")
+        negotiation.withdraw("ana")
+        assert negotiation.state is NegotiationState.WITHDRAWN
+
+    def test_unknown_activity_rejected(self, service):
+        with pytest.raises(Exception):
+            service.propose_responsibility("ghost", "ana", "joan", "joan")
+
+    def test_open_negotiations_listing(self, service):
+        first = service.propose_responsibility("report", "ana", "joan", "joan")
+        second = service.propose_responsibility("report", "joan", "ana", "ana")
+        first.accept("joan")
+        assert [n.negotiation_id for n in service.open_negotiations()] == [
+            second.negotiation_id
+        ]
+
+    def test_multi_round_transcript(self, service):
+        negotiation = service.propose_responsibility("report", "ana", "joan", "joan")
+        negotiation.counter("joan", {"responsible": "ana"})
+        negotiation.counter("ana", {"responsible": "marta"})
+        negotiation.accept("joan")
+        actions = [step[1] for step in negotiation.transcript]
+        assert actions == ["propose", "counter", "counter", "accept"]
+        assert negotiation.rounds == 2
+
+
+class TestCompetenceNegotiation:
+    def test_division_settles(self, service):
+        division = {"ana": ["sections 1-3"], "joan": ["sections 4-6"]}
+        negotiation = service.propose_competence("report", "ana", "joan", division)
+        negotiation.accept("joan")
+        service.settle(negotiation.negotiation_id)
+        assert service.competence["report"]["joan"] == ["sections 4-6"]
+
+    def test_countered_division_wins(self, service):
+        negotiation = service.propose_competence(
+            "report", "ana", "joan", {"ana": ["all"]}
+        )
+        negotiation.counter("joan", {"division": {"ana": ["half"], "joan": ["half"]}})
+        negotiation.accept("ana")
+        service.settle(negotiation.negotiation_id)
+        assert set(service.competence["report"]) == {"ana", "joan"}
+
+    def test_unknown_negotiation_rejected(self, service):
+        with pytest.raises(NegotiationError):
+            service.get("neg-9999")

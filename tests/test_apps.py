@@ -1,0 +1,351 @@
+"""Tests for the groupware applications (each quadrant of Figure 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.conferencing import ConferencingSystem
+from repro.apps.document import DocumentProcessor
+from repro.apps.meeting_room import MeetingRoom
+from repro.apps.message_system import MessageSystem, Memo, Rule
+from repro.apps.shared_editor import SharedEditor
+from repro.apps.workflow import Procedure, ProcedureStep, WorkflowSystem
+from repro.util.errors import ConfigurationError, ModelError, UnknownObjectError
+
+
+class TestConferencing:
+    @pytest.fixture
+    def conf(self) -> ConferencingSystem:
+        system = ConferencingSystem()
+        system.create_conference("odp-debate", "ana")
+        system.join("odp-debate", "wolf")
+        system.join("odp-debate", "tom")
+        return system
+
+    def test_post_and_news(self, conf):
+        conf.post("odp-debate", "ana", "intro", "welcome", time=1.0)
+        conf.post("odp-debate", "wolf", "position", "ODP will help", time=2.0)
+        news = conf.news_for("odp-debate", "tom")
+        assert [e.topic for e in news] == ["intro", "position"]
+        assert conf.news_for("odp-debate", "tom") == []
+
+    def test_read_marks_per_member(self, conf):
+        conf.post("odp-debate", "ana", "a", "1")
+        conf.news_for("odp-debate", "wolf")
+        conf.post("odp-debate", "ana", "b", "2")
+        assert len(conf.news_for("odp-debate", "wolf")) == 1
+        assert len(conf.news_for("odp-debate", "tom")) == 2
+
+    def test_nonmember_cannot_post_or_read(self, conf):
+        with pytest.raises(ConfigurationError):
+            conf.post("odp-debate", "stranger", "t", "x")
+        with pytest.raises(ConfigurationError):
+            conf.news_for("odp-debate", "stranger")
+
+    def test_threads(self, conf):
+        root = conf.post("odp-debate", "ana", "q", "question")
+        conf.post("odp-debate", "wolf", "re: q", "answer", in_reply_to=root.entry_id)
+        conf.post("odp-debate", "tom", "other", "unrelated")
+        thread = conf.thread("odp-debate", root.entry_id)
+        assert [e.author for e in thread] == ["ana", "wolf"]
+
+    def test_reply_to_unknown_entry_rejected(self, conf):
+        with pytest.raises(UnknownObjectError):
+            conf.post("odp-debate", "ana", "t", "x", in_reply_to="entry-ghost")
+
+    def test_organizer_cannot_leave(self, conf):
+        with pytest.raises(ConfigurationError):
+            conf.leave("odp-debate", "ana")
+        conf.leave("odp-debate", "wolf")
+        assert "wolf" not in conf.conference("odp-debate").members
+
+    def test_duplicate_conference_rejected(self, conf):
+        with pytest.raises(ConfigurationError):
+            conf.create_conference("odp-debate", "x")
+
+    def test_converter_round_trip(self):
+        system = ConferencingSystem()
+        converter = system.converter()
+        native = {"topic": "t", "entry": "e", "conference": "c", "author": "ana"}
+        assert converter.from_common(converter.to_common(native)) == native
+
+
+class TestMessageSystem:
+    @pytest.fixture
+    def messages(self) -> MessageSystem:
+        return MessageSystem()
+
+    def test_template_validation(self, messages):
+        with pytest.raises(ConfigurationError):
+            messages.write_memo("ana", "action-request", "do it", "", fields={})
+        memo_doc = messages.write_memo(
+            "ana", "action-request", "do it", "please",
+            fields={"action": "review", "deadline": "friday"},
+        )
+        assert memo_doc["template"] == "action-request"
+
+    def test_unknown_template_rejected(self, messages):
+        with pytest.raises(UnknownObjectError):
+            messages.write_memo("ana", "telepathy", "s", "t")
+
+    def test_define_template(self, messages):
+        messages.define_template("bug-report", ["severity"])
+        assert "bug-report" in messages.templates()
+        with pytest.raises(ConfigurationError):
+            messages.define_template("bug-report", [])
+
+    def test_rules_file_and_flag(self, messages):
+        messages.add_rule("wolf", Rule("urgent", {"template": "action-request"}, ("flag", "urgent")))
+        messages.add_rule("wolf", Rule("filing", {"template": "action-request"}, ("file", "todo")))
+        memo = Memo("m1", "action-request", "s", "t", {"action": "x", "deadline": "d"})
+        messages.place("wolf", memo)
+        assert messages.folder("wolf", "todo")[0].flags == {"urgent"}
+        assert messages.folder("wolf", "inbox") == []
+        assert messages.auto_processed == 2
+
+    def test_rule_on_field_value(self, messages):
+        messages.add_rule("wolf", Rule("from-boss", {"sender": "boss"}, ("file", "priority")))
+        messages.place("wolf", Memo("m1", "plain", "s", "t", {}, sender="boss"))
+        messages.place("wolf", Memo("m2", "plain", "s", "t", {}, sender="peer"))
+        assert len(messages.folder("wolf", "priority")) == 1
+        assert len(messages.folder("wolf", "inbox")) == 1
+
+    def test_forward_rule(self, messages):
+        forwarded = []
+        messages.set_forward_hook(lambda frm, to, memo: forwarded.append((frm, to, memo.memo_id)))
+        messages.add_rule("wolf", Rule("delegate", {"template": "plain"}, ("forward", "assistant")))
+        messages.place("wolf", Memo("m1", "plain", "s", "t", {}))
+        assert forwarded == [("wolf", "assistant", "m1")]
+
+    def test_converter_preserves_fields(self, messages):
+        converter = messages.converter()
+        native = {"subject": "s", "text": "t", "template": "action-request",
+                  "fields": {"action": "go", "deadline": "now"}}
+        round_tripped = converter.from_common(converter.to_common(native))
+        assert round_tripped["fields"] == native["fields"]
+        assert round_tripped["template"] == "action-request"
+
+
+class TestSharedEditor:
+    @pytest.fixture
+    def editing(self, world):
+        world.add_site("net", ["ws1", "ws2", "ws3"])
+        editor = SharedEditor(world)
+        editor.open_document("ana", "ws1")
+        editor.open_document("wolf", "ws2")
+        return world, editor
+
+    def test_edits_propagate_wysiwis(self, editing):
+        world, editor = editing
+        editor.insert("ana", 0, "line one")
+        editor.insert("ana", 1, "line two")
+        world.run()
+        assert editor.view("wolf") == ["line one", "line two"]
+        assert editor.converged()
+
+    def test_concurrent_edits_converge(self, editing):
+        world, editor = editing
+        # Both insert at position 0 before seeing each other's edit.
+        editor.insert("ana", 0, "from ana")
+        editor.insert("wolf", 0, "from wolf")
+        world.run()
+        assert editor.converged()
+        assert sorted(editor.view("ana")) == ["from ana", "from wolf"]
+
+    def test_delete_propagates(self, editing):
+        world, editor = editing
+        editor.insert("ana", 0, "will vanish")
+        world.run()
+        editor.delete("wolf", 0)
+        world.run()
+        assert editor.view("ana") == []
+        assert editor.converged()
+
+    def test_late_joiner_with_state_transfer_sees_history(self, editing):
+        world, editor = editing
+        editor.insert("ana", 0, "early")
+        world.run()
+        editor.open_document("tom", "ws3")
+        editor.insert("ana", 1, "late")
+        world.run()
+        assert editor.view("tom") == ["early", "late"]
+        assert editor.converged()
+
+    def test_late_joiner_without_state_transfer_misses_history(self, editing):
+        world, editor = editing
+        editor.insert("ana", 0, "early")
+        world.run()
+        editor.open_document("tom", "ws3", state_transfer=False)
+        editor.insert("ana", 1, "late")
+        world.run()
+        assert editor.view("tom") == ["late"]
+
+    def test_unopened_person_cannot_edit(self, editing):
+        world, editor = editing
+        with pytest.raises(ModelError):
+            editor.insert("stranger", 0, "x")
+
+    def test_snapshot_native_format(self, editing):
+        world, editor = editing
+        editor.insert("ana", 0, "title line")
+        world.run()
+        snapshot = editor.snapshot("ana", "minutes")
+        converter = editor.converter()
+        common = converter.to_common(snapshot)
+        assert common["body"] == "title line"
+
+
+class TestMeetingRoom:
+    @pytest.fixture
+    def meeting(self, world):
+        world.add_site("room", ["seat1", "seat2", "seat3"])
+        room = MeetingRoom(world)
+        room.enter_room("ana", "seat1")
+        room.enter_room("wolf", "seat2")
+        room.add_agenda_point("requirements")
+        return world, room
+
+    def test_brainstorm_free_for_all(self, meeting):
+        world, room = meeting
+        room.begin_brainstorm("requirements")
+        room.add_item("ana", "openness")
+        room.add_item("wolf", "transparency")
+        assert len(room.board()) == 2
+
+    def test_organise_requires_floor(self, meeting):
+        world, room = meeting
+        room.begin_brainstorm("requirements")
+        room.add_item("ana", "openness")
+        room.end_brainstorm("requirements")
+        with pytest.raises(ModelError):
+            room.add_item("wolf", "sneaky item")
+        room.take_floor("wolf")
+        item = room.add_item("wolf", "with the chalk")
+        room.categorise(item.item_id, "infrastructure")
+        assert room.board("infrastructure")[0].text == "with the chalk"
+
+    def test_voting_and_ranking(self, meeting):
+        world, room = meeting
+        room.begin_brainstorm("requirements")
+        first = room.add_item("ana", "openness")
+        second = room.add_item("wolf", "speed")
+        room.vote("ana", first.item_id)
+        room.vote("wolf", first.item_id)
+        room.vote("wolf", second.item_id)
+        room.vote("wolf", second.item_id)  # idempotent per person
+        assert room.ranking() == [("openness", 2), ("speed", 1)]
+
+    def test_outsider_cannot_write_or_vote(self, meeting):
+        world, room = meeting
+        room.begin_brainstorm("requirements")
+        with pytest.raises(ModelError):
+            room.add_item("stranger", "x")
+        item = room.add_item("ana", "y")
+        with pytest.raises(ModelError):
+            room.vote("stranger", item.item_id)
+
+    def test_unknown_agenda_point_rejected(self, meeting):
+        world, room = meeting
+        with pytest.raises(ModelError):
+            room.begin_brainstorm("nonexistent")
+
+
+class TestWorkflow:
+    @pytest.fixture
+    def flow(self) -> WorkflowSystem:
+        system = WorkflowSystem()
+        system.define_procedure(
+            Procedure(
+                "purchase",
+                [
+                    ProcedureStep("request", "requester", fills=("item", "amount")),
+                    ProcedureStep("approve", "manager", fills=("approved",)),
+                    ProcedureStep("order", "purchasing"),
+                ],
+            )
+        )
+        system.grant_role("ana", "requester")
+        system.grant_role("joan", "manager")
+        system.grant_role("marta", "purchasing")
+        return system
+
+    def test_case_routes_through_roles(self, flow):
+        case = flow.start_case("purchase", {})
+        assert flow.current_step(case.case_id).name == "request"
+        flow.perform_step(case.case_id, "ana", {"item": "workstation", "amount": 3000})
+        assert flow.work_list("joan")[0].case_id == case.case_id
+        flow.perform_step(case.case_id, "joan", {"approved": True})
+        flow.perform_step(case.case_id, "marta")
+        assert flow.case(case.case_id).completed
+        assert flow.case(case.case_id).form["approved"] is True
+
+    def test_wrong_role_rejected(self, flow):
+        case = flow.start_case("purchase", {})
+        with pytest.raises(ModelError):
+            flow.perform_step(case.case_id, "joan")
+
+    def test_missing_slots_rejected(self, flow):
+        case = flow.start_case("purchase", {})
+        with pytest.raises(ModelError):
+            flow.perform_step(case.case_id, "ana", {"item": "pc"})
+
+    def test_skip_deviation_recorded(self, flow):
+        case = flow.start_case("purchase", {"item": "pencil", "amount": 1})
+        flow.perform_step(case.case_id, "ana", {"item": "pencil", "amount": 1})
+        flow.skip_step(case.case_id, "joan", "trivial amount")
+        assert flow.deviations == 1
+        assert "skipped" in flow.case(case.case_id).records[-1].deviation
+
+    def test_skip_requires_justification(self, flow):
+        case = flow.start_case("purchase", {})
+        with pytest.raises(ModelError):
+            flow.skip_step(case.case_id, "ana", "")
+
+    def test_delegation_deviation(self, flow):
+        case = flow.start_case("purchase", {})
+        flow.perform_step(case.case_id, "ana", {"item": "x", "amount": 1})
+        flow.delegate_step(case.case_id, "joan", "ana")
+        flow.perform_step(case.case_id, "ana", {"approved": True})
+        assert flow.deviations == 1
+
+    def test_completed_case_has_no_current_step(self, flow):
+        case = flow.start_case("purchase", {})
+        flow.perform_step(case.case_id, "ana", {"item": "x", "amount": 1})
+        flow.perform_step(case.case_id, "joan", {"approved": False})
+        flow.perform_step(case.case_id, "marta")
+        with pytest.raises(ModelError):
+            flow.current_step(case.case_id)
+
+    def test_unknown_procedure_rejected(self, flow):
+        with pytest.raises(UnknownObjectError):
+            flow.start_case("teleport", {})
+
+
+class TestDocumentProcessor:
+    def test_single_user_editing(self):
+        docs = DocumentProcessor()
+        docs.create("ana", "minutes")
+        docs.append_paragraph("ana", "minutes", "We met.")
+        docs.append_paragraph("ana", "minutes", "We decided.")
+        assert docs.paragraphs("ana", "minutes") == ["We met.", "We decided."]
+        assert docs.titles("ana") == ["minutes"]
+
+    def test_unknown_document_rejected(self):
+        with pytest.raises(UnknownObjectError):
+            DocumentProcessor().append_paragraph("ana", "ghost", "x")
+
+    def test_is_not_cscw(self):
+        assert DocumentProcessor.is_cscw is False
+
+    def test_receive_saves_file(self):
+        docs = DocumentProcessor()
+        docs.deliver("ana", {"title": "report", "paragraphs": ["a", "b"]}, {})
+        assert docs.paragraphs("ana", "report") == ["a", "b"]
+
+    def test_receive_does_not_overwrite(self):
+        docs = DocumentProcessor()
+        docs.create("ana", "report")
+        docs.append_paragraph("ana", "report", "mine")
+        docs.deliver("ana", {"title": "report", "paragraphs": ["theirs"]}, {})
+        assert docs.paragraphs("ana", "report") == ["mine"]
+        assert docs.paragraphs("ana", "report (received)") == ["theirs"]

@@ -1,0 +1,127 @@
+"""Tests for app-level extensions: editor undo, conference moderation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.conferencing import ConferencingSystem
+from repro.apps.shared_editor import SharedEditor
+from repro.util.errors import ConfigurationError, ModelError, UnknownObjectError
+
+
+@pytest.fixture
+def editing(world):
+    world.add_site("net", ["ws1", "ws2"])
+    editor = SharedEditor(world)
+    editor.open_document("ana", "ws1")
+    editor.open_document("wolf", "ws2")
+    return world, editor
+
+
+class TestEditorUndo:
+    def test_undo_insert_removes_line(self, editing):
+        world, editor = editing
+        editor.insert("ana", 0, "keep")
+        editor.insert("ana", 1, "oops")
+        world.run()
+        editor.undo("ana")
+        world.run()
+        assert editor.view("ana") == ["keep"]
+        assert editor.view("wolf") == ["keep"]
+        assert editor.converged()
+
+    def test_undo_insert_tracks_moved_line(self, editing):
+        world, editor = editing
+        editor.insert("ana", 0, "target")
+        world.run()
+        # Wolf inserts above, shifting ana's line down.
+        editor.insert("wolf", 0, "above")
+        world.run()
+        editor.undo("ana")
+        world.run()
+        assert editor.view("ana") == ["above"]
+        assert editor.converged()
+
+    def test_undo_delete_restores_text(self, editing):
+        world, editor = editing
+        editor.insert("ana", 0, "precious")
+        world.run()
+        editor.delete("wolf", 0)
+        world.run()
+        editor.undo("wolf")
+        world.run()
+        assert editor.view("ana") == ["precious"]
+        assert editor.converged()
+
+    def test_undo_nothing_rejected(self, editing):
+        world, editor = editing
+        with pytest.raises(ModelError, match="nothing to undo"):
+            editor.undo("ana")
+
+    def test_undo_insert_already_deleted_rejected(self, editing):
+        world, editor = editing
+        editor.insert("ana", 0, "short-lived")
+        world.run()
+        editor.delete("wolf", 0)
+        world.run()
+        with pytest.raises(ModelError, match="already deleted"):
+            editor.undo("ana")
+
+    def test_undo_by_stranger_rejected(self, editing):
+        world, editor = editing
+        with pytest.raises(ModelError):
+            editor.undo("stranger")
+
+
+class TestConferenceModeration:
+    @pytest.fixture
+    def moderated(self) -> ConferencingSystem:
+        system = ConferencingSystem()
+        system.create_conference("announce", "ana", moderated=True)
+        system.join("announce", "wolf")
+        system.join("announce", "tom")
+        return system
+
+    def test_member_post_goes_to_pending(self, moderated):
+        moderated.post("announce", "wolf", "idea", "what about X?")
+        assert moderated.news_for("announce", "tom") == []
+        assert len(moderated.pending_entries("announce", "ana")) == 1
+
+    def test_organizer_post_publishes_directly(self, moderated):
+        moderated.post("announce", "ana", "news", "release out")
+        assert len(moderated.news_for("announce", "tom")) == 1
+        assert moderated.pending_entries("announce", "ana") == []
+
+    def test_approve_publishes(self, moderated):
+        entry = moderated.post("announce", "wolf", "idea", "X")
+        moderated.approve("announce", entry.entry_id, "ana")
+        assert [e.entry_id for e in moderated.news_for("announce", "tom")] == [entry.entry_id]
+        assert moderated.pending_entries("announce", "ana") == []
+
+    def test_reject_discards(self, moderated):
+        entry = moderated.post("announce", "wolf", "spam", "buy now")
+        moderated.reject("announce", entry.entry_id, "ana")
+        assert moderated.pending_entries("announce", "ana") == []
+        assert moderated.news_for("announce", "tom") == []
+
+    def test_only_organizer_moderates(self, moderated):
+        entry = moderated.post("announce", "wolf", "idea", "X")
+        with pytest.raises(ConfigurationError):
+            moderated.pending_entries("announce", "wolf")
+        with pytest.raises(ConfigurationError):
+            moderated.approve("announce", entry.entry_id, "wolf")
+        with pytest.raises(ConfigurationError):
+            moderated.reject("announce", entry.entry_id, "tom")
+
+    def test_moderating_unknown_entry_rejected(self, moderated):
+        with pytest.raises(UnknownObjectError):
+            moderated.approve("announce", "entry-ghost", "ana")
+        with pytest.raises(UnknownObjectError):
+            moderated.reject("announce", "entry-ghost", "ana")
+
+    def test_unmoderated_conference_unchanged(self):
+        system = ConferencingSystem()
+        system.create_conference("open", "ana")
+        system.join("open", "wolf")
+        system.post("open", "wolf", "t", "x")
+        assert len(system.news_for("open", "ana")) == 1

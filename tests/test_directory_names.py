@@ -1,0 +1,75 @@
+"""Tests for distinguished names."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.directory.names import DistinguishedName, Rdn, dn
+from repro.util.errors import NameError_
+
+
+class TestRdn:
+    def test_parse(self):
+        rdn = Rdn.parse("cn=Ana Lopez")
+        assert rdn.attribute == "cn"
+        assert rdn.value == "Ana Lopez"
+
+    def test_parse_missing_equals_rejected(self):
+        with pytest.raises(NameError_):
+            Rdn.parse("just-text")
+
+    def test_case_insensitive_equality(self):
+        assert Rdn.parse("CN=Ana") == Rdn.parse("cn=ana")
+
+    def test_reserved_characters_rejected(self):
+        with pytest.raises(NameError_):
+            Rdn("cn", "a,b")
+
+    def test_empty_parts_rejected(self):
+        with pytest.raises(NameError_):
+            Rdn("", "x")
+
+
+class TestDistinguishedName:
+    def test_parse_and_str_round_trip(self):
+        name = dn("cn=Ana,ou=AC,o=UPC,c=ES")
+        assert str(name) == "cn=Ana,ou=AC,o=UPC,c=ES"
+        assert name.depth() == 4
+
+    def test_empty_is_root(self):
+        assert dn("").is_root
+        assert dn("  ").is_root
+
+    def test_rdn_is_leaf(self):
+        assert dn("cn=Ana,o=UPC").rdn.value == "Ana"
+
+    def test_root_has_no_rdn(self):
+        with pytest.raises(NameError_):
+            dn("").rdn
+
+    def test_parent(self):
+        assert str(dn("cn=Ana,o=UPC").parent()) == "o=UPC"
+
+    def test_root_parent_rejected(self):
+        with pytest.raises(NameError_):
+            dn("").parent()
+
+    def test_child(self):
+        assert str(dn("o=UPC").child("cn=Ana")) == "cn=Ana,o=UPC"
+
+    def test_descendant(self):
+        assert dn("cn=Ana,ou=AC,o=UPC").is_descendant_of(dn("o=UPC"))
+        assert not dn("o=UPC").is_descendant_of(dn("o=UPC"))
+        assert not dn("cn=Ana,o=GMD").is_descendant_of(dn("o=UPC"))
+
+    def test_everything_descends_from_root(self):
+        assert dn("c=ES").is_descendant_of(dn(""))
+
+    def test_case_insensitive_equality(self):
+        assert dn("CN=Ana,O=UPC") == dn("cn=ana,o=upc")
+
+    def test_ordering_is_hierarchical(self):
+        names = [dn("cn=B,o=UPC"), dn("o=UPC"), dn("cn=A,o=UPC")]
+        ordered = sorted(names)
+        assert ordered[0] == dn("o=UPC")
+        assert ordered[1] == dn("cn=A,o=UPC")

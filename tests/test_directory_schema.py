@@ -1,0 +1,79 @@
+"""Tests for directory schema validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.directory.schema import AttributeType, Schema, standard_schema
+from repro.util.errors import ConfigurationError, SchemaViolationError
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return standard_schema()
+
+
+class TestDefinitions:
+    def test_duplicate_attribute_rejected(self, schema):
+        with pytest.raises(ConfigurationError):
+            schema.define_attribute(AttributeType("cn"))
+
+    def test_duplicate_class_rejected(self, schema):
+        with pytest.raises(ConfigurationError):
+            schema.define_class("person")
+
+    def test_class_with_undefined_attribute_rejected(self, schema):
+        with pytest.raises(ConfigurationError):
+            schema.define_class("thing", must={"nonexistent"})
+
+    def test_unknown_lookups_raise(self, schema):
+        with pytest.raises(SchemaViolationError):
+            schema.attribute("ghost")
+        with pytest.raises(SchemaViolationError):
+            schema.object_class("ghost")
+
+    def test_inheritance_accumulates(self, schema):
+        person = schema.object_class("person")
+        assert "description" in person.all_may()  # inherited from top
+        assert "cn" in person.all_must()
+
+
+class TestValidation:
+    def test_valid_person(self, schema):
+        schema.validate_entry(
+            {"objectclass": ["person"], "cn": ["Ana"], "sn": ["Lopez"], "mail": ["ana@upc.es"]}
+        )
+
+    def test_missing_objectclass_rejected(self, schema):
+        with pytest.raises(SchemaViolationError, match="objectClass"):
+            schema.validate_entry({"cn": ["Ana"]})
+
+    def test_missing_mandatory_rejected(self, schema):
+        with pytest.raises(SchemaViolationError, match="mandatory"):
+            schema.validate_entry({"objectclass": ["person"], "cn": ["Ana"]})
+
+    def test_unpermitted_attribute_rejected(self, schema):
+        with pytest.raises(SchemaViolationError, match="not permitted"):
+            schema.validate_entry(
+                {"objectclass": ["country"], "c": ["ES"], "mail": ["x@y"]}
+            )
+
+    def test_single_valued_enforced(self, schema):
+        with pytest.raises(SchemaViolationError, match="single-valued"):
+            schema.validate_entry(
+                {"objectclass": ["organization"], "o": ["UPC", "GMD"]}
+            )
+
+    def test_multiple_classes_union_permissions(self, schema):
+        schema.validate_entry(
+            {
+                "objectclass": ["person", "cscwrole"],
+                "cn": ["Ana"],
+                "sn": ["Lopez"],
+                "responsibility": ["review"],
+            }
+        )
+
+    def test_cscw_classes_present(self, schema):
+        for name in ("cscwactivity", "cscwrole", "cscwservice"):
+            assert schema.has_class(name)

@@ -1,0 +1,210 @@
+"""Tests for the CSCW environment facade and the exchange primitive."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.conferencing import ConferencingSystem
+from repro.apps.message_system import MessageSystem
+from repro.communication.model import Communicator
+from repro.environment.environment import CSCWEnvironment
+from repro.environment.transparency import TransparencyProfile
+from repro.org.model import Organisation, Person
+from repro.org.policy import INTERACTION_MESSAGE
+from repro.sim.world import World
+from repro.util.events import EventRecorder
+
+
+@pytest.fixture
+def env(world) -> CSCWEnvironment:
+    env = CSCWEnvironment(world)
+    upc = Organisation("upc", "UPC")
+    upc.add_person(Person("ana", "Ana Lopez", "upc"))
+    gmd = Organisation("gmd", "GMD")
+    gmd.add_person(Person("wolf", "Wolf Prinz", "gmd"))
+    env.knowledge_base.add_organisation(upc)
+    env.knowledge_base.add_organisation(gmd)
+    env.knowledge_base.policies.declare(
+        "upc", "gmd", {INTERACTION_MESSAGE, "service-import"}, symmetric=True
+    )
+    world.add_site("bcn", ["ws-ana"])
+    world.add_site("bonn", ["ws-wolf"])
+    env.register_person(Communicator("ana", "ws-ana"))
+    env.register_person(Communicator("wolf", "ws-wolf"))
+    return env
+
+
+@pytest.fixture
+def two_apps(env):
+    conferencing = ConferencingSystem()
+    messages = MessageSystem()
+    conferencing.attach(env, exporter_org="upc")
+    messages.attach(env, exporter_org="gmd")
+    return conferencing, messages
+
+
+class TestExchange:
+    def test_full_transparency_cross_org_cross_format(self, env, two_apps):
+        conferencing, messages = two_apps
+        outcome = env.exchange(
+            sender="ana",
+            receiver="wolf",
+            sender_app="conferencing",
+            receiver_app="message-system",
+            document={"topic": "ODP", "entry": "will it help?", "author": "ana"},
+        )
+        assert outcome.delivered
+        assert outcome.translated
+        assert set(outcome.handled) >= {"organisation", "view"}
+        memos = messages.folder("wolf")
+        assert memos[0].subject == "ODP"
+        assert memos[0].text == "will it help?"
+
+    def test_same_format_no_translation(self, env, two_apps):
+        conferencing, messages = two_apps
+        second = ConferencingSystem(instance_name="conf2")
+        # Same converter name would collide in interchange; register app
+        # without converter re-registration by reusing descriptor format.
+        from repro.environment.registry import AppDescriptor
+
+        env.applications.register(
+            AppDescriptor(name="conf2", quadrants=conferencing.quadrants,
+                          converter=None),
+            second.deliver,
+        )
+        # conf2 has no converter => format '' differs from 'conference';
+        # instead test same-app exchange.
+        outcome = env.exchange(
+            sender="ana",
+            receiver="wolf",
+            sender_app="conferencing",
+            receiver_app="conferencing",
+            document={"topic": "t", "entry": "e", "conference": "general", "author": "ana"},
+        )
+        assert outcome.delivered
+        assert not outcome.translated
+
+    def test_org_transparency_off_blocks_cross_org(self, env, two_apps):
+        profile = TransparencyProfile.all_on().without("organisation")
+        outcome = env.exchange(
+            "ana", "wolf", "conferencing", "message-system",
+            {"topic": "t", "entry": "e"}, profile=profile,
+        )
+        assert not outcome.delivered
+        assert "organisation transparency off" in outcome.reason
+
+    def test_incompatible_policy_blocks_even_with_transparency(self, env, two_apps):
+        env.knowledge_base.organisation("gmd").add_person(
+            Person("heinz", "Heinz Berg", "gmd")
+        )
+        # No policy between gmd and an undeclared org is irrelevant here;
+        # instead remove compatibility by using an interaction the policy
+        # does not cover.
+        outcome = env.exchange(
+            "ana", "wolf", "conferencing", "message-system",
+            {"topic": "t", "entry": "e"}, interaction="realtime",
+        )
+        assert not outcome.delivered
+        assert "no compatible policy" in outcome.reason
+
+    def test_view_transparency_off_blocks_format_mismatch(self, env, two_apps):
+        profile = TransparencyProfile.all_on().without("view")
+        outcome = env.exchange(
+            "ana", "wolf", "conferencing", "message-system",
+            {"topic": "t", "entry": "e"}, profile=profile,
+        )
+        assert not outcome.delivered
+        assert "format mismatch" in outcome.reason
+
+    def test_time_transparency_falls_back_to_async(self, env, two_apps):
+        env.communicators.set_presence("wolf", False)
+        outcome = env.exchange(
+            "ana", "wolf", "conferencing", "message-system",
+            {"topic": "t", "entry": "e"},
+        )
+        assert outcome.delivered
+        assert outcome.mode == "asynchronous"
+        assert "time" in outcome.handled
+
+    def test_time_transparency_off_fails_when_absent(self, env, two_apps):
+        env.communicators.set_presence("wolf", False)
+        profile = TransparencyProfile.all_on().without("time")
+        outcome = env.exchange(
+            "ana", "wolf", "conferencing", "message-system",
+            {"topic": "t", "entry": "e"}, profile=profile,
+        )
+        assert not outcome.delivered
+        assert "time transparency off" in outcome.reason
+
+    def test_activity_scoping_isolates_events(self, env, two_apps):
+        env.create_activity("act1", "one", members={"ana": "chair", "wolf": "participant"})
+        env.create_activity("act2", "two", members={"ana": "chair", "wolf": "participant"})
+        act1_events = EventRecorder()
+        act2_events = EventRecorder()
+        env.bus.subscribe("activity/act1", act1_events)
+        env.bus.subscribe("activity/act2", act2_events)
+        env.exchange(
+            "ana", "wolf", "conferencing", "message-system",
+            {"topic": "t", "entry": "e"}, activity_id="act1",
+        )
+        assert len(act1_events.events) == 1
+        assert act2_events.events == []
+
+    def test_activity_transparency_off_leaks_globally(self, env, two_apps):
+        env.create_activity("act1", "one", members={"ana": "chair", "wolf": "m"})
+        global_events = EventRecorder()
+        scoped_events = EventRecorder()
+        env.bus.subscribe("exchange", global_events)
+        env.bus.subscribe("activity/act1", scoped_events)
+        profile = TransparencyProfile.all_on().without("activity")
+        env.exchange(
+            "ana", "wolf", "conferencing", "message-system",
+            {"topic": "t", "entry": "e"}, activity_id="act1", profile=profile,
+        )
+        assert len(global_events.events) == 1
+        assert scoped_events.events == []
+
+    def test_nonmember_cannot_exchange_in_activity(self, env, two_apps):
+        env.create_activity("act1", "one", members={"ana": "chair"})
+        outcome = env.exchange(
+            "ana", "wolf", "conferencing", "message-system",
+            {"topic": "t", "entry": "e"}, activity_id="act1",
+        )
+        assert not outcome.delivered
+        assert "not a member" in outcome.reason
+
+    def test_view_rendering_applied(self, env, two_apps):
+        conferencing, messages = two_apps
+        env.views.set_view("wolf", language="de", font="large")
+        env.exchange(
+            "ana", "wolf", "conferencing", "message-system",
+            {"topic": "t", "entry": "e"},
+        )
+        delivery = messages.inbox("wolf")[0]
+        assert delivery.document["_view"] == {"language": "de", "font": "large"}
+
+    def test_exchange_counters_and_log(self, env, two_apps):
+        env.exchange("ana", "wolf", "conferencing", "message-system",
+                     {"topic": "t", "entry": "e"})
+        profile = TransparencyProfile.all_off()
+        env.exchange("ana", "wolf", "conferencing", "message-system",
+                     {"topic": "t", "entry": "e"}, profile=profile)
+        assert env.exchanges_attempted == 2
+        assert env.exchanges_failed == 1
+        assert len(env.communication_log.all()) == 1
+
+    def test_trading_policy_installed(self, env, two_apps):
+        """Section 6.1: the org KB dictates the trader's policy."""
+        from repro.odp.objects import InterfaceRef
+        from repro.odp.trader import ImportContext
+        from repro.util.errors import NoOfferError
+
+        env.trader.export("archiving", InterfaceRef("n", "o", "i"), exporter="mars")
+        with pytest.raises(NoOfferError):
+            env.trader.import_one(
+                "archiving", context=ImportContext(organisation="upc")
+            )
+
+    def test_interop_coverage_full_with_converters(self, env, two_apps):
+        assert env.interop_coverage() == 1.0
+        assert env.integration_cost() == 2

@@ -1,0 +1,200 @@
+"""Tests for the second feature pack: message priorities, read receipts,
+role delegation with expiry, and workflow parallel branches."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.workflow import ParallelSteps, Procedure, ProcedureStep, WorkflowSystem
+from repro.messaging.envelope import PRIORITY_LOW, PRIORITY_URGENT
+from repro.messaging.mta import MessageTransferAgent
+from repro.messaging.names import or_name
+from repro.messaging.ua import UserAgent
+from repro.org.relations import RelationKind, RelationStore
+from repro.org.rules import RuleEngine
+from repro.util.errors import AccessDeniedError, ConfigurationError, ModelError
+
+ANA = or_name("C=ES;A= ;P=UPC;G=Ana;S=Lopez")
+JOAN = or_name("C=ES;A= ;P=UPC;G=Joan;S=Puig")
+
+
+@pytest.fixture
+def mhs(world):
+    world.add_site("bcn", ["mta", "ws-ana", "ws-joan"])
+    mta = MessageTransferAgent(world, "mta", "upc", [("es", "", "upc")])
+    ana = UserAgent(world, "ws-ana", ANA, "mta")
+    joan = UserAgent(world, "ws-joan", JOAN, "mta")
+    ana.register()
+    joan.register()
+    return world, mta, ana, joan
+
+
+class TestPriorities:
+    def test_urgent_arrives_before_low(self, mhs):
+        world, mta, ana, joan = mhs
+        arrivals = []
+        mta.add_delivery_hook(
+            lambda mailbox, stored: arrivals.append(stored.envelope.priority)
+        )
+        # Low is submitted first; urgent overtakes it in MTA processing.
+        ana.send([JOAN], "slow", "bulk", priority=PRIORITY_LOW)
+        ana.send([JOAN], "fast", "now!", priority=PRIORITY_URGENT)
+        world.run()
+        assert arrivals == [PRIORITY_URGENT, PRIORITY_LOW]
+
+    def test_all_priorities_eventually_delivered(self, mhs):
+        world, mta, ana, joan = mhs
+        for priority in (PRIORITY_LOW, "normal", PRIORITY_URGENT):
+            ana.send([JOAN], priority, "x", priority=priority)
+        world.run()
+        assert len(joan.list_inbox()) == 3
+
+
+class TestReadReceipts:
+    def test_receipt_sent_on_fetch(self, mhs):
+        world, mta, ana, joan = mhs
+        ana.send([JOAN], "please confirm", "body", receipt_requested=True)
+        world.run()
+        sequence = joan.list_inbox()[0]["sequence"]
+        joan.fetch(sequence)
+        world.run()
+        receipts = ana.read_receipts()
+        assert len(receipts) == 1
+        assert receipts[0]["reader"] == str(JOAN)
+
+    def test_no_receipt_without_request(self, mhs):
+        world, mta, ana, joan = mhs
+        ana.send([JOAN], "no receipt", "body")
+        world.run()
+        joan.fetch(joan.list_inbox()[0]["sequence"])
+        world.run()
+        assert ana.read_receipts() == []
+
+    def test_receipts_do_not_cascade(self, mhs):
+        """Fetching a receipt must not generate a receipt for the receipt."""
+        world, mta, ana, joan = mhs
+        ana.send([JOAN], "confirm", "x", receipt_requested=True)
+        world.run()
+        joan.fetch(joan.list_inbox()[0]["sequence"])
+        world.run()
+        ana.read_receipts()
+        world.run()
+        # Joan's inbox holds no new receipt-of-receipt.
+        assert joan.list_inbox(unread_only=True) == []
+
+
+class TestRoleDelegation:
+    @pytest.fixture
+    def engine(self) -> RuleEngine:
+        relations = RelationStore()
+        relations.relate(RelationKind.PLAYS_ROLE, "joan", "approver")
+        engine = RuleEngine(relations)
+        engine.permit("approver", "approve", "expense")
+        return engine
+
+    def test_delegation_grants_until_expiry(self, engine):
+        assert not engine.allowed("ana", "approve", "expense", now=5.0)
+        engine.delegate_role("approver", "joan", "ana", until=10.0, justification="holiday")
+        assert engine.allowed("ana", "approve", "expense", now=5.0)
+        assert not engine.allowed("ana", "approve", "expense", now=10.0)
+
+    def test_cannot_delegate_unheld_role(self, engine):
+        with pytest.raises(AccessDeniedError):
+            engine.delegate_role("approver", "ana", "marta", until=10.0)
+
+    def test_revoke_delegation(self, engine):
+        engine.delegate_role("approver", "joan", "ana", until=100.0)
+        assert engine.revoke_delegation("approver", "ana")
+        assert not engine.allowed("ana", "approve", "expense", now=5.0)
+        assert not engine.revoke_delegation("approver", "ana")
+
+    def test_effective_roles_lists_delegations(self, engine):
+        engine.delegate_role("approver", "joan", "ana", until=10.0)
+        assert engine.effective_roles("ana", now=5.0) == ["approver"]
+        assert engine.effective_roles("ana", now=15.0) == []
+
+    def test_delegate_keeps_own_rights(self, engine):
+        engine.delegate_role("approver", "joan", "ana", until=10.0)
+        assert engine.allowed("joan", "approve", "expense", now=5.0)
+
+
+class TestParallelWorkflow:
+    @pytest.fixture
+    def flow(self) -> WorkflowSystem:
+        system = WorkflowSystem()
+        system.define_procedure(Procedure("proposal", [
+            ProcedureStep("draft", "author", fills=("text",)),
+            ParallelSteps((
+                ProcedureStep("legal-review", "lawyer", fills=("legal_ok",)),
+                ProcedureStep("tech-review", "engineer", fills=("tech_ok",)),
+            )),
+            ProcedureStep("publish", "editor"),
+        ]))
+        system.grant_role("ana", "author")
+        system.grant_role("joan", "lawyer")
+        system.grant_role("marta", "engineer")
+        system.grant_role("pere", "editor")
+        return system
+
+    def test_and_split_and_join(self, flow):
+        case = flow.start_case("proposal", {})
+        flow.perform_step(case.case_id, "ana", {"text": "v1"})
+        pending = flow.pending_steps(case.case_id)
+        assert {s.name for s in pending} == {"legal-review", "tech-review"}
+        # Both reviewers appear on work lists simultaneously.
+        assert flow.work_list("joan") and flow.work_list("marta")
+        flow.perform_step(case.case_id, "joan", {"legal_ok": True})
+        # Join not reached yet: publish is not pending.
+        assert {s.name for s in flow.pending_steps(case.case_id)} == {"tech-review"}
+        flow.perform_step(case.case_id, "marta", {"tech_ok": True})
+        assert flow.current_step(case.case_id).name == "publish"
+        flow.perform_step(case.case_id, "pere")
+        assert flow.case(case.case_id).completed
+
+    def test_branch_order_is_free(self, flow):
+        case = flow.start_case("proposal", {})
+        flow.perform_step(case.case_id, "ana", {"text": "v1"})
+        flow.perform_step(case.case_id, "marta", {"tech_ok": True})
+        flow.perform_step(case.case_id, "joan", {"legal_ok": False})
+        assert flow.current_step(case.case_id).name == "publish"
+
+    def test_ambiguous_step_needs_name(self, flow):
+        flow.grant_role("superwoman", "lawyer")
+        flow.grant_role("superwoman", "engineer")
+        case = flow.start_case("proposal", {})
+        flow.perform_step(case.case_id, "ana", {"text": "v1"})
+        with pytest.raises(ModelError, match="pass step_name"):
+            flow.perform_step(case.case_id, "superwoman", {"legal_ok": True})
+        flow.perform_step(case.case_id, "superwoman", {"legal_ok": True},
+                          step_name="legal-review")
+        flow.perform_step(case.case_id, "superwoman", {"tech_ok": True},
+                          step_name="tech-review")
+        assert flow.current_step(case.case_id).name == "publish"
+
+    def test_current_step_ambiguous_in_block(self, flow):
+        case = flow.start_case("proposal", {})
+        flow.perform_step(case.case_id, "ana", {"text": "v1"})
+        with pytest.raises(ModelError, match="parallel"):
+            flow.current_step(case.case_id)
+
+    def test_skip_one_branch(self, flow):
+        case = flow.start_case("proposal", {})
+        flow.perform_step(case.case_id, "ana", {"text": "v1"})
+        flow.skip_step(case.case_id, "joan", "no legal exposure", step_name="legal-review")
+        flow.perform_step(case.case_id, "marta", {"tech_ok": True})
+        assert flow.current_step(case.case_id).name == "publish"
+        assert flow.deviations == 1
+
+    def test_same_branch_cannot_complete_twice(self, flow):
+        case = flow.start_case("proposal", {})
+        flow.perform_step(case.case_id, "ana", {"text": "v1"})
+        flow.perform_step(case.case_id, "joan", {"legal_ok": True})
+        with pytest.raises(ModelError):
+            flow.perform_step(case.case_id, "joan", {"legal_ok": True},
+                              step_name="legal-review")
+
+    def test_parallel_block_validation(self):
+        with pytest.raises(ConfigurationError):
+            ParallelSteps((ProcedureStep("only-one", "r"),))
+        with pytest.raises(ConfigurationError):
+            ParallelSteps((ProcedureStep("dup", "r"), ProcedureStep("dup", "r2")))

@@ -1,0 +1,126 @@
+"""Tests for the common-form interchange service."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.information.interchange import (
+    FormatConverter,
+    InterchangeService,
+    is_common,
+    make_common,
+)
+from repro.util.errors import ConfigurationError, InteropError
+
+
+def _conference_converter() -> FormatConverter:
+    """COM-style conference entries: {'topic', 'entry'}."""
+    return FormatConverter(
+        "conference",
+        to_common=lambda d: make_common("note", d["topic"], d["entry"]),
+        from_common=lambda c: {"topic": c["title"], "entry": c["body"]},
+    )
+
+
+def _memo_converter() -> FormatConverter:
+    """Object-Lens-style memos: {'subject', 'text', 'fields'}."""
+    return FormatConverter(
+        "memo",
+        to_common=lambda d: make_common("note", d["subject"], d["text"], **d.get("fields", {})),
+        from_common=lambda c: {"subject": c["title"], "text": c["body"], "fields": dict(c["attributes"])},
+    )
+
+
+def _form_converter() -> FormatConverter:
+    """DOMINO-style structured forms (slightly lossy: drops free text)."""
+    return FormatConverter(
+        "form",
+        to_common=lambda d: make_common("form", d["form_name"], "", **d["slots"]),
+        from_common=lambda c: {"form_name": c["title"], "slots": dict(c["attributes"])},
+        fidelity=0.9,
+    )
+
+
+@pytest.fixture
+def service() -> InterchangeService:
+    service = InterchangeService()
+    service.register(_conference_converter())
+    service.register(_memo_converter())
+    service.register(_form_converter())
+    return service
+
+
+class TestCommonForm:
+    def test_make_and_check(self):
+        document = make_common("note", "t", "b", author="ana")
+        assert is_common(document)
+        assert not is_common({"title": "t"})
+
+
+class TestInterchange:
+    def test_same_format_is_identity(self, service):
+        result = service.translate("memo", "memo", {"subject": "s", "text": "t"})
+        assert result.hops == 0
+        assert result.fidelity == 1.0
+        assert result.document == {"subject": "s", "text": "t"}
+
+    def test_cross_format_translation(self, service):
+        result = service.translate(
+            "conference", "memo", {"topic": "ODP", "entry": "will it help?"}
+        )
+        assert result.document["subject"] == "ODP"
+        assert result.document["text"] == "will it help?"
+        assert result.hops == 2
+
+    def test_attributes_survive_via_common(self, service):
+        result = service.translate(
+            "memo", "form", {"subject": "req", "text": "", "fields": {"budget": 5}}
+        )
+        assert result.document["slots"] == {"budget": 5}
+
+    def test_fidelity_multiplies(self, service):
+        result = service.translate(
+            "memo", "form", {"subject": "s", "text": "t", "fields": {}}
+        )
+        assert result.fidelity == pytest.approx(0.9)
+        reverse = service.translate("form", "memo", {"form_name": "f", "slots": {}})
+        assert reverse.fidelity == pytest.approx(0.9)
+
+    def test_unregistered_format_rejected(self, service):
+        with pytest.raises(InteropError):
+            service.translate("conference", "spreadsheet", {"topic": "t", "entry": "e"})
+        assert service.failures == 1
+
+    def test_duplicate_registration_rejected(self, service):
+        with pytest.raises(ConfigurationError):
+            service.register(_memo_converter())
+
+    def test_malformed_converter_output_rejected(self):
+        service = InterchangeService()
+        service.register(
+            FormatConverter("bad", to_common=lambda d: {"oops": 1}, from_common=lambda c: {})
+        )
+        service.register(_memo_converter())
+        with pytest.raises(InteropError, match="malformed"):
+            service.translate("bad", "memo", {})
+
+    def test_linear_converters_quadratic_pairs(self, service):
+        assert service.converter_count() == 3
+        assert service.reachable_pairs() == 6
+
+    def test_translation_counter(self, service):
+        service.translate("conference", "memo", {"topic": "t", "entry": "e"})
+        assert service.translations == 1
+
+
+@given(st.text(max_size=30), st.text(max_size=100))
+def test_property_conference_memo_round_trip(topic, entry):
+    """conference -> memo -> conference preserves content exactly."""
+    service = InterchangeService()
+    service.register(_conference_converter())
+    service.register(_memo_converter())
+    to_memo = service.translate("conference", "memo", {"topic": topic, "entry": entry})
+    back = service.translate("memo", "conference", to_memo.document)
+    assert back.document == {"topic": topic, "entry": entry}

@@ -1,0 +1,198 @@
+"""Tests for information objects, access control and sharing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.information.access import (
+    EVERYONE,
+    OP_READ,
+    OP_WRITE,
+    AccessControlList,
+    AccessController,
+    owner_acl,
+    private_acl,
+)
+from repro.information.objects import InformationBase
+from repro.information.sharing import ConflictError, SharedWorkspace, SharingPattern
+from repro.org.relations import RelationKind, RelationStore
+from repro.util.errors import (
+    AccessDeniedError,
+    ConfigurationError,
+    DependencyCycleError,
+    ModelError,
+    UnknownObjectError,
+)
+
+
+@pytest.fixture
+def base() -> InformationBase:
+    base = InformationBase()
+    base.create("report", "document", {"text": "draft"}, owner="ana")
+    base.create("figure", "image", {"pixels": 42}, owner="joan")
+    base.create("summary", "document", {"text": "tbd"}, owner="ana")
+    return base
+
+
+class TestVersioning:
+    def test_update_appends_version(self, base):
+        report = base.get("report")
+        report.update({"text": "v2"}, "joan", time=1.0, comment="edits")
+        assert report.version == 2
+        assert report.content == {"text": "v2"}
+        assert report.at_version(1).content == {"text": "draft"}
+
+    def test_revert_creates_new_version(self, base):
+        report = base.get("report")
+        report.update({"text": "v2"}, "joan")
+        report.revert(1, "ana")
+        assert report.version == 3
+        assert report.content == {"text": "draft"}
+
+    def test_unknown_version_rejected(self, base):
+        with pytest.raises(UnknownObjectError):
+            base.get("report").at_version(9)
+
+    def test_duplicate_creation_rejected(self, base):
+        with pytest.raises(ConfigurationError):
+            base.create("report", "document", {}, "ana")
+
+    def test_by_type(self, base):
+        assert len(base.by_type("document")) == 2
+
+
+class TestCompositionAndDerivation:
+    def test_compose_and_assembly(self, base):
+        base.compose("figure", "report")
+        base.create("table", "table", {}, "ana")
+        base.compose("table", "figure")
+        assert base.parts_of("report") == ["figure"]
+        assert base.assembly("report") == ["figure", "table"]
+        assert base.whole_of("figure") == "report"
+
+    def test_composition_cycle_rejected(self, base):
+        base.compose("figure", "report")
+        with pytest.raises(DependencyCycleError):
+            base.compose("report", "figure")
+
+    def test_self_composition_rejected(self, base):
+        with pytest.raises(DependencyCycleError):
+            base.compose("report", "report")
+
+    def test_derivation_and_impact(self, base):
+        base.derive("summary", "report")
+        base.create("slides", "document", {}, "ana")
+        base.derive("slides", "summary")
+        assert base.sources_of("summary") == ["report"]
+        assert base.impact_of("report") == ["slides", "summary"]
+
+    def test_derivation_cycle_rejected(self, base):
+        base.derive("summary", "report")
+        with pytest.raises(DependencyCycleError):
+            base.derive("report", "summary")
+
+
+class TestAccessControl:
+    @pytest.fixture
+    def controller(self) -> AccessController:
+        relations = RelationStore()
+        relations.relate(RelationKind.PLAYS_ROLE, "ana", "editor")
+        relations.relate(RelationKind.PLAYS_ROLE, "joan", "reader")
+        controller = AccessController(relations)
+        acl = AccessControlList().grant(OP_READ, "reader").grant(OP_READ, "editor").grant(OP_WRITE, "editor")
+        controller.protect("report", acl)
+        return controller
+
+    def test_role_based_decision(self, controller):
+        assert controller.allowed("ana", OP_WRITE, "report")
+        assert controller.allowed("joan", OP_READ, "report")
+        assert not controller.allowed("joan", OP_WRITE, "report")
+
+    def test_unprotected_object_open(self, controller):
+        assert controller.allowed("anyone", OP_WRITE, "unprotected")
+
+    def test_require_raises(self, controller):
+        with pytest.raises(AccessDeniedError):
+            controller.require("joan", OP_WRITE, "report")
+
+    def test_everyone_grant(self, controller):
+        acl = AccessControlList().grant(OP_READ, EVERYONE)
+        controller.protect("notice", acl)
+        assert controller.allowed("stranger", OP_READ, "notice")
+        assert not controller.allowed("stranger", OP_WRITE, "notice")
+
+    def test_helper_acls(self):
+        assert owner_acl("boss").permits(OP_READ, ["nobody"])
+        assert not private_acl("boss").permits(OP_READ, ["nobody"])
+        assert private_acl("boss").permits(OP_WRITE, ["boss"])
+
+    def test_unknown_operation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AccessControlList().grant("fly", "role")
+
+    def test_denial_counter(self, controller):
+        controller.allowed("joan", OP_WRITE, "report")
+        assert controller.denials == 1
+
+
+class TestSharedWorkspace:
+    @pytest.fixture
+    def workspace(self, base) -> SharedWorkspace:
+        ws = SharedWorkspace("ws1", base, pattern=SharingPattern.GROUP)
+        ws.add_member("ana")
+        ws.add_member("joan")
+        ws.invite_reader("guest")
+        ws.share("report")
+        return ws
+
+    def test_visibility_by_pattern(self, workspace):
+        assert workspace.can_read("ana")
+        assert workspace.can_read("guest")
+        assert not workspace.can_read("stranger")
+        assert not workspace.can_write("guest")
+
+    def test_public_pattern(self, base):
+        ws = SharedWorkspace("open", base, pattern=SharingPattern.PUBLIC)
+        ws.share("report")
+        assert ws.can_read("anyone")
+
+    def test_read_unshared_rejected(self, workspace):
+        with pytest.raises(UnknownObjectError):
+            workspace.read("figure", "ana")
+
+    def test_checkout_checkin(self, workspace, base):
+        checkout = workspace.checkout("report", "ana")
+        new_version = workspace.checkin(checkout, {"text": "improved"}, time=1.0)
+        assert new_version == 2
+        assert base.get("report").content == {"text": "improved"}
+
+    def test_conflict_detected(self, workspace):
+        ana_co = workspace.checkout("report", "ana")
+        joan_co = workspace.checkout("report", "joan")
+        workspace.checkin(ana_co, {"text": "ana wins"})
+        with pytest.raises(ConflictError) as excinfo:
+            workspace.checkin(joan_co, {"text": "joan loses"})
+        assert excinfo.value.current_version == 2
+        assert workspace.conflicts == 1
+
+    def test_merge_checkin_after_conflict(self, workspace, base):
+        base.get("report").update({"text": "draft", "title": "old"}, "ana")
+        ana_co = workspace.checkout("report", "ana")
+        joan_co = workspace.checkout("report", "joan")
+        workspace.checkin(ana_co, {"text": "ana edit", "title": "old"})
+        with pytest.raises(ConflictError):
+            workspace.checkin(joan_co, {"text": "draft", "title": "joan title"})
+        version = workspace.merge_checkin(joan_co, {"text": "draft", "title": "joan title"})
+        merged = base.get("report").content
+        assert merged == {"text": "ana edit", "title": "joan title"}
+        assert version == 4
+
+    def test_stale_checkout_rejected(self, workspace):
+        checkout = workspace.checkout("report", "ana")
+        workspace.checkin(checkout, {"text": "x"})
+        with pytest.raises(ModelError):
+            workspace.checkin(checkout, {"text": "again"})
+
+    def test_nonmember_cannot_checkout(self, workspace):
+        with pytest.raises(ModelError):
+            workspace.checkout("report", "stranger")

@@ -1,0 +1,117 @@
+"""Tests for distribution lists (AMIGO-style group communication).
+
+The paper's reference [8] (Pankoke-Babatz, *Computer Based Group
+Communication, the AMIGO Activity Model*) underlies the group side of
+asynchronous CSCW; X.400 realises it with distribution lists expanded at
+the serving MTA.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.messaging.mta import MessageTransferAgent
+from repro.messaging.names import or_name
+from repro.messaging.ua import UserAgent
+from repro.util.errors import MessagingError
+
+ANA = or_name("C=ES;A= ;P=UPC;G=Ana;S=Lopez")
+JOAN = or_name("C=ES;A= ;P=UPC;G=Joan;S=Puig")
+WOLF = or_name("C=DE;A= ;P=GMD;G=Wolf;S=Prinz")
+TEAM = or_name("C=ES;A= ;P=UPC;S=mocca-team")
+EVERYONE = or_name("C=ES;A= ;P=UPC;S=everyone")
+
+
+@pytest.fixture
+def mhs(world):
+    world.add_site("bcn", ["mta-upc", "ws-ana", "ws-joan"])
+    world.add_site("bonn", ["mta-gmd", "ws-wolf"])
+    upc = MessageTransferAgent(world, "mta-upc", "upc", [("es", "", "upc")])
+    gmd = MessageTransferAgent(world, "mta-gmd", "gmd", [("de", "", "gmd")])
+    upc.add_peer("gmd", "mta-gmd")
+    gmd.add_peer("upc", "mta-upc")
+    upc.routing.add_route("de", "*", "*", "gmd")
+    gmd.routing.add_route("es", "*", "*", "upc")
+    ana = UserAgent(world, "ws-ana", ANA, "mta-upc")
+    joan = UserAgent(world, "ws-joan", JOAN, "mta-upc")
+    wolf = UserAgent(world, "ws-wolf", WOLF, "mta-gmd")
+    for ua in (ana, joan, wolf):
+        ua.register()
+    return world, upc, gmd, ana, joan, wolf
+
+
+class TestDistributionLists:
+    def test_expansion_reaches_all_members(self, mhs):
+        world, upc, gmd, ana, joan, wolf = mhs
+        upc.create_distribution_list(TEAM, [JOAN, WOLF])
+        ana.send([TEAM], "meeting", "tomorrow 10:00")
+        world.run()
+        assert len(joan.list_inbox()) == 1
+        assert len(wolf.list_inbox()) == 1
+        # The sender is not a member and receives nothing.
+        assert ana.list_inbox() == []
+
+    def test_remote_sender_to_list(self, mhs):
+        world, upc, gmd, ana, joan, wolf = mhs
+        upc.create_distribution_list(TEAM, [ANA, JOAN])
+        wolf.send([TEAM], "hello from bonn", "greetings")
+        world.run()
+        assert len(ana.list_inbox()) == 1
+        assert len(joan.list_inbox()) == 1
+
+    def test_nested_lists_expand(self, mhs):
+        world, upc, gmd, ana, joan, wolf = mhs
+        upc.create_distribution_list(TEAM, [JOAN])
+        upc.create_distribution_list(EVERYONE, [ANA, TEAM])
+        wolf.send([EVERYONE], "to all", "body")
+        world.run()
+        assert len(ana.list_inbox()) == 1
+        assert len(joan.list_inbox()) == 1
+
+    def test_mutually_recursive_lists_terminate(self, mhs):
+        world, upc, gmd, ana, joan, wolf = mhs
+        upc.create_distribution_list(TEAM, [EVERYONE, JOAN])
+        upc.create_distribution_list(EVERYONE, [TEAM, ANA])
+        ana.send([TEAM], "loop?", "body")
+        world.run()
+        # Each real member receives exactly once; expansion history stops
+        # the list-to-list recursion.
+        assert len(ana.list_inbox()) == 1
+        assert len(joan.list_inbox()) == 1
+
+    def test_list_with_unknown_member_ndrs_that_member_only(self, mhs):
+        world, upc, gmd, ana, joan, wolf = mhs
+        ghost = or_name("C=ES;A= ;P=UPC;S=ghost")
+        upc.create_distribution_list(TEAM, [JOAN, ghost])
+        ana.send([TEAM], "s", "b")
+        world.run()
+        assert len(joan.list_inbox()) == 1
+        reports = ana.unread_reports()
+        assert len(reports) == 1
+        assert "ghost" in reports[0].recipient
+
+    def test_list_name_collision_with_mailbox_rejected(self, mhs):
+        world, upc, gmd, ana, joan, wolf = mhs
+        with pytest.raises(MessagingError):
+            upc.create_distribution_list(JOAN, [ANA])
+        upc.create_distribution_list(TEAM, [ANA])
+        with pytest.raises(MessagingError):
+            upc.register_mailbox(TEAM)
+
+    def test_empty_list_rejected(self, mhs):
+        world, upc, gmd, ana, joan, wolf = mhs
+        with pytest.raises(MessagingError):
+            upc.create_distribution_list(TEAM, [])
+
+    def test_foreign_domain_list_rejected(self, mhs):
+        world, upc, gmd, ana, joan, wolf = mhs
+        foreign = or_name("C=DE;A= ;P=GMD;S=team")
+        with pytest.raises(MessagingError):
+            upc.create_distribution_list(foreign, [ANA])
+
+    def test_list_members_query(self, mhs):
+        world, upc, gmd, ana, joan, wolf = mhs
+        upc.create_distribution_list(TEAM, [JOAN, WOLF])
+        assert upc.list_members(TEAM) == [JOAN, WOLF]
+        with pytest.raises(MessagingError):
+            upc.list_members(EVERYONE)

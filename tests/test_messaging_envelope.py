@@ -1,0 +1,128 @@
+"""Tests for envelopes, routing tables and the message store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.messaging.envelope import Envelope, InterpersonalMessage
+from repro.messaging.message_store import MessageStore
+from repro.messaging.names import or_name
+from repro.messaging.routing import RoutingTable
+from repro.util.errors import MessagingError, NoRouteError
+
+ANA = or_name("C=ES;A= ;P=UPC;G=Ana;S=Lopez")
+WOLF = or_name("C=DE;A= ;P=GMD;G=Wolf;S=Prinz")
+TOM = or_name("C=UK;A= ;P=Lancaster;G=Tom;S=Rodden")
+
+
+def _envelope(recipients=None, **kwargs) -> Envelope:
+    content = InterpersonalMessage(ipm_id="ipm-1", subject="hello")
+    return Envelope(
+        message_id="msg-1",
+        originator=ANA,
+        recipients=[WOLF] if recipients is None else recipients,
+        content=content,
+        **kwargs,
+    )
+
+
+class TestEnvelope:
+    def test_requires_recipients(self):
+        with pytest.raises(MessagingError):
+            _envelope(recipients=[])
+
+    def test_unknown_priority_rejected(self):
+        with pytest.raises(MessagingError):
+            _envelope(priority="whenever")
+
+    def test_trace_and_loop_detection(self):
+        envelope = _envelope()
+        envelope.stamp("mta-a", 1.0)
+        envelope.stamp("mta-b", 2.0)
+        assert envelope.hop_count() == 2
+        assert envelope.visited("mta-a")
+        assert not envelope.visited("mta-c")
+
+    def test_split_for_single_recipient(self):
+        envelope = _envelope(recipients=[WOLF, TOM])
+        envelope.stamp("mta-a", 1.0)
+        single = envelope.for_single_recipient(TOM)
+        assert single.recipients == [TOM]
+        assert single.visited("mta-a")
+        assert single.message_id == envelope.message_id
+
+    def test_document_round_trip(self):
+        envelope = _envelope(recipients=[WOLF, TOM], delivery_report_requested=True)
+        envelope.stamp("mta-a", 1.0)
+        restored = Envelope.from_document(envelope.to_document())
+        assert restored.message_id == envelope.message_id
+        assert restored.recipients == envelope.recipients
+        assert restored.trace[0].mta == "mta-a"
+        assert restored.delivery_report_requested
+
+    def test_size_includes_body(self):
+        small = _envelope().size_bytes()
+        content = InterpersonalMessage(ipm_id="i", subject="s")
+        from repro.messaging.body_parts import fax_body
+
+        content.body_parts.append(fax_body(2))
+        big = Envelope(message_id="m", originator=ANA, recipients=[WOLF], content=content)
+        assert big.size_bytes() > small + 50_000
+
+
+class TestRoutingTable:
+    def test_most_specific_wins(self):
+        table = RoutingTable()
+        table.add_default("mta-hub")
+        table.add_route("de", "*", "*", "mta-de")
+        table.add_route("de", "*", "gmd", "mta-gmd")
+        assert table.next_hop(("de", "", "gmd")) == "mta-gmd"
+        assert table.next_hop(("de", "", "other")) == "mta-de"
+        assert table.next_hop(("es", "", "upc")) == "mta-hub"
+
+    def test_no_route_raises(self):
+        with pytest.raises(NoRouteError):
+            RoutingTable().next_hop(("es", "", "upc"))
+
+    def test_wildcard_matching_is_case_insensitive(self):
+        table = RoutingTable()
+        table.add_route("DE", "*", "GMD", "mta-gmd")
+        assert table.next_hop(("de", "anything", "gmd")) == "mta-gmd"
+
+
+class TestMessageStore:
+    def test_deliver_list_fetch(self):
+        store = MessageStore()
+        store.deliver("ana.lopez", _envelope(), time=1.0)
+        listed = store.list_messages("ana.lopez")
+        assert len(listed) == 1
+        fetched = store.fetch("ana.lopez", listed[0].sequence)
+        assert fetched.read
+
+    def test_unread_filter(self):
+        store = MessageStore()
+        store.deliver("m", _envelope(), 1.0)
+        store.deliver("m", _envelope(), 2.0)
+        store.fetch("m", 1)
+        assert store.unread_count("m") == 1
+        assert len(store.list_messages("m", unread_only=True)) == 1
+
+    def test_fetch_unknown_rejected(self):
+        with pytest.raises(MessagingError):
+            MessageStore().fetch("nobody", 1)
+
+    def test_delete(self):
+        store = MessageStore()
+        store.deliver("m", _envelope(), 1.0)
+        store.delete("m", 1)
+        assert store.list_messages("m") == []
+        with pytest.raises(MessagingError):
+            store.delete("m", 1)
+
+    def test_summaries(self):
+        store = MessageStore()
+        store.deliver("m", _envelope(), 1.5)
+        summary = store.summary_documents("m")[0]
+        assert summary["subject"] == "hello"
+        assert summary["delivered_at"] == 1.5
+        assert not summary["read"]

@@ -1,0 +1,109 @@
+"""Tests for O/R names and body parts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.messaging.body_parts import (
+    MEDIA_FAX,
+    MEDIA_PAPER,
+    MEDIA_TEXT,
+    MEDIA_VOICE,
+    BodyPart,
+    can_convert,
+    conversion_fidelity,
+    convert,
+    fax_body,
+    text_body,
+    voice_body,
+)
+from repro.messaging.names import OrName, or_name
+from repro.util.errors import MessagingError
+
+
+class TestOrName:
+    def test_parse_full(self):
+        name = or_name("C=ES;A=mensatex;P=UPC;OU=AC;G=Ana;S=Lopez")
+        assert name.country == "ES"
+        assert name.prmd == "UPC"
+        assert name.organizational_units == ("AC",)
+        assert name.mailbox == "ana.lopez"
+
+    def test_routing_domain_lowercased(self):
+        name = or_name("C=ES;A=MensaTex;P=UPC;S=Lopez")
+        assert name.routing_domain == ("es", "mensatex", "upc")
+
+    def test_round_trip_str(self):
+        name = or_name("C=DE;A= ;P=GMD;G=Wolf;S=Prinz")
+        assert OrName.parse(str(name)) == name
+
+    def test_document_round_trip(self):
+        name = or_name("C=UK;A= ;P=Lancaster;OU=Computing;S=Rodden")
+        assert OrName.from_document(name.to_document()) == name
+
+    def test_missing_mandatory_rejected(self):
+        with pytest.raises(MessagingError):
+            or_name("C=ES;A=x")
+
+    def test_invalid_component_rejected(self):
+        with pytest.raises(MessagingError):
+            or_name("nonsense")
+
+    def test_mailbox_without_given_name(self):
+        assert or_name("C=ES;P=UPC;S=Lopez").mailbox == "lopez"
+
+
+class TestBodyParts:
+    def test_text_size(self):
+        assert text_body("abcd").size_bytes() == 4
+
+    def test_fax_size_scales_with_pages(self):
+        assert fax_body(3).size_bytes() == 3 * 30_000
+
+    def test_voice_size_scales_with_duration(self):
+        assert voice_body(10).size_bytes() == 80_000
+
+    def test_invalid_fax_rejected(self):
+        with pytest.raises(MessagingError):
+            fax_body(0)
+
+    def test_invalid_voice_rejected(self):
+        with pytest.raises(MessagingError):
+            voice_body(0)
+
+    def test_document_round_trip(self):
+        part = fax_body(2, summary="minutes")
+        assert BodyPart.from_document(part.to_document()) == part
+
+
+class TestConversion:
+    def test_identity_always_possible(self):
+        assert can_convert(MEDIA_VOICE, MEDIA_VOICE)
+        assert conversion_fidelity(MEDIA_TEXT, MEDIA_TEXT) == 1.0
+
+    def test_text_to_fax_lossless(self):
+        assert conversion_fidelity(MEDIA_TEXT, MEDIA_FAX) == 1.0
+
+    def test_fax_to_text_lossy(self):
+        assert conversion_fidelity(MEDIA_FAX, MEDIA_TEXT) < 1.0
+
+    def test_impossible_conversion(self):
+        assert not can_convert(MEDIA_PAPER, MEDIA_VOICE)
+        with pytest.raises(MessagingError):
+            conversion_fidelity(MEDIA_PAPER, MEDIA_VOICE)
+
+    def test_convert_text_to_fax_pages(self):
+        fax = convert(text_body("x" * 5000), MEDIA_FAX)
+        assert fax.media == MEDIA_FAX
+        assert fax.content["pages"] == 3
+        assert fax.content["converted_from"] == MEDIA_TEXT
+
+    def test_convert_voice_to_text_keeps_transcript(self):
+        text = convert(voice_body(30, transcript="hello"), MEDIA_TEXT)
+        assert text.content["text"] == "hello"
+        assert text.content["fidelity"] == 0.6
+
+    def test_paper_exit(self):
+        printed = convert(fax_body(1), MEDIA_PAPER)
+        assert printed.media == MEDIA_PAPER
+        assert printed.size_bytes() == 0

@@ -1,0 +1,120 @@
+"""Tests for capsules, channels and the binding factory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.odp.binding import BindingFactory
+from repro.odp.node_mgmt import Capsule
+from repro.odp.objects import ComputationalObject, signature
+from repro.util.errors import BindingError, ConfigurationError
+
+
+def _echo_object(object_id="echo-1") -> ComputationalObject:
+    obj = ComputationalObject(object_id)
+    obj.offer(
+        signature("echo", "say", "fail"),
+        {
+            "say": lambda args: {"heard": args.get("text", "")},
+            "fail": lambda args: (_ for _ in ()).throw(ValueError("kaboom")),
+        },
+    )
+    return obj
+
+
+@pytest.fixture
+def deployment(world):
+    world.add_site("hq", ["server", "client"])
+    capsule = Capsule(world.network, "server")
+    refs = capsule.deploy(_echo_object())
+    factory = BindingFactory(world.network)
+    factory.register_capsule(capsule)
+    return world, capsule, refs, factory
+
+
+class TestCapsule:
+    def test_deploy_returns_refs(self, deployment):
+        world, capsule, refs, factory = deployment
+        assert refs["echo"].node == "server"
+        assert refs["echo"].object_id == "echo-1"
+
+    def test_duplicate_deploy_rejected(self, deployment):
+        world, capsule, refs, factory = deployment
+        with pytest.raises(ConfigurationError):
+            capsule.deploy(_echo_object())
+
+    def test_withdraw_unknown_rejected(self, deployment):
+        world, capsule, refs, factory = deployment
+        with pytest.raises(BindingError):
+            capsule.withdraw("ghost")
+
+    def test_hosts_and_object_ids(self, deployment):
+        world, capsule, refs, factory = deployment
+        assert capsule.hosts("echo-1")
+        assert capsule.object_ids() == ["echo-1"]
+
+    def test_migration_moves_object(self, world):
+        world.add_site("hq", ["n1", "n2"])
+        source = Capsule(world.network, "n1")
+        target = Capsule(world.network, "n2")
+        source.deploy(_echo_object())
+        new_refs = source.migrate_to("echo-1", target)
+        assert not source.hosts("echo-1")
+        assert target.hosts("echo-1")
+        assert new_refs["echo"].node == "n2"
+
+
+class TestChannel:
+    def test_remote_invocation_round_trip(self, deployment):
+        world, capsule, refs, factory = deployment
+        channel = factory.bind("client", refs["echo"])
+        result = channel.call(world, "say", {"text": "hello"})
+        assert result == {"heard": "hello"}
+        assert channel.completed == 1
+
+    def test_handler_exception_becomes_binding_error(self, deployment):
+        world, capsule, refs, factory = deployment
+        channel = factory.bind("client", refs["echo"])
+        with pytest.raises(BindingError, match="kaboom"):
+            channel.call(world, "fail")
+
+    def test_unknown_object_reported(self, deployment):
+        world, capsule, refs, factory = deployment
+        from repro.odp.objects import InterfaceRef
+
+        channel = factory.bind("client", InterfaceRef("server", "ghost", "echo"))
+        with pytest.raises(BindingError, match="not found"):
+            channel.call(world, "say")
+
+    def test_timeout_on_crashed_server(self, deployment):
+        world, capsule, refs, factory = deployment
+        channel = factory.bind("client", refs["echo"], timeout_s=1.0)
+        world.network.node("server").crash()
+        with pytest.raises(BindingError, match="timeout"):
+            channel.call(world, "say")
+        assert channel.failed == 1
+
+    def test_client_colocated_with_capsule_reuses_endpoint(self, deployment):
+        """A client on the capsule's own node must share the RPC endpoint."""
+        world, capsule, refs, factory = deployment
+        channel = factory.bind("server", refs["echo"])
+        assert channel.call(world, "say", {"text": "local"}) == {"heard": "local"}
+
+    def test_many_channels_one_client_node(self, deployment):
+        world, capsule, refs, factory = deployment
+        first = factory.bind("client", refs["echo"])
+        second = factory.bind("client", refs["echo"])
+        assert first.call(world, "say", {"text": "a"}) == {"heard": "a"}
+        assert second.call(world, "say", {"text": "b"}) == {"heard": "b"}
+
+    def test_capsule_lookup_via_factory(self, deployment):
+        world, capsule, refs, factory = deployment
+        assert factory.capsule("server") is capsule
+        with pytest.raises(BindingError):
+            factory.capsule("elsewhere")
+
+    def test_dispatch_counter_increments(self, deployment):
+        world, capsule, refs, factory = deployment
+        channel = factory.bind("client", refs["echo"])
+        channel.call(world, "say", {"text": "x"})
+        assert capsule.dispatched == 1

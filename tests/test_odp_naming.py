@@ -1,0 +1,105 @@
+"""Tests for naming contexts and federated domains."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.odp.naming import NamingContext, NamingDomain
+from repro.odp.objects import InterfaceRef
+from repro.util.errors import ConfigurationError, NameError_
+
+
+def _ref(node: str) -> InterfaceRef:
+    return InterfaceRef(node, "obj", "iface")
+
+
+class TestNamingContext:
+    def test_bind_and_resolve(self):
+        ctx = NamingContext()
+        ctx.bind("services/mail", _ref("n1"))
+        assert ctx.resolve("services/mail").node == "n1"
+
+    def test_duplicate_bind_rejected(self):
+        ctx = NamingContext()
+        ctx.bind("a", _ref("n1"))
+        with pytest.raises(ConfigurationError):
+            ctx.bind("a", _ref("n2"))
+
+    def test_rebind_replaces(self):
+        ctx = NamingContext()
+        ctx.bind("a", _ref("n1"))
+        ctx.rebind("a", _ref("n2"))
+        assert ctx.resolve("a").node == "n2"
+
+    def test_unbind(self):
+        ctx = NamingContext()
+        ctx.bind("a", _ref("n1"))
+        ctx.unbind("a")
+        with pytest.raises(NameError_):
+            ctx.resolve("a")
+
+    def test_unbind_missing_rejected(self):
+        with pytest.raises(NameError_):
+            NamingContext().unbind("ghost")
+
+    def test_resolve_through_missing_context_rejected(self):
+        with pytest.raises(NameError_):
+            NamingContext().resolve("no/such/path")
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(NameError_):
+            NamingContext().bind("", _ref("n"))
+
+    def test_list_names(self):
+        ctx = NamingContext()
+        ctx.bind("services/mail", _ref("n1"))
+        ctx.bind("services/news", _ref("n2"))
+        ctx.bind("admin", _ref("n3"))
+        assert ctx.list_names() == ["admin", "services/mail", "services/news"]
+        assert ctx.list_names("services") == ["services/mail", "services/news"]
+
+    def test_list_names_unknown_prefix_empty(self):
+        assert NamingContext().list_names("nothing") == []
+
+
+class TestNamingDomain:
+    def test_local_resolution(self):
+        domain = NamingDomain("upc")
+        domain.bind("services/mail", _ref("bcn1"))
+        assert domain.resolve("services/mail").node == "bcn1"
+
+    def test_federated_resolution(self):
+        upc = NamingDomain("upc")
+        gmd = NamingDomain("gmd")
+        gmd.bind("services/conf", _ref("bonn1"))
+        upc.federate(gmd)
+        assert upc.resolve("gmd:/services/conf").node == "bonn1"
+
+    def test_unknown_federated_domain_rejected(self):
+        with pytest.raises(NameError_):
+            NamingDomain("upc").resolve("ghost:/x")
+
+    def test_bind_into_federated_rejected(self):
+        upc = NamingDomain("upc")
+        with pytest.raises(NameError_):
+            upc.bind("gmd:/x", _ref("n"))
+
+    def test_self_federation_rejected(self):
+        upc = NamingDomain("upc")
+        with pytest.raises(ConfigurationError):
+            upc.federate(NamingDomain("upc"))
+
+    def test_duplicate_federation_rejected(self):
+        upc, gmd = NamingDomain("upc"), NamingDomain("gmd")
+        upc.federate(gmd)
+        with pytest.raises(ConfigurationError):
+            upc.federate(gmd)
+
+    def test_bad_domain_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NamingDomain("with:colon")
+
+    def test_federated_domains_listed(self):
+        upc, gmd = NamingDomain("upc"), NamingDomain("gmd")
+        upc.federate(gmd)
+        assert upc.federated_domains() == ["gmd"]

@@ -1,0 +1,109 @@
+"""Tests for computational objects and interfaces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.odp.objects import (
+    ComputationalObject,
+    InterfaceRef,
+    InterfaceSignature,
+    OperationSpec,
+    signature,
+)
+from repro.util.errors import BindingError, ConfigurationError
+
+
+def _counter_object() -> ComputationalObject:
+    obj = ComputationalObject("counter-1")
+    state = {"value": 0}
+
+    def increment(args):
+        state["value"] += args.get("by", 1)
+        return state["value"]
+
+    def read(args):
+        return state["value"]
+
+    obj.offer(signature("counter", "increment", "read"), {"increment": increment, "read": read})
+    return obj
+
+
+class TestSignature:
+    def test_shorthand_builds_operations(self):
+        sig = signature("s", "a", "b")
+        assert sig.operation_names() == ["a", "b"]
+
+    def test_operation_lookup(self):
+        sig = signature("s", "a")
+        assert sig.operation("a").name == "a"
+
+    def test_unknown_operation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            signature("s", "a").operation("z")
+
+    def test_subsumes_superset(self):
+        wide = signature("wide", "a", "b", "c")
+        narrow = signature("narrow", "a", "b")
+        assert wide.subsumes(narrow)
+        assert not narrow.subsumes(wide)
+
+    def test_one_way_flag(self):
+        sig = InterfaceSignature("s", (OperationSpec("notify", one_way=True),))
+        assert sig.operation("notify").one_way
+
+
+class TestInterfaceRef:
+    def test_address_format(self):
+        ref = InterfaceRef("node1", "obj1", "iface")
+        assert ref.address == "node1/obj1.iface"
+
+    def test_refs_are_values(self):
+        assert InterfaceRef("n", "o", "i") == InterfaceRef("n", "o", "i")
+
+
+class TestComputationalObject:
+    def test_invoke_dispatches(self):
+        obj = _counter_object()
+        assert obj.invoke("counter", "increment", {"by": 5}) == 5
+        assert obj.invoke("counter", "read", {}) == 5
+
+    def test_invocation_count(self):
+        obj = _counter_object()
+        obj.invoke("counter", "read", {})
+        obj.invoke("counter", "read", {})
+        assert obj.invocations == 2
+
+    def test_unknown_interface_rejected(self):
+        with pytest.raises(BindingError):
+            _counter_object().invoke("nope", "read", {})
+
+    def test_unknown_operation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _counter_object().invoke("counter", "nope", {})
+
+    def test_missing_handler_rejected(self):
+        obj = ComputationalObject("x")
+        with pytest.raises(ConfigurationError):
+            obj.offer(signature("s", "a", "b"), {"a": lambda args: None})
+
+    def test_extra_handler_rejected(self):
+        obj = ComputationalObject("x")
+        with pytest.raises(ConfigurationError):
+            obj.offer(signature("s", "a"), {"a": lambda args: None, "b": lambda args: None})
+
+    def test_duplicate_interface_rejected(self):
+        obj = _counter_object()
+        with pytest.raises(ConfigurationError):
+            obj.offer(signature("counter", "read"), {"read": lambda args: 0})
+
+    def test_multiple_interfaces(self):
+        obj = _counter_object()
+        obj.offer(signature("admin", "reset"), {"reset": lambda args: 0})
+        assert obj.has_interface("counter")
+        assert obj.has_interface("admin")
+        assert len(obj.interfaces()) == 2
+
+    def test_empty_object_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ComputationalObject("")

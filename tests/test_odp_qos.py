@@ -1,0 +1,49 @@
+"""Tests for QoS specs and monitoring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.odp.qos import MESSAGING_QOS, REALTIME_QOS, QoSMonitor, QoSSpec
+from repro.util.errors import ConfigurationError
+
+
+class TestQoSSpec:
+    def test_presets_shape(self):
+        assert REALTIME_QOS.suits_synchronous_use()
+        assert not MESSAGING_QOS.suits_synchronous_use()
+
+    def test_invalid_latency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QoSSpec(max_latency_s=0)
+
+    def test_invalid_reliability_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QoSSpec(min_reliability=1.5)
+
+
+class TestQoSMonitor:
+    def test_within_spec(self):
+        monitor = QoSMonitor(QoSSpec(max_latency_s=1.0, min_reliability=0.9))
+        for _ in range(10):
+            monitor.observe_success(0.1)
+        assert monitor.in_conformance()
+        assert monitor.violations() == []
+
+    def test_latency_violation_detected(self):
+        monitor = QoSMonitor(QoSSpec(max_latency_s=0.1))
+        assert not monitor.observe_success(0.5)
+        assert monitor.latency_violations == 1
+        assert not monitor.in_conformance()
+
+    def test_reliability_violation_detected(self):
+        monitor = QoSMonitor(QoSSpec(min_reliability=0.9))
+        monitor.observe_success(0.01)
+        monitor.observe_failure()
+        assert monitor.reliability() == 0.5
+        assert any("reliability" in v for v in monitor.violations())
+
+    def test_clean_before_any_traffic(self):
+        monitor = QoSMonitor(REALTIME_QOS)
+        assert monitor.reliability() == 1.0
+        assert monitor.in_conformance()

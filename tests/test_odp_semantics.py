@@ -1,0 +1,91 @@
+"""Tests for enforced ODP operation semantics and trader offer updates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.odp.objects import (
+    ComputationalObject,
+    InterfaceRef,
+    InterfaceSignature,
+    OperationSpec,
+)
+from repro.odp.trader import Constraint, Trader
+from repro.util.errors import BindingError, TradingError
+
+
+def _typed_object() -> ComputationalObject:
+    obj = ComputationalObject("typed")
+    sig = InterfaceSignature(
+        "svc",
+        (
+            OperationSpec("add", parameters=("x", "y")),
+            OperationSpec("notify", one_way=True),
+            OperationSpec("loose"),
+        ),
+    )
+    obj.offer(
+        sig,
+        {
+            "add": lambda args: args["x"] + args["y"],
+            "notify": lambda args: "this value must never escape",
+            "loose": lambda args: dict(args),
+        },
+    )
+    return obj
+
+
+class TestOperationSemantics:
+    def test_declared_parameters_enforced(self):
+        obj = _typed_object()
+        assert obj.invoke("svc", "add", {"x": 2, "y": 3}) == 5
+        with pytest.raises(BindingError, match="missing arguments"):
+            obj.invoke("svc", "add", {"x": 2})
+        with pytest.raises(BindingError, match="unknown arguments"):
+            obj.invoke("svc", "add", {"x": 2, "y": 3, "z": 4})
+
+    def test_undeclared_parameters_accept_anything(self):
+        obj = _typed_object()
+        assert obj.invoke("svc", "loose", {"whatever": 1}) == {"whatever": 1}
+
+    def test_one_way_discards_result(self):
+        obj = _typed_object()
+        assert obj.invoke("svc", "notify", {}) is None
+
+    def test_one_way_over_the_network(self, world):
+        """Announcement semantics hold end-to-end through a channel."""
+        from repro.odp.binding import BindingFactory
+        from repro.odp.node_mgmt import Capsule
+
+        world.add_site("hq", ["server", "client"])
+        capsule = Capsule(world.network, "server")
+        factory = BindingFactory(world.network)
+        factory.register_capsule(capsule)
+        refs = capsule.deploy(_typed_object())
+        channel = factory.bind("client", refs["svc"])
+        assert channel.call(world, "notify") is None
+
+
+class TestOfferModification:
+    def test_modify_changes_properties_only(self):
+        trader = Trader("t")
+        offer = trader.export("printing", InterfaceRef("n", "o", "i"),
+                              {"cost": 9}, exporter="ops")
+        updated = trader.modify_offer(offer.offer_id, {"cost": 2, "color": True})
+        assert updated.offer_id == offer.offer_id
+        assert updated.exporter == "ops"
+        assert updated.properties == {"cost": 2, "color": True}
+        found = trader.import_one("printing", [Constraint("cost", "<=", 5)])
+        assert found.offer_id == offer.offer_id
+
+    def test_modify_unknown_offer_rejected(self):
+        with pytest.raises(TradingError):
+            Trader("t").modify_offer("offer-9999", {})
+
+    def test_live_repricing_visible_to_importers(self):
+        trader = Trader("t")
+        cheap = trader.export("svc", InterfaceRef("n1", "o", "i"), {"cost": 1})
+        trader.export("svc", InterfaceRef("n2", "o", "i"), {"cost": 5})
+        assert trader.import_one("svc", preference="min:cost").ref.node == "n1"
+        trader.modify_offer(cheap.offer_id, {"cost": 50})
+        assert trader.import_one("svc", preference="min:cost").ref.node == "n2"

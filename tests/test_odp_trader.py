@@ -1,0 +1,184 @@
+"""Tests for the ODP trader."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.odp.objects import InterfaceRef
+from repro.odp.trader import Constraint, ImportContext, Trader, constraints_from
+from repro.util.errors import ConfigurationError, NoOfferError, TradingError
+
+
+def _ref(node: str) -> InterfaceRef:
+    return InterfaceRef(node, "svc", "main")
+
+
+@pytest.fixture
+def trader() -> Trader:
+    t = Trader("hq")
+    t.export("printing", _ref("n1"), {"cost": 5, "color": False}, exporter="ops")
+    t.export("printing", _ref("n2"), {"cost": 2, "color": True}, exporter="ops")
+    t.export("scanning", _ref("n3"), {"cost": 1}, exporter="lab")
+    return t
+
+
+class TestConstraints:
+    def test_equality(self):
+        assert Constraint("a", "==", 1).satisfied_by({"a": 1})
+        assert not Constraint("a", "==", 1).satisfied_by({"a": 2})
+
+    def test_comparisons(self):
+        assert Constraint("a", "<=", 5).satisfied_by({"a": 5})
+        assert Constraint("a", ">", 1).satisfied_by({"a": 2})
+        assert not Constraint("a", "<", 1).satisfied_by({"a": 1})
+
+    def test_in_and_contains(self):
+        assert Constraint("lang", "in", ["en", "de"]).satisfied_by({"lang": "de"})
+        assert Constraint("media", "contains", "text").satisfied_by({"media": ["text", "fax"]})
+
+    def test_missing_property_fails(self):
+        assert not Constraint("ghost", "==", 1).satisfied_by({})
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Constraint("a", "~=", 1)
+
+    def test_constraints_from_dict(self):
+        built = constraints_from({"cost": 2})
+        assert built[0].satisfied_by({"cost": 2})
+
+
+class TestExportImport:
+    def test_import_first_match(self, trader):
+        offer = trader.import_one("printing")
+        assert offer.service_type == "printing"
+
+    def test_import_with_constraints(self, trader):
+        offer = trader.import_one("printing", [Constraint("color", "==", True)])
+        assert offer.ref.node == "n2"
+
+    def test_preference_min(self, trader):
+        offer = trader.import_one("printing", preference="min:cost")
+        assert offer.properties["cost"] == 2
+
+    def test_preference_max(self, trader):
+        offer = trader.import_one("printing", preference="max:cost")
+        assert offer.properties["cost"] == 5
+
+    def test_bad_preference_rejected(self, trader):
+        with pytest.raises(TradingError):
+            trader.import_one("printing", preference="best")
+
+    def test_no_match_raises(self, trader):
+        with pytest.raises(NoOfferError):
+            trader.import_one("printing", [Constraint("cost", "<", 0)])
+
+    def test_unknown_type_raises(self, trader):
+        with pytest.raises(NoOfferError):
+            trader.import_one("teleportation")
+
+    def test_withdraw_removes(self, trader):
+        offers = trader.import_("scanning", max_offers=10)
+        trader.withdraw(offers[0].offer_id)
+        with pytest.raises(NoOfferError):
+            trader.import_one("scanning")
+
+    def test_withdraw_unknown_rejected(self, trader):
+        with pytest.raises(TradingError):
+            trader.withdraw("offer-9999")
+
+    def test_max_offers_limits(self, trader):
+        assert len(trader.import_("printing", max_offers=1)) == 1
+        assert len(trader.import_("printing", max_offers=5)) == 2
+
+    def test_counters(self, trader):
+        trader.import_one("printing")
+        assert trader.exports == 3
+        assert trader.imports == 1
+
+
+class TestServiceTypeHierarchy:
+    def test_subtype_conforms(self):
+        trader = Trader("t")
+        trader.register_service_type("communication")
+        trader.register_service_type("mail", parent="communication")
+        trader.export("mail", _ref("n1"))
+        offer = trader.import_one("communication")
+        assert offer.service_type == "mail"
+
+    def test_supertype_does_not_conform_down(self):
+        trader = Trader("t")
+        trader.register_service_type("communication")
+        trader.register_service_type("mail", parent="communication")
+        trader.export("communication", _ref("n1"))
+        with pytest.raises(NoOfferError):
+            trader.import_one("mail")
+
+    def test_unknown_parent_rejected(self):
+        trader = Trader("t")
+        with pytest.raises(ConfigurationError):
+            trader.register_service_type("mail", parent="ghost")
+
+    def test_duplicate_type_rejected(self):
+        trader = Trader("t")
+        trader.register_service_type("x")
+        with pytest.raises(ConfigurationError):
+            trader.register_service_type("x")
+
+
+class TestFederation:
+    def test_linked_trader_searched_on_miss(self):
+        local = Trader("upc")
+        remote = Trader("gmd")
+        remote.export("conferencing", _ref("bonn1"))
+        local.link(remote)
+        offer = local.import_one("conferencing")
+        assert offer.ref.node == "bonn1"
+
+    def test_local_offer_preferred(self):
+        local = Trader("upc")
+        remote = Trader("gmd")
+        local.export("conferencing", _ref("bcn1"))
+        remote.export("conferencing", _ref("bonn1"))
+        local.link(remote)
+        assert local.import_one("conferencing").ref.node == "bcn1"
+
+    def test_search_links_false_stays_local(self):
+        local = Trader("upc")
+        remote = Trader("gmd")
+        remote.export("conferencing", _ref("bonn1"))
+        local.link(remote)
+        with pytest.raises(NoOfferError):
+            local.import_("conferencing", search_links=False)
+
+    def test_self_link_rejected(self):
+        trader = Trader("t")
+        with pytest.raises(ConfigurationError):
+            trader.link(trader)
+
+    def test_duplicate_link_rejected(self):
+        a, b = Trader("a"), Trader("b")
+        a.link(b)
+        with pytest.raises(ConfigurationError):
+            a.link(b)
+
+
+class TestTradingPolicy:
+    def test_policy_hook_hides_offers(self, trader):
+        trader.add_policy_hook(lambda offer, ctx: offer.properties.get("cost", 0) <= 2)
+        offers = trader.import_("printing", max_offers=10)
+        assert all(o.properties["cost"] <= 2 for o in offers)
+        assert trader.policy_rejections == 1
+
+    def test_policy_uses_import_context(self, trader):
+        trader.add_policy_hook(lambda offer, ctx: ctx.organisation == offer.exporter)
+        offer = trader.import_one("scanning", context=ImportContext(organisation="lab"))
+        assert offer.exporter == "lab"
+        with pytest.raises(NoOfferError):
+            trader.import_one("scanning", context=ImportContext(organisation="rivals"))
+
+    def test_all_hooks_must_pass(self, trader):
+        trader.add_policy_hook(lambda offer, ctx: True)
+        trader.add_policy_hook(lambda offer, ctx: False)
+        with pytest.raises(NoOfferError):
+            trader.import_one("printing")

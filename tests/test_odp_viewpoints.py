@@ -1,0 +1,122 @@
+"""Tests for the five-viewpoint specification machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.odp.viewpoints import (
+    DeonticModality,
+    EnterpriseSpec,
+    InformationSpec,
+    OdpSystemSpec,
+)
+from repro.util.errors import ConfigurationError
+
+
+class TestEnterpriseSpec:
+    def _spec(self) -> EnterpriseSpec:
+        spec = EnterpriseSpec("project-x")
+        spec.add_role("editor")
+        spec.add_role("reviewer")
+        return spec
+
+    def test_permission_allows(self):
+        spec = self._spec()
+        spec.permit("editor", "modify", "document")
+        assert spec.allows("editor", "modify", "document")
+
+    def test_no_policy_denies(self):
+        assert not self._spec().allows("editor", "modify", "document")
+
+    def test_prohibition_dominates_permission(self):
+        spec = self._spec()
+        spec.permit("editor", "modify", "document")
+        spec.prohibit("editor", "modify", "document")
+        assert not spec.allows("editor", "modify", "document")
+
+    def test_wildcard_target(self):
+        spec = self._spec()
+        spec.permit("reviewer", "read")
+        assert spec.allows("reviewer", "read", "anything")
+
+    def test_obligation_also_permits(self):
+        spec = self._spec()
+        spec.oblige("reviewer", "report", "progress")
+        assert spec.allows("reviewer", "report", "progress")
+
+    def test_obligations_of(self):
+        spec = self._spec()
+        spec.oblige("reviewer", "report")
+        spec.permit("reviewer", "read")
+        obligations = spec.obligations_of("reviewer")
+        assert len(obligations) == 1
+        assert obligations[0].modality is DeonticModality.OBLIGATION
+
+    def test_policy_for_unknown_role_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self._spec().permit("ghost", "read")
+
+    def test_duplicate_role_rejected(self):
+        spec = self._spec()
+        with pytest.raises(ConfigurationError):
+            spec.add_role("editor")
+
+
+class TestInformationSpec:
+    def test_conforming_instance(self):
+        spec = InformationSpec()
+        spec.define_schema("person", ["name", "site"])
+        assert spec.conforms("person", {"name": "ana", "site": "upc"})
+
+    def test_missing_attribute_fails(self):
+        spec = InformationSpec()
+        spec.define_schema("person", ["name", "site"])
+        assert not spec.conforms("person", {"name": "ana"})
+
+    def test_unknown_entity_fails(self):
+        assert not InformationSpec().conforms("ghost", {})
+
+    def test_duplicate_schema_rejected(self):
+        spec = InformationSpec()
+        spec.define_schema("a", [])
+        with pytest.raises(ConfigurationError):
+            spec.define_schema("a", [])
+
+
+class TestSystemConsistency:
+    def test_consistent_spec(self):
+        system = OdpSystemSpec("demo")
+        system.computation.declare_object("obj1", ["iface"])
+        system.engineering.place("node1", "obj1")
+        assert system.is_consistent()
+
+    def test_unplaced_object_flagged(self):
+        system = OdpSystemSpec("demo")
+        system.computation.declare_object("obj1", ["iface"])
+        errors = system.consistency_errors()
+        assert any("no engineering placement" in e for e in errors)
+
+    def test_undeclared_placement_flagged(self):
+        system = OdpSystemSpec("demo")
+        system.engineering.place("node1", "ghost")
+        errors = system.consistency_errors()
+        assert any("not declared computationally" in e for e in errors)
+
+    def test_policies_without_roles_flagged(self):
+        system = OdpSystemSpec("demo")
+        system.enterprise.roles.append("r")
+        system.enterprise.permit("r", "act")
+        system.enterprise.roles.clear()
+        errors = system.consistency_errors()
+        assert any("no roles" in e for e in errors)
+
+    def test_node_of(self):
+        system = OdpSystemSpec("demo")
+        system.engineering.place("node1", "obj1")
+        assert system.engineering.node_of("obj1") == "node1"
+        assert system.engineering.node_of("ghost") is None
+
+    def test_technology_choices(self):
+        system = OdpSystemSpec("demo")
+        system.technology.choose("directory", "X.500")
+        assert system.technology.choices["directory"] == "X.500"

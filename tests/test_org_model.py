@@ -1,0 +1,135 @@
+"""Tests for organisational objects, relations and rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.org.model import Organisation, OrgUnit, Person, Resource, ResourceKind, Role
+from repro.org.relations import RelationKind, RelationStore
+from repro.org.rules import RuleEngine
+from repro.util.errors import AccessDeniedError, ConfigurationError, UnknownObjectError
+
+
+@pytest.fixture
+def upc() -> Organisation:
+    org = Organisation("upc", "UPC")
+    org.add_person(Person("ana", "Ana Lopez", "upc", site="bcn"))
+    org.add_person(Person("joan", "Joan Puig", "upc", site="bcn"))
+    org.add_role(Role("editor", "Editor", "upc"))
+    org.add_role(Role("reviewer", "Reviewer", "upc"))
+    org.add_unit(OrgUnit("ac", "Computer Architecture", "upc"))
+    org.add_resource(Resource("meeting-room", "Sala 1", "upc", ResourceKind.ROOM, capacity=1))
+    return org
+
+
+class TestOrganisation:
+    def test_lookup(self, upc):
+        assert upc.person("ana").name == "Ana Lopez"
+        assert upc.role("editor").name == "Editor"
+        assert upc.resource("meeting-room").kind is ResourceKind.ROOM
+
+    def test_unknown_lookup_raises(self, upc):
+        with pytest.raises(UnknownObjectError):
+            upc.person("ghost")
+
+    def test_duplicate_rejected(self, upc):
+        with pytest.raises(ConfigurationError):
+            upc.add_person(Person("ana", "Other Ana", "upc"))
+
+    def test_wrong_owner_rejected(self, upc):
+        with pytest.raises(ConfigurationError):
+            upc.add_person(Person("wolf", "Wolf Prinz", "gmd"))
+
+    def test_nested_unit_requires_parent(self, upc):
+        with pytest.raises(UnknownObjectError):
+            upc.add_unit(OrgUnit("sub", "Sub", "upc", parent_unit="ghost"))
+        upc.add_unit(OrgUnit("sub", "Sub", "upc", parent_unit="ac"))
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Resource("r", "R", "upc", capacity=0)
+
+
+class TestRelations:
+    @pytest.fixture
+    def relations(self) -> RelationStore:
+        store = RelationStore()
+        store.relate(RelationKind.PLAYS_ROLE, "ana", "editor")
+        store.relate(RelationKind.PLAYS_ROLE, "ana", "reviewer", scope="tunnel")
+        store.relate(RelationKind.PLAYS_ROLE, "joan", "reviewer")
+        store.relate(RelationKind.MEMBER_OF, "ana", "ac")
+        store.relate(RelationKind.REPORTS_TO, "ana", "joan")
+        store.relate(RelationKind.REPORTS_TO, "joan", "marta")
+        store.relate(RelationKind.USES, "tunnel", "meeting-room")
+        store.relate(RelationKind.USES, "bridge", "meeting-room")
+        return store
+
+    def test_roles_scoped_and_global(self, relations):
+        assert relations.roles_of("ana") == ["editor", "reviewer"]
+        assert relations.roles_of("ana", project="tunnel") == ["editor", "reviewer"]
+        assert relations.roles_of("ana", project="other") == ["editor"]
+
+    def test_players_of(self, relations):
+        assert relations.players_of("reviewer") == ["ana", "joan"]
+        assert relations.players_of("reviewer", project="other") == ["joan"]
+
+    def test_membership(self, relations):
+        assert relations.members_of("ac") == ["ana"]
+        assert relations.memberships_of("ana") == ["ac"]
+
+    def test_management_chain(self, relations):
+        assert relations.management_chain("ana") == ["joan", "marta"]
+
+    def test_management_chain_cycle_safe(self, relations):
+        relations.relate(RelationKind.REPORTS_TO, "marta", "ana")
+        chain = relations.management_chain("ana")
+        assert chain[:2] == ["joan", "marta"]
+
+    def test_shared_resources(self, relations):
+        assert relations.shared_resources("tunnel", "bridge") == ["meeting-room"]
+
+    def test_idempotent_relate_and_unrelate(self, relations):
+        relations.relate(RelationKind.MEMBER_OF, "ana", "ac")
+        assert relations.members_of("ac") == ["ana"]
+        assert relations.unrelate(RelationKind.MEMBER_OF, "ana", "ac")
+        assert not relations.unrelate(RelationKind.MEMBER_OF, "ana", "ac")
+        assert relations.members_of("ac") == []
+
+
+class TestRules:
+    @pytest.fixture
+    def engine(self) -> RuleEngine:
+        relations = RelationStore()
+        relations.relate(RelationKind.PLAYS_ROLE, "ana", "editor")
+        relations.relate(RelationKind.PLAYS_ROLE, "joan", "reviewer")
+        relations.relate(RelationKind.PLAYS_ROLE, "joan", "trainee")
+        engine = RuleEngine(relations)
+        engine.permit("editor", "modify", "report")
+        engine.permit("reviewer", "read", "report")
+        engine.prohibit("trainee", "read", "report")
+        engine.oblige("reviewer", "review", "report")
+        return engine
+
+    def test_role_permission(self, engine):
+        assert engine.allowed("ana", "modify", "report")
+        assert not engine.allowed("ana", "read", "report")
+
+    def test_prohibition_dominates_across_roles(self, engine):
+        # joan is reviewer (read allowed) and trainee (read prohibited).
+        assert not engine.allowed("joan", "read", "report")
+
+    def test_obligation_grants_and_lists(self, engine):
+        assert engine.allowed("joan", "review", "report")
+        assert len(engine.obligations_of("joan")) == 1
+
+    def test_require_raises(self, engine):
+        with pytest.raises(AccessDeniedError):
+            engine.require("ana", "read", "report")
+
+    def test_exception_grants_despite_roles(self, engine):
+        engine.add_exception("joan", "read", "report", grant=True, justification="audit")
+        assert engine.allowed("joan", "read", "report")
+
+    def test_exception_revokes_despite_roles(self, engine):
+        engine.add_exception("ana", "modify", "report", grant=False)
+        assert not engine.allowed("ana", "modify", "report")

@@ -1,0 +1,263 @@
+"""Property-based tests over core data structures and invariants.
+
+Hypothesis drives the structures the whole stack leans on: the DIT's
+tree invariants, topological execution orders, replica convergence in
+the WYSIWIS editor, envelope serialization, routing specificity, trader
+constraint satisfaction and layered tailoring.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.activity.dependencies import BEFORE, DependencyGraph
+from repro.directory.dit import DirectoryInformationTree
+from repro.messaging.envelope import Envelope, InterpersonalMessage
+from repro.messaging.names import OrName
+from repro.messaging.routing import RoutingTable
+from repro.odp.objects import InterfaceRef
+from repro.odp.trader import Constraint, Trader
+from repro.util.errors import DependencyCycleError, NoOfferError
+from repro.util.serialization import deep_merge
+
+
+# -- directory tree invariants -------------------------------------------------
+
+_names = st.lists(
+    st.text(alphabet="abcdefgh", min_size=1, max_size=4), min_size=1, max_size=12
+)
+
+
+@given(_names)
+@settings(max_examples=50)
+def test_dit_add_then_delete_leaves_empty(names):
+    """Adding a flat set of unique entries then deleting them empties the DIT."""
+    dit = DirectoryInformationTree()
+    dit.add("o=root", {"objectclass": ["organization"]})
+    unique = sorted(set(names))
+    for name in unique:
+        dit.add(f"cn={name},o=root", {"objectclass": ["device"]})
+    assert len(dit) == len(unique) + 1
+    for name in unique:
+        dit.delete(f"cn={name},o=root")
+    assert len(dit) == 1
+    assert dit.children_of("o=root") == []
+
+
+@given(_names)
+@settings(max_examples=50)
+def test_dit_changelog_replay_reproduces_state(names):
+    """Replaying the changelog into a fresh DIT reproduces the entries."""
+    dit = DirectoryInformationTree()
+    dit.add("o=root", {"objectclass": ["organization"]})
+    for index, name in enumerate(sorted(set(names))):
+        dit.add(f"cn={name},o=root", {"objectclass": ["device"]})
+        if index % 2 == 0:
+            dit.modify(f"cn={name},o=root", add={"localityname": ["lab"]})
+    replica = DirectoryInformationTree()
+    for change in dit.changes_since(0):
+        replica.apply_change(change)
+    assert len(replica) == len(dit)
+    for entry in dit.search(""):
+        assert replica.read(str(entry.name)).attributes == entry.attributes
+
+
+# -- dependency graphs ----------------------------------------------------------
+
+_edges = st.lists(
+    st.tuples(st.integers(0, 9), st.integers(0, 9)).filter(lambda e: e[0] != e[1]),
+    max_size=25,
+)
+
+
+@given(_edges)
+@settings(max_examples=80)
+def test_execution_order_is_always_topological(edges):
+    """Whatever edges are accepted, the plan respects all of them."""
+    graph = DependencyGraph()
+    accepted = []
+    for source, target in edges:
+        try:
+            graph.add(BEFORE, f"a{source}", f"a{target}")
+            accepted.append((f"a{source}", f"a{target}"))
+        except DependencyCycleError:
+            pass  # cycle-closing edges are correctly refused
+    activities = [f"a{i}" for i in range(10)]
+    order = graph.execution_order(activities)
+    assert sorted(order) == sorted(activities)
+    position = {name: index for index, name in enumerate(order)}
+    for source, target in accepted:
+        assert position[source] < position[target]
+
+
+# -- WYSIWIS editor convergence ---------------------------------------------------
+
+_ops = st.lists(
+    st.tuples(
+        st.integers(0, 1),            # author index
+        st.sampled_from(["insert", "delete"]),
+        st.integers(0, 5),            # position
+        st.text(alphabet="xyz", max_size=3),
+    ),
+    max_size=12,
+)
+
+
+@given(_ops)
+@settings(max_examples=40, deadline=None)
+def test_shared_editor_replicas_always_converge(ops):
+    """Any interleaving of concurrent edits converges at both replicas."""
+    from repro.apps.shared_editor import SharedEditor
+    from repro.sim.world import World
+
+    world = World(seed=1)
+    world.add_site("net", ["n0", "n1"])
+    editor = SharedEditor(world)
+    editor.open_document("u0", "n0")
+    editor.open_document("u1", "n1")
+    authors = ["u0", "u1"]
+    for author_index, op, position, text in ops:
+        author = authors[author_index]
+        if op == "insert":
+            editor.insert(author, position, text)
+        else:
+            editor.delete(author, position)
+    world.run()
+    assert editor.converged()
+
+
+# -- envelope serialization ----------------------------------------------------------
+
+_or_names = st.builds(
+    OrName,
+    country=st.sampled_from(["es", "de", "uk"]),
+    admd=st.just(""),
+    prmd=st.sampled_from(["upc", "gmd", "lancaster"]),
+    surname=st.text(alphabet="abcdef", min_size=1, max_size=6),
+    given_name=st.text(alphabet="ghij", max_size=4),
+)
+
+
+@given(
+    originator=_or_names,
+    recipients=st.lists(_or_names, min_size=1, max_size=4),
+    subject=st.text(max_size=20),
+    hops=st.lists(st.text(alphabet="mta-", min_size=1, max_size=6), max_size=4),
+)
+@settings(max_examples=60)
+def test_envelope_document_round_trip(originator, recipients, subject, hops):
+    envelope = Envelope(
+        message_id="m1",
+        originator=originator,
+        recipients=recipients,
+        content=InterpersonalMessage(ipm_id="i1", subject=subject),
+    )
+    for index, hop in enumerate(hops):
+        envelope.stamp(hop, float(index))
+    restored = Envelope.from_document(envelope.to_document())
+    assert restored.originator == envelope.originator
+    assert restored.recipients == envelope.recipients
+    assert restored.content.subject == subject
+    assert [t.mta for t in restored.trace] == [t.mta for t in envelope.trace]
+
+
+# -- routing specificity ---------------------------------------------------------------
+
+@given(
+    st.sampled_from(["es", "de", "uk"]),
+    st.sampled_from(["upc", "gmd", "lancaster"]),
+)
+@settings(max_examples=30)
+def test_routing_most_specific_always_wins(country, prmd):
+    table = RoutingTable()
+    table.add_default("hub")
+    table.add_route(country, "*", "*", "country-hop")
+    table.add_route(country, "*", prmd, "exact-hop")
+    assert table.next_hop((country, "x", prmd)) == "exact-hop"
+    assert table.next_hop((country, "x", "other")) == "country-hop"
+    assert table.next_hop(("fr", "x", "inria")) == "hub"
+
+
+# -- trader constraint satisfaction -------------------------------------------------------
+
+@given(
+    offers=st.lists(st.integers(0, 100), min_size=1, max_size=15),
+    bound=st.integers(0, 100),
+)
+@settings(max_examples=60)
+def test_trader_imports_always_satisfy_constraints(offers, bound):
+    trader = Trader("t")
+    for index, cost in enumerate(offers):
+        trader.export("svc", InterfaceRef(f"n{index}", "o", "i"), {"cost": cost})
+    try:
+        matched = trader.import_(
+            "svc", [Constraint("cost", "<=", bound)],
+            preference="min:cost", max_offers=100,
+        )
+    except NoOfferError:
+        assert all(cost > bound for cost in offers)
+        return
+    assert all(offer.properties["cost"] <= bound for offer in matched)
+    # min preference: first result is the global minimum of the matches.
+    best = min(cost for cost in offers if cost <= bound)
+    assert matched[0].properties["cost"] == best
+
+
+# -- layered configuration ----------------------------------------------------------------
+
+_configs = st.dictionaries(
+    st.sampled_from(["a", "b", "c"]),
+    st.one_of(st.integers(), st.dictionaries(st.sampled_from(["x", "y"]), st.integers(), max_size=2)),
+    max_size=3,
+)
+
+
+@given(_configs, _configs)
+@settings(max_examples=60)
+def test_deep_merge_overlay_keys_always_win(base, overlay):
+    merged = deep_merge(base, overlay)
+    for key, value in overlay.items():
+        if isinstance(value, dict) and isinstance(base.get(key), dict):
+            for inner_key, inner_value in value.items():
+                assert merged[key][inner_key] == inner_value
+        else:
+            assert merged[key] == value
+    for key, value in base.items():
+        if key not in overlay:
+            assert merged[key] == value
+
+
+# -- media conversion matrix ------------------------------------------------------
+
+from repro.messaging.body_parts import CONVERSION_FIDELITY
+
+
+@given(st.sampled_from(sorted(CONVERSION_FIDELITY)))
+@settings(max_examples=20)
+def test_property_every_declared_conversion_works(pair):
+    """Every (source, target) in the conversion matrix actually converts."""
+    from repro.messaging.body_parts import (
+        MEDIA_BINARY,
+        MEDIA_FAX,
+        MEDIA_TEXT,
+        MEDIA_VOICE,
+        binary_body,
+        convert,
+        fax_body,
+        text_body,
+        voice_body,
+    )
+
+    source, target = pair
+    samples = {
+        MEDIA_TEXT: text_body("hello world"),
+        MEDIA_FAX: fax_body(2, summary="memo"),
+        MEDIA_VOICE: voice_body(12.0, transcript="minutes"),
+        MEDIA_BINARY: binary_body(64, description="blob"),
+    }
+    part = samples[source]
+    converted = convert(part, target)
+    assert converted.media == target
+    assert 0.0 < converted.content["fidelity"] <= 1.0
+    assert converted.size_bytes() >= 0

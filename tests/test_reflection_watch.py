@@ -1,0 +1,131 @@
+"""Tests for ODP deployment reflection and information-change watching."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.information.objects import InformationBase
+from repro.odp.node_mgmt import Capsule
+from repro.odp.objects import ComputationalObject, InterfaceRef, signature
+from repro.odp.reflection import conformance_errors, describe_deployment
+from repro.odp.trader import Trader
+from repro.odp.viewpoints import OdpSystemSpec
+
+
+def _object(object_id: str, *interfaces: str) -> ComputationalObject:
+    obj = ComputationalObject(object_id)
+    for name in interfaces:
+        obj.offer(signature(name, "op"), {"op": lambda args: None})
+    return obj
+
+
+@pytest.fixture
+def deployment(world):
+    world.add_site("hq", ["n1", "n2"])
+    first = Capsule(world.network, "n1")
+    second = Capsule(world.network, "n2")
+    first.deploy(_object("dir-service", "directory"))
+    second.deploy(_object("mail-service", "mailbox", "admin"))
+    return [first, second]
+
+
+class TestReflection:
+    def test_describe_deployment_captures_objects(self, deployment):
+        spec = describe_deployment("live", deployment)
+        assert spec.computation.objects == {
+            "dir-service": ["directory"],
+            "mail-service": ["mailbox", "admin"],
+        }
+        assert spec.engineering.node_of("mail-service") == "n2"
+        assert spec.is_consistent()
+
+    def test_trader_offers_recorded(self, deployment):
+        trader = Trader("t")
+        trader.export("directory", InterfaceRef("n1", "dir-service", "directory"))
+        spec = describe_deployment("live", deployment, trader)
+        service_entries = [k for k in spec.technology.choices if k.startswith("service:")]
+        assert len(service_entries) == 1
+
+    def test_conformance_clean(self, deployment):
+        spec = describe_deployment("live", deployment)
+        assert conformance_errors(spec, deployment) == []
+
+    def test_conformance_detects_missing_deployment(self, deployment):
+        spec = describe_deployment("live", deployment)
+        spec.computation.declare_object("ghost", ["iface"])
+        errors = conformance_errors(spec, deployment)
+        assert any("not deployed" in e for e in errors)
+
+    def test_conformance_detects_undeclared_object(self, deployment):
+        spec = OdpSystemSpec("declared")
+        spec.computation.declare_object("dir-service", ["directory"])
+        spec.engineering.place("n1", "dir-service")
+        errors = conformance_errors(spec, deployment)
+        assert any("undeclared" in e for e in errors)
+
+    def test_conformance_detects_wrong_placement(self, deployment):
+        spec = describe_deployment("live", deployment)
+        # Simulate a migration the spec never learned about.
+        deployment[0].migrate_to("dir-service", deployment[1])
+        errors = conformance_errors(spec, deployment)
+        assert any("declared on 'n1'" in e for e in errors)
+
+
+class TestInformationWatching:
+    @pytest.fixture
+    def base(self) -> InformationBase:
+        base = InformationBase()
+        base.create("spec", "document", {"text": "v1"}, owner="ana")
+        base.create("impl", "document", {"text": "code"}, owner="joan")
+        base.derive("impl", "spec")
+        return base
+
+    def test_watcher_fires_on_update(self, base):
+        seen = []
+        base.watch("spec", lambda object_id, version: seen.append((object_id, version.number)))
+        base.update("spec", {"text": "v2"}, author="ana")
+        assert seen == [("spec", 2)]
+
+    def test_wildcard_watcher(self, base):
+        seen = []
+        base.watch("*", lambda object_id, version: seen.append(object_id))
+        base.update("spec", {"text": "v2"}, "ana")
+        base.update("impl", {"text": "new code"}, "joan")
+        assert seen == ["spec", "impl"]
+
+    def test_direct_object_update_stays_silent(self, base):
+        seen = []
+        base.watch("spec", lambda *args: seen.append(1))
+        base.get("spec").update({"text": "quiet"}, "ana")
+        assert seen == []
+
+    def test_watch_unknown_object_rejected(self, base):
+        from repro.util.errors import UnknownObjectError
+
+        with pytest.raises(UnknownObjectError):
+            base.watch("ghost", lambda *args: None)
+
+    def test_notify_impacted_fans_out(self, base):
+        base.create("manual", "document", {}, "ana")
+        base.derive("manual", "impl")
+        told = []
+        count = base.notify_impacted("spec", told.append)
+        assert count == 2
+        assert told == ["impl", "manual"]
+
+    def test_watch_integrates_with_event_bus(self, base):
+        """The cooperative pattern: object updates flow to activity topics."""
+        from repro.util.events import EventBus, EventRecorder
+
+        bus = EventBus()
+        recorder = EventRecorder()
+        bus.subscribe("activity/review", recorder)
+        base.watch(
+            "spec",
+            lambda object_id, version: bus.publish(
+                f"activity/review/information/{object_id}",
+                {"version": version.number},
+            ),
+        )
+        base.update("spec", {"text": "v2"}, "ana")
+        assert recorder.payloads() == [{"version": 2}]

@@ -1,0 +1,127 @@
+"""Tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Engine, PeriodicTask
+from repro.util.errors import SchedulingError
+
+
+class TestEngine:
+    def test_time_starts_at_zero(self):
+        assert Engine().now == 0.0
+
+    def test_events_run_in_time_order(self):
+        engine = Engine()
+        order = []
+        engine.schedule(2.0, lambda: order.append("late"))
+        engine.schedule(1.0, lambda: order.append("early"))
+        engine.run()
+        assert order == ["early", "late"]
+
+    def test_ties_run_in_schedule_order(self):
+        engine = Engine()
+        order = []
+        engine.schedule(1.0, lambda: order.append("first"))
+        engine.schedule(1.0, lambda: order.append("second"))
+        engine.run()
+        assert order == ["first", "second"]
+
+    def test_clock_advances_to_event_time(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(3.5, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [3.5]
+        assert engine.now == 3.5
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SchedulingError):
+            Engine().schedule(-0.1, lambda: None)
+
+    def test_cancel_prevents_execution(self):
+        engine = Engine()
+        fired = []
+        handle = engine.schedule(1.0, lambda: fired.append(1))
+        handle.cancel()
+        engine.run()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_run_until_leaves_future_events(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(1.0, lambda: fired.append("a"))
+        engine.schedule(5.0, lambda: fired.append("b"))
+        engine.run_until(2.0)
+        assert fired == ["a"]
+        assert engine.now == 2.0
+        assert engine.pending_count == 1
+
+    def test_run_for_advances_relative(self):
+        engine = Engine()
+        engine.schedule(1.0, lambda: None)
+        engine.run_for(1.0)
+        engine.schedule(1.0, lambda: None)
+        engine.run_for(1.0)
+        assert engine.now == 2.0
+
+    def test_events_scheduled_during_run_execute(self):
+        engine = Engine()
+        order = []
+
+        def outer():
+            order.append("outer")
+            engine.schedule(1.0, lambda: order.append("inner"))
+
+        engine.schedule(1.0, outer)
+        engine.run()
+        assert order == ["outer", "inner"]
+
+    def test_runaway_loop_guard(self):
+        engine = Engine()
+
+        def forever():
+            engine.schedule(0.1, forever)
+
+        engine.schedule(0.1, forever)
+        with pytest.raises(SchedulingError):
+            engine.run(max_events=100)
+
+    def test_schedule_at_absolute_time(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(1.0, lambda: engine.schedule_at(5.0, lambda: seen.append(engine.now)))
+        engine.run()
+        assert seen == [5.0]
+
+    def test_processed_count(self):
+        engine = Engine()
+        engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        engine.run()
+        assert engine.processed_count == 2
+
+
+class TestPeriodicTask:
+    def test_fires_repeatedly(self):
+        engine = Engine()
+        ticks = []
+        task = PeriodicTask(engine, 1.0, lambda: ticks.append(engine.now)).start()
+        engine.run_until(3.5)
+        task.stop()
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_stop_halts_firings(self):
+        engine = Engine()
+        ticks = []
+        task = PeriodicTask(engine, 1.0, lambda: ticks.append(1)).start()
+        engine.run_until(2.0)
+        task.stop()
+        engine.run_until(10.0)
+        assert task.fired_count == 2
+
+    def test_zero_period_rejected(self):
+        with pytest.raises(SchedulingError):
+            PeriodicTask(Engine(), 0.0, lambda: None)

@@ -1,0 +1,168 @@
+"""Soak/chaos tests: long runs, random failures, global invariants.
+
+These tests run the full stack over longer simulated horizons with
+randomized crash/recovery cycles and check conservation invariants:
+messages are either delivered or reported, replicas converge, the
+environment's queues drain, and nothing raises unexpectedly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.shared_editor import SharedEditor
+from repro.messaging.mta import MessageTransferAgent
+from repro.messaging.names import OrName
+from repro.messaging.ua import UserAgent
+from repro.sim.rng import SeededRng
+from repro.sim.world import World
+
+
+def _two_site_mhs(world: World, users_per_site: int = 3):
+    world.add_site("a", ["mta-a"] + [f"a{i}" for i in range(users_per_site)])
+    world.add_site("b", ["mta-b"] + [f"b{i}" for i in range(users_per_site)])
+    mta_a = MessageTransferAgent(world, "mta-a", "a", [("xx", "", "a")])
+    mta_b = MessageTransferAgent(world, "mta-b", "b", [("xx", "", "b")])
+    mta_a.add_peer("b", "mta-b")
+    mta_b.add_peer("a", "mta-a")
+    mta_a.routing.add_default("b")
+    mta_b.routing.add_default("a")
+    uas = []
+    for side, mta_node in (("a", "mta-a"), ("b", "mta-b")):
+        for index in range(users_per_site):
+            user = OrName(country="xx", admd="", prmd=side, surname=f"u{side}{index}")
+            ua = UserAgent(world, f"{side}{index}", user, mta_node)
+            ua.register()
+            uas.append(ua)
+    return mta_a, mta_b, uas
+
+
+class TestMessagingChaos:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_mail_conserved_under_random_mta_crashes(self, seed):
+        """Every accepted message is delivered or NDR'd — never lost.
+
+        MTA crash windows are kept shorter than the retry budget
+        (4 attempts x 2 s), so store-and-forward masks every outage and
+        nothing is silently dropped.
+        """
+        world = World(seed=seed)
+        mta_a, mta_b, uas = _two_site_mhs(world)
+        rng = SeededRng(seed + 100)
+        # Random short crash windows on both MTAs across the horizon.
+        for mta_node in ("mta-a", "mta-b"):
+            t = 1.0
+            while t < 50.0:
+                t += rng.exponential(15.0)
+                if t >= 50.0:
+                    break
+                world.failures.crash_at(mta_node, at=t, duration=rng.uniform(0.5, 4.0))
+                t += 5.0
+        # Senders on both sides, receivers across the cut, spread in time.
+        from repro.util.errors import MessagingError
+
+        accepted = []
+        refused = []
+
+        def try_submit(sender: UserAgent, receiver: UserAgent, index: int) -> None:
+            envelope = sender.compose([receiver.user], f"chaos {index}", "body")
+            try:
+                sender.submit(envelope)
+                accepted.append(envelope.message_id)
+            except MessagingError:
+                refused.append(envelope.message_id)  # home MTA down: visible failure
+
+        for index in range(30):
+            sender = uas[index % len(uas)]
+            receiver = uas[(index + 3) % len(uas)]
+            when = world.now + 0.1 + index * 2.0
+            world.engine.schedule_at(
+                when, lambda s=sender, r=receiver, i=index: try_submit(s, r, i)
+            )
+        world.run(max_events=5_000_000)
+        # Conservation: every *accepted* message reached a mailbox (the
+        # crash windows are shorter than the MTA retry budget, so no
+        # NDRs are expected); refusals were surfaced to the sender.
+        delivered_ids = set()
+        for ua in uas:
+            for summary in ua.list_inbox():
+                delivered_ids.add(summary["message_id"])
+        ndrs = sum(m.reports_issued for m in (mta_a, mta_b))
+        assert len(accepted) + len(refused) == 30
+        for message_id in accepted:
+            assert message_id in delivered_ids or ndrs > 0, (
+                f"accepted message {message_id} neither delivered nor reported"
+            )
+        assert set(accepted) <= delivered_ids or ndrs > 0
+
+    def test_submission_during_home_mta_outage_times_out_visibly(self):
+        """A UA whose own MTA is down gets an explicit error, not silence."""
+        from repro.util.errors import MessagingError
+
+        world = World(seed=9)
+        mta_a, mta_b, uas = _two_site_mhs(world)
+        world.network.node("mta-a").crash()
+        with pytest.raises(MessagingError, match="timeout"):
+            uas[0].send([uas[1].user], "s", "b")
+
+
+class TestEditorChaosConvergence:
+    @pytest.mark.parametrize("seed", [11, 12, 13])
+    def test_random_edit_storm_converges(self, seed):
+        world = World(seed=seed)
+        world.add_site("net", [f"e{i}" for i in range(4)])
+        editor = SharedEditor(world)
+        people = [f"user{i}" for i in range(4)]
+        for index, person in enumerate(people):
+            editor.open_document(person, f"e{index}")
+        rng = SeededRng(seed)
+        for _ in range(60):
+            person = rng.choice(people)
+            if rng.chance(0.7):
+                editor.insert(person, rng.randint(0, 10), f"line-{rng.randint(0, 99)}")
+            else:
+                editor.delete(person, rng.randint(0, 10))
+            if rng.chance(0.3):
+                world.run_for(0.001)  # interleave partial propagation
+        world.run()
+        assert editor.converged()
+        views = {person: editor.view(person) for person in people}
+        first = views[people[0]]
+        assert all(view == first for view in views.values())
+
+
+class TestEnvironmentQueueDrain:
+    def test_pending_queues_always_drain_on_arrival(self, world):
+        from repro.apps.conferencing import ConferencingSystem
+        from repro.apps.message_system import MessageSystem
+        from repro.communication.model import Communicator
+        from repro.environment.environment import CSCWEnvironment
+        from repro.org.model import Organisation, Person
+
+        env = CSCWEnvironment(world)
+        org = Organisation("upc", "UPC")
+        org.add_person(Person("ana", "Ana", "upc"))
+        org.add_person(Person("joan", "Joan", "upc"))
+        env.knowledge_base.add_organisation(org)
+        world.add_site("bcn", ["w1", "w2"])
+        env.register_person(Communicator("ana", "w1"))
+        env.register_person(Communicator("joan", "w2"))
+        ConferencingSystem().attach(env)
+        messages = MessageSystem()
+        messages.attach(env)
+        rng = SeededRng(5)
+        expected_inbox = 0
+        document = {"topic": "t", "entry": "e", "conference": "c", "author": "ana"}
+        for round_number in range(20):
+            if rng.chance(0.5):
+                env.person_leaves("joan")
+            else:
+                env.person_arrives("joan")
+            outcome = env.exchange(
+                "ana", "joan", "conferencing", "message-system", document
+            )
+            assert outcome.delivered
+            expected_inbox += 1
+        env.person_arrives("joan")
+        assert env.pending_for("joan") == 0
+        assert len(messages.folder("joan")) == expected_inbox

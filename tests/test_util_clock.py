@@ -1,0 +1,125 @@
+"""Tests for Lamport and vector clocks."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.clock import LamportClock, Ordering, VectorClock, VectorTimestamp
+
+
+class TestLamportClock:
+    def test_tick_advances(self):
+        clock = LamportClock("p1")
+        assert clock.tick() == 1
+        assert clock.tick() == 2
+
+    def test_observe_jumps_past_remote(self):
+        clock = LamportClock("p1")
+        assert clock.observe(10) == 11
+
+    def test_observe_smaller_remote_still_ticks(self):
+        clock = LamportClock("p1")
+        clock.tick()
+        clock.tick()
+        assert clock.observe(1) == 3
+
+    def test_observe_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LamportClock("p1").observe(-1)
+
+    def test_stamp_totally_ordered(self):
+        a = LamportClock("a")
+        b = LamportClock("b")
+        stamp_a = a.stamp()
+        stamp_b = b.stamp()
+        assert stamp_a != stamp_b
+        assert sorted([stamp_b, stamp_a]) == [stamp_a, stamp_b]
+
+
+class TestVectorTimestamp:
+    def test_of_drops_zero_entries(self):
+        ts = VectorTimestamp.of({"a": 0, "b": 2})
+        assert ts.as_dict() == {"b": 2}
+
+    def test_get_defaults_to_zero(self):
+        assert VectorTimestamp.of({"a": 1}).get("z") == 0
+
+    def test_equal(self):
+        a = VectorTimestamp.of({"p": 1})
+        b = VectorTimestamp.of({"p": 1})
+        assert a.compare(b) is Ordering.EQUAL
+
+    def test_before_and_after(self):
+        a = VectorTimestamp.of({"p": 1})
+        b = VectorTimestamp.of({"p": 2})
+        assert a.compare(b) is Ordering.BEFORE
+        assert b.compare(a) is Ordering.AFTER
+
+    def test_concurrent(self):
+        a = VectorTimestamp.of({"p": 1})
+        b = VectorTimestamp.of({"q": 1})
+        assert a.compare(b) is Ordering.CONCURRENT
+
+    def test_merge_takes_componentwise_max(self):
+        a = VectorTimestamp.of({"p": 3, "q": 1})
+        b = VectorTimestamp.of({"q": 5})
+        assert a.merge(b).as_dict() == {"p": 3, "q": 5}
+
+    def test_dominates(self):
+        a = VectorTimestamp.of({"p": 2, "q": 2})
+        b = VectorTimestamp.of({"p": 1})
+        assert a.dominates(b)
+        assert not b.dominates(a)
+
+
+class TestVectorClock:
+    def test_tick_advances_own_component(self):
+        clock = VectorClock("p")
+        assert clock.tick().get("p") == 1
+        assert clock.tick().get("p") == 2
+
+    def test_observe_merges_then_ticks(self):
+        clock = VectorClock("p")
+        remote = VectorTimestamp.of({"q": 4})
+        ts = clock.observe(remote)
+        assert ts.get("q") == 4
+        assert ts.get("p") == 1
+
+    def test_message_exchange_creates_happens_before(self):
+        sender = VectorClock("s")
+        receiver = VectorClock("r")
+        sent = sender.tick()
+        received = receiver.observe(sent)
+        assert sent.compare(received) is Ordering.BEFORE
+
+
+@given(
+    st.dictionaries(st.sampled_from("abcde"), st.integers(1, 50), max_size=5),
+    st.dictionaries(st.sampled_from("abcde"), st.integers(1, 50), max_size=5),
+)
+def test_property_merge_dominates_both(left, right):
+    a = VectorTimestamp.of(left)
+    b = VectorTimestamp.of(right)
+    merged = a.merge(b)
+    assert merged.dominates(a)
+    assert merged.dominates(b)
+
+
+@given(
+    st.dictionaries(st.sampled_from("abcde"), st.integers(1, 50), max_size=5),
+    st.dictionaries(st.sampled_from("abcde"), st.integers(1, 50), max_size=5),
+)
+def test_property_compare_antisymmetric(left, right):
+    a = VectorTimestamp.of(left)
+    b = VectorTimestamp.of(right)
+    forward = a.compare(b)
+    backward = b.compare(a)
+    opposite = {
+        Ordering.BEFORE: Ordering.AFTER,
+        Ordering.AFTER: Ordering.BEFORE,
+        Ordering.EQUAL: Ordering.EQUAL,
+        Ordering.CONCURRENT: Ordering.CONCURRENT,
+    }
+    assert backward is opposite[forward]

@@ -1,0 +1,63 @@
+"""Tests for deterministic id generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.ids import IdFactory, next_id, reset_ids
+
+
+class TestIdFactory:
+    def test_sequential_within_namespace(self):
+        ids = IdFactory()
+        assert ids.next("msg") == "msg-0001"
+        assert ids.next("msg") == "msg-0002"
+
+    def test_namespaces_are_independent(self):
+        ids = IdFactory()
+        ids.next("a")
+        assert ids.next("b") == "b-0001"
+
+    def test_width_controls_padding(self):
+        ids = IdFactory(width=2)
+        assert ids.next("x") == "x-01"
+
+    def test_width_must_be_positive(self):
+        with pytest.raises(ValueError):
+            IdFactory(width=0)
+
+    def test_empty_namespace_rejected(self):
+        with pytest.raises(ValueError):
+            IdFactory().next("")
+
+    def test_peek_does_not_consume(self):
+        ids = IdFactory()
+        ids.next("t")
+        assert ids.peek("t") == 2
+        assert ids.next("t") == "t-0002"
+
+    def test_reset_single_namespace(self):
+        ids = IdFactory()
+        ids.next("a")
+        ids.next("b")
+        ids.reset("a")
+        assert ids.next("a") == "a-0001"
+        assert ids.next("b") == "b-0002"
+
+    def test_reset_all(self):
+        ids = IdFactory()
+        ids.next("a")
+        ids.next("b")
+        ids.reset()
+        assert ids.next("a") == "a-0001"
+        assert ids.next("b") == "b-0001"
+
+
+class TestGlobalFactory:
+    def test_global_ids_reset_by_fixture(self):
+        assert next_id("g") == "g-0001"
+
+    def test_reset_ids_restarts_sequence(self):
+        next_id("h")
+        reset_ids("h")
+        assert next_id("h") == "h-0001"

@@ -1,0 +1,86 @@
+"""Tests for the codec registry and document helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.util.errors import ConfigurationError
+from repro.util.serialization import (
+    TYPE_KEY,
+    CodecRegistry,
+    canonical_json,
+    deep_merge,
+    document_size,
+)
+
+
+@dataclass
+class Point:
+    x: int
+    y: int
+
+
+def _make_registry() -> CodecRegistry:
+    registry = CodecRegistry()
+    registry.register(
+        "point",
+        Point,
+        lambda p: {"x": p.x, "y": p.y},
+        lambda d: Point(d["x"], d["y"]),
+    )
+    return registry
+
+
+class TestCodecRegistry:
+    def test_round_trip(self):
+        registry = _make_registry()
+        document = registry.encode(Point(1, 2))
+        assert document[TYPE_KEY] == "point"
+        assert registry.decode(document) == Point(1, 2)
+
+    def test_duplicate_registration_rejected(self):
+        registry = _make_registry()
+        with pytest.raises(ConfigurationError):
+            registry.register("point", Point, lambda p: {}, lambda d: None)
+
+    def test_encode_unknown_type_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _make_registry().encode(object())
+
+    def test_decode_untagged_document_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _make_registry().decode({"x": 1})
+
+    def test_decode_unknown_tag_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _make_registry().decode({TYPE_KEY: "mystery"})
+
+    def test_registered_names_sorted(self):
+        registry = _make_registry()
+        assert registry.registered_names() == ["point"]
+
+
+class TestDocumentHelpers:
+    def test_canonical_json_sorts_keys(self):
+        assert canonical_json({"b": 1, "a": 2}) == '{"a":2,"b":1}'
+
+    def test_canonical_json_equality_is_structural(self):
+        assert canonical_json({"a": [1, 2]}) == canonical_json({"a": [1, 2]})
+
+    def test_document_size_is_bytes(self):
+        assert document_size({}) == 2
+
+    def test_deep_merge_overrides_scalars(self):
+        assert deep_merge({"a": 1}, {"a": 2}) == {"a": 2}
+
+    def test_deep_merge_recurses_into_dicts(self):
+        base = {"ui": {"color": "red", "font": "mono"}}
+        overlay = {"ui": {"color": "blue"}}
+        assert deep_merge(base, overlay) == {"ui": {"color": "blue", "font": "mono"}}
+
+    def test_deep_merge_does_not_mutate_inputs(self):
+        base = {"a": {"b": 1}}
+        deep_merge(base, {"a": {"b": 2}})
+        assert base == {"a": {"b": 1}}
