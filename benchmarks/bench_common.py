@@ -8,6 +8,9 @@ hot operation.
 
 from __future__ import annotations
 
+import json
+import os
+
 from repro.apps.conferencing import ConferencingSystem
 from repro.apps.document import DocumentProcessor
 from repro.apps.message_system import MessageSystem
@@ -38,9 +41,20 @@ def build_environment(
     n_people: int = 2,
     orgs: list[str] | None = None,
     open_policies: bool = True,
+    metrics=None,
+    tracer=None,
 ) -> CSCWEnvironment:
-    """An environment with people spread round-robin over organisations."""
-    env = CSCWEnvironment(world)
+    """An environment with people spread round-robin over organisations.
+
+    Pass an obs *metrics* registry and/or *tracer* to build an
+    instrumented environment (routed through the environment builder).
+    """
+    builder = CSCWEnvironment.builder().with_world(world)
+    if metrics is not None:
+        builder = builder.with_metrics(metrics)
+    if tracer is not None:
+        builder = builder.with_tracer(tracer)
+    env = builder.build()
     org_ids = orgs if orgs is not None else ["upc", "gmd"]
     organisations = {org_id: Organisation(org_id, org_id.upper()) for org_id in org_ids}
     for index in range(n_people):
@@ -64,3 +78,33 @@ def build_environment(
 def standard_apps() -> list:
     """The four heterogeneous stock applications."""
     return [ConferencingSystem(), MessageSystem(), WorkflowSystem(), DocumentProcessor()]
+
+
+def metrics_blob(name: str, registry) -> dict:
+    """A ``BENCH_<NAME>.json``-compatible metrics blob for one bench run.
+
+    *registry* is a :class:`repro.obs.MetricsRegistry`; the blob pairs
+    the bench name with the registry's full snapshot so successive perf
+    PRs can diff counters/histograms run-over-run.
+    """
+    return {"bench": name, "metrics": registry.snapshot()}
+
+
+def emit_metrics(name: str, registry, directory: str | None = None) -> str | None:
+    """Print a bench's metrics blob; optionally persist it as JSON.
+
+    The blob is written to ``<dir>/BENCH_<NAME>.json`` when *directory*
+    (or the ``BENCH_METRICS_DIR`` environment variable) names a
+    directory; returns the written path, or ``None`` when print-only.
+    """
+    blob = metrics_blob(name, registry)
+    text = json.dumps(blob, indent=2, sort_keys=True)
+    print(f"\nBENCH_{name.upper()} metrics:")
+    print(text)
+    target = directory or os.environ.get("BENCH_METRICS_DIR")
+    if not target:
+        return None
+    path = os.path.join(target, f"BENCH_{name.upper()}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    return path

@@ -9,15 +9,24 @@ survive failures.
 Regenerated tables: directory search latency vs entry count; message
 delivery ratio and simulated latency vs group size, with and without
 node crashes (store-and-forward retries mask transient MTA outages).
+
+The observability snapshot test additionally runs the whole stack
+(engine + trader + exchange + MTA) instrumented through ``repro.obs``
+and emits a ``BENCH_*.json``-compatible metrics blob — the trajectory
+future scaling PRs measure themselves against.
 """
 
 from __future__ import annotations
 
+from bench_common import build_environment, emit_metrics, standard_apps
 from repro.directory.dit import DirectoryInformationTree
 from repro.directory.filters import parse_filter
+from repro.environment.transparency import TransparencyProfile
 from repro.messaging.mta import MessageTransferAgent
 from repro.messaging.names import OrName
 from repro.messaging.ua import UserAgent
+from repro.obs import MetricsRegistry, Tracer, instrument_mta
+from repro.odp.objects import InterfaceRef
 from repro.sim.world import World
 
 
@@ -127,6 +136,77 @@ def test_e6_messaging_scale_and_failures(benchmark):
         assert crash_latency > clean_latency
 
     benchmark(lambda: _run_group(8, crash=False))
+
+
+def test_e6_observability_snapshot(benchmark):
+    """The instrumented stack reports every hot layer in one snapshot."""
+    world = World(seed=66)
+    registry = MetricsRegistry()
+    tracer = Tracer()
+    env = build_environment(world, n_people=4, metrics=registry, tracer=tracer)
+    for app in standard_apps():
+        app.attach(env)
+
+    # Exchange traffic: delivered (sync + async) and failed outcomes.
+    env.person_leaves("p3")
+    outcomes = []
+    outcomes.append(env.exchange("p0", "p2", "conferencing", "message-system",
+                                 {"topic": "t", "entry": "e"}))
+    outcomes.append(env.exchange("p1", "p3", "conferencing", "workflow",
+                                 {"topic": "t", "entry": "e"}))
+    # p0 (upc) -> p1 (gmd) is cross-organisation; with every transparency
+    # off the organisation dimension is the first to reject it.
+    outcomes.append(env.exchange("p0", "p1", "conferencing", "message-system",
+                                 {"topic": "t", "entry": "e"},
+                                 profile=TransparencyProfile.all_off()))
+
+    # Trader traffic: services found and missed.
+    env.trader.export("archiving", InterfaceRef("node", "obj", "iface"))
+    env.trader.import_one("archiving")
+
+    # Messaging traffic drives the engine (per-hop delays, transfers).
+    mta_a, mta_b, uas = _mhs(world, 8)
+    instrument_mta(mta_a, registry)
+    instrument_mta(mta_b, registry)
+    for index, ua in enumerate(ua for ua in uas if ua.user.prmd == "a"):
+        ua.send([uas[2 * index + 1].user], f"msg {index}", "body")
+    world.run()
+
+    snap = registry.snapshot()
+    counters = snap["counters"]
+    print("\nE6d: instrumented full-stack snapshot")
+    print(f"  engine: scheduled={counters['sim.engine.scheduled']} "
+          f"fired={counters['sim.engine.fired']}")
+    print(f"  trader: imports={counters['trader.imports']} "
+          f"scans={counters['trader.offer_scans']}")
+    reasons = {key.rsplit('.', 1)[1]: value for key, value in counters.items()
+               if key.startswith("env.exchange.reason.")}
+    print(f"  exchange outcomes: {reasons}")
+    print(f"  mta: delivered={counters['mta.delivered']} "
+          f"relayed={counters['mta.relayed']}")
+    print(f"  traces: {len(tracer.finished())} spans "
+          f"(all sim-clock: {all(s.clock == 'sim' for s in tracer.finished())})")
+
+    # Acceptance: non-zero engine event counts, trader import counts and
+    # an exchange-outcome breakdown, all in one snapshot.
+    assert counters["sim.engine.scheduled"] > 0
+    assert counters["sim.engine.fired"] > 0
+    assert counters["trader.imports"] >= 1
+    assert reasons["delivered"] == 2
+    assert reasons["organisation-opaque"] == 1
+    assert counters["env.exchange.outcome.delivered"] == 2
+    assert counters["env.exchange.outcome.failed"] == 1
+    assert counters["mta.delivered"] >= 4
+    assert snap["histograms"]["mta.hops"]["count"] >= 4
+    assert snap["histograms"]["env.exchange.document_bytes"]["count"] == 2
+    assert [s.name for s in tracer.finished()].count("env.exchange") == 3
+    assert all(outcome.trace_id for outcome in outcomes)
+    emit_metrics("e6_observability", registry)
+
+    # Time the instrumented exchange hot path (its cost is what the
+    # "near-zero when disabled" claim is measured against).
+    benchmark(lambda: env.exchange("p0", "p2", "conferencing", "message-system",
+                                   {"topic": "t", "entry": "e"}))
 
 
 def test_e6_sync_vs_async_coexistence(benchmark):

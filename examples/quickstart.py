@@ -14,6 +14,7 @@ from repro.apps.conferencing import ConferencingSystem
 from repro.apps.message_system import MessageSystem
 from repro.communication.model import Communicator
 from repro.environment.environment import CSCWEnvironment
+from repro.obs import MetricsRegistry, Tracer
 from repro.org.model import Organisation, Person
 from repro.org.policy import INTERACTION_MESSAGE
 from repro.sim.world import World
@@ -25,8 +26,17 @@ def main() -> None:
     world.add_site("barcelona", ["ws-ana"])
     world.add_site("bonn", ["ws-wolf"])
 
-    # 2. The CSCW environment with its organisational knowledge base.
-    env = CSCWEnvironment(world)
+    # 2. The CSCW environment, built the recommended way: the fluent
+    #    builder, with observability (metrics + sim-clock tracing)
+    #    injected at construction.
+    metrics = MetricsRegistry()
+    tracer = Tracer()
+    env = (CSCWEnvironment.builder()
+           .with_world(world)
+           .with_name("mocca")
+           .with_metrics(metrics)
+           .with_tracer(tracer)
+           .build())
     upc = Organisation("upc", "UPC")
     upc.add_person(Person("ana", "Ana Lopez", "upc"))
     gmd = Organisation("gmd", "GMD")
@@ -69,6 +79,16 @@ def main() -> None:
           f"(closed world would need {2 * 1} gateways for 2 apps, "
           f"N*(N-1) in general)")
     print(f"interop coverage: {env.interop_coverage():.0%}")
+
+    # 6. The observability injected in step 2: the exchange was counted,
+    #    classified and traced (in simulated time) as it ran.
+    counters = metrics.snapshot()["counters"]
+    print(f"metrics: outcome={outcome.reason_code!r} trace={outcome.trace_id} "
+          f"delivered_count={counters['env.exchange.outcome.delivered']} "
+          f"events_published={counters['events.published']}")
+    for span in tracer.finished():
+        print(f"trace span: {span.name} [{span.trace_id}] "
+              f"delivered={span.tags['delivered']} mode={span.tags['mode']}")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,34 @@
+#!/usr/bin/env sh
+# One-command tier-1 verification (tox-free): unit/integration tests,
+# whole-tree bytecode compilation, and a doctest pass over the
+# observability subsystem.  Run from the repository root:
+#
+#   sh scripts/check.sh
+#
+set -e
+
+cd "$(dirname "$0")/.."
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+export PYTHONPATH
+
+echo "== pytest (tier-1) =="
+python -m pytest -x -q
+
+echo "== compileall src =="
+python -m compileall -q src
+
+echo "== doctest src/repro/obs =="
+python - <<'EOF'
+import doctest
+import sys
+
+failures = 0
+for module_name in ("repro.obs.metrics", "repro.obs.tracing", "repro.obs.instrument"):
+    module = __import__(module_name, fromlist=["_"])
+    result = doctest.testmod(module, verbose=False)
+    print(f"{module_name}: {result.attempted} doctests, {result.failed} failures")
+    failures += result.failed
+sys.exit(1 if failures else 0)
+EOF
+
+echo "== all checks passed =="

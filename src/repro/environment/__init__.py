@@ -6,7 +6,18 @@ CSCW transparencies, application registration, and cooperation sessions.
 """
 
 from repro.environment.awareness import AwarenessService, ColleagueInfo
-from repro.environment.environment import CSCWEnvironment, ExchangeOutcome
+from repro.environment.builder import EnvironmentBuilder
+from repro.environment.environment import (
+    REASON_DELIVERED,
+    REASON_MEMBERSHIP,
+    REASON_ORGANISATION_OPAQUE,
+    REASON_POLICY,
+    REASON_TIME_OPAQUE,
+    REASON_TRANSLATION,
+    REASON_VIEW_OPAQUE,
+    CSCWEnvironment,
+    ExchangeOutcome,
+)
 from repro.environment.registry import (
     Q_DIFFERENT_TIME_DIFFERENT_PLACE,
     Q_DIFFERENT_TIME_SAME_PLACE,
@@ -33,7 +44,15 @@ __all__ = [
     "AwarenessService",
     "ColleagueInfo",
     "CSCWEnvironment",
+    "EnvironmentBuilder",
     "ExchangeOutcome",
+    "REASON_DELIVERED",
+    "REASON_MEMBERSHIP",
+    "REASON_ORGANISATION_OPAQUE",
+    "REASON_POLICY",
+    "REASON_TIME_OPAQUE",
+    "REASON_TRANSLATION",
+    "REASON_VIEW_OPAQUE",
     "Q_DIFFERENT_TIME_DIFFERENT_PLACE",
     "Q_DIFFERENT_TIME_SAME_PLACE",
     "Q_SAME_TIME_DIFFERENT_PLACE",

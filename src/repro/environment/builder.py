@@ -1,0 +1,152 @@
+"""Fluent construction of the CSCW environment.
+
+``CSCWEnvironment.builder()`` is the recommended construction path: a
+small fluent :class:`EnvironmentBuilder` whose knobs inject observability
+(metrics registry, tracer) and extra trading policy at construction time
+instead of monkey-patching them on afterwards::
+
+    env = (CSCWEnvironment.builder()
+           .with_world(world)
+           .with_name("mocca")
+           .with_metrics(MetricsRegistry())
+           .with_tracer(Tracer())
+           .with_trader_policy(my_policy_hook)
+           .build())
+
+The legacy ``CSCWEnvironment(world, name=...)`` constructor routes
+through this builder, so both paths perform identical wiring: services
+constructed, the org-KB trading policy installed on the trader, the
+event bus bound to the engine's simulated clock, and (when enabled)
+metrics/tracing attached to every owned hot layer via
+:func:`repro.obs.instrument.instrument_environment`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.activity.coordination import ResourceCoordinator
+from repro.activity.dependencies import DependencyGraph
+from repro.activity.model import ActivityRegistry
+from repro.activity.negotiation import NegotiationService
+from repro.activity.scheduler import ActivityScheduler
+from repro.communication.model import CommunicationLog, CommunicatorRegistry
+from repro.environment.registry import ApplicationRegistry
+from repro.environment.tailoring import TailoringService
+from repro.environment.transparency import ViewRegistry
+from repro.expertise.model import ExpertiseRegistry
+from repro.information.interchange import InterchangeService
+from repro.information.objects import InformationBase
+from repro.obs.instrument import instrument_environment
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.obs.tracing import NULL_TRACER, Tracer
+from repro.odp.trader import ImportContext, ServiceOffer, Trader
+from repro.org.knowledge_base import OrganisationalKnowledgeBase
+from repro.sim.world import World
+from repro.util.errors import ConfigurationError
+from repro.util.events import EventBus
+
+#: a trading-policy predicate, as accepted by Trader.add_policy_hook
+TraderPolicy = Callable[[ServiceOffer, ImportContext], bool]
+
+
+class EnvironmentBuilder:
+    """Collects construction options, then wires a CSCWEnvironment.
+
+    Obtain one through ``CSCWEnvironment.builder()``.  All ``with_*``
+    methods return the builder for chaining; :meth:`build` validates the
+    configuration (a world is mandatory) and produces the environment.
+    """
+
+    def __init__(self, cls: type | None = None) -> None:
+        if cls is None:
+            from repro.environment.environment import CSCWEnvironment
+
+            cls = CSCWEnvironment
+        self._cls = cls
+        self._world: World | None = None
+        self._name = "mocca"
+        self._metrics: MetricsRegistry | None = None
+        self._tracer: Tracer | None = None
+        self._trader_policies: list[TraderPolicy] = []
+
+    # -- knobs -------------------------------------------------------------
+    def with_world(self, world: World) -> "EnvironmentBuilder":
+        """Set the simulated world the environment runs in (required)."""
+        self._world = world
+        return self
+
+    def with_name(self, name: str) -> "EnvironmentBuilder":
+        """Set the environment's name (default ``"mocca"``)."""
+        if not name:
+            raise ConfigurationError("environment name must be non-empty")
+        self._name = name
+        return self
+
+    def with_metrics(self, metrics: MetricsRegistry) -> "EnvironmentBuilder":
+        """Collect metrics into *metrics* (engine, bus, trader, exchange)."""
+        self._metrics = metrics
+        return self
+
+    def with_tracer(self, tracer: Tracer) -> "EnvironmentBuilder":
+        """Trace ``exchange()`` with *tracer*; sim-mode tracers are bound
+        to the world's engine clock so span durations are simulated
+        seconds."""
+        self._tracer = tracer
+        return self
+
+    def with_trader_policy(self, hook: TraderPolicy) -> "EnvironmentBuilder":
+        """Install an extra trading-policy predicate on the trader.
+
+        Hooks accumulate (call repeatedly for several) and run after the
+        organisational knowledge base's own policy hook.
+        """
+        self._trader_policies.append(hook)
+        return self
+
+    # -- construction ------------------------------------------------------
+    def build(self) -> Any:
+        """Construct, wire and return the environment."""
+        environment = object.__new__(self._cls)
+        self._wire(environment)
+        return environment
+
+    def _wire(self, env: Any) -> None:
+        """Perform the full construction onto *env* (shared with the
+        legacy ``CSCWEnvironment.__init__`` path)."""
+        world = self._world
+        if world is None:
+            raise ConfigurationError(
+                "EnvironmentBuilder needs a world: call with_world(world) first"
+            )
+        env.world = world
+        env.name = self._name
+        env.metrics = NULL_METRICS
+        env.tracer = NULL_TRACER
+        env.bus = EventBus()
+        # Satellite fix: events published through the environment carry
+        # the simulated time of publication.
+        env.bus.bind_clock(lambda: world.engine.now)
+        env.knowledge_base = OrganisationalKnowledgeBase()
+        env.trader = Trader(f"{env.name}-trader", rng=world.rng.fork("trader"))
+        # Section 6.1: the org KB dictates the trading policy.
+        env.trader.add_policy_hook(env.knowledge_base.trader_policy_hook())
+        for hook in self._trader_policies:
+            env.trader.add_policy_hook(hook)
+        env.interchange = InterchangeService()
+        env.applications = ApplicationRegistry(env.interchange, env.trader)
+        env.activities = ActivityRegistry()
+        env.dependencies = DependencyGraph()
+        env.scheduler = ActivityScheduler(env.activities, env.dependencies, env.bus)
+        env.negotiations = NegotiationService(env.activities)
+        env.resources = ResourceCoordinator()
+        env.information = InformationBase()
+        env.communicators = CommunicatorRegistry()
+        env.communication_log = CommunicationLog()
+        env.expertise = ExpertiseRegistry()
+        env.tailoring = TailoringService()
+        env.views = ViewRegistry()
+        env.exchanges_attempted = 0
+        env.exchanges_failed = 0
+        env._pending_deliveries = {}
+        instrument_environment(env, metrics=self._metrics, tracer=self._tracer)

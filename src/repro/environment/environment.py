@@ -24,38 +24,45 @@ transparencies per the caller's :class:`TransparencyProfile`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
-from repro.activity.coordination import ResourceCoordinator
-from repro.activity.dependencies import DependencyGraph
-from repro.activity.model import Activity, ActivityRegistry
-from repro.activity.negotiation import NegotiationService
-from repro.activity.scheduler import ActivityScheduler
+from repro.activity.model import Activity
 from repro.communication.model import (
     CommunicationContext,
-    CommunicationLog,
     Communicator,
-    CommunicatorRegistry,
     Exchange,
 )
-from repro.environment.registry import AppDescriptor, ApplicationRegistry, DeliveryCallback
-from repro.environment.tailoring import TailoringService
-from repro.environment.transparency import TransparencyProfile, ViewRegistry
-from repro.expertise.model import ExpertiseRegistry
-from repro.information.interchange import InterchangeService
-from repro.information.objects import InformationBase
-from repro.odp.trader import Trader
-from repro.org.knowledge_base import OrganisationalKnowledgeBase
+from repro.environment.registry import AppDescriptor, DeliveryCallback
+from repro.environment.transparency import TransparencyProfile
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
 from repro.org.policy import INTERACTION_MESSAGE
 from repro.sim.world import World
 from repro.util.errors import InteropError, UnknownObjectError
-from repro.util.events import EventBus
 from repro.util.serialization import document_size
+
+if TYPE_CHECKING:
+    from repro.environment.builder import EnvironmentBuilder
+
+#: structured reason codes an ExchangeOutcome can carry
+REASON_DELIVERED = "delivered"
+REASON_MEMBERSHIP = "membership"
+REASON_ORGANISATION_OPAQUE = "organisation-opaque"
+REASON_POLICY = "policy"
+REASON_VIEW_OPAQUE = "view-opaque"
+REASON_TRANSLATION = "translation"
+REASON_TIME_OPAQUE = "time-opaque"
 
 
 @dataclass(frozen=True)
 class ExchangeOutcome:
-    """What happened to one cross-application exchange."""
+    """What happened to one cross-application exchange.
+
+    ``reason`` (human text) and ``reason_code`` (one of the ``REASON_*``
+    constants) are populated uniformly for delivered and failed
+    exchanges; ``trace_id`` carries the trace the exchange ran under
+    when the environment has a tracer attached ('' otherwise).
+    """
 
     delivered: bool
     mode: str  # "synchronous" | "asynchronous" | "failed"
@@ -64,36 +71,48 @@ class ExchangeOutcome:
     fidelity: float = 1.0
     #: dimensions the environment handled on the caller's behalf
     handled: tuple[str, ...] = ()
+    #: structured outcome classification (REASON_* constant)
+    reason_code: str = ""
+    #: trace id of the exchange span ('' when tracing is off)
+    trace_id: str = ""
 
 
 class CSCWEnvironment:
-    """The shared environment mediating all open CSCW applications."""
+    """The shared environment mediating all open CSCW applications.
 
-    def __init__(self, world: World, name: str = "mocca") -> None:
-        self.world = world
-        self.name = name
-        self.bus = EventBus()
-        self.knowledge_base = OrganisationalKnowledgeBase()
-        self.trader = Trader(f"{name}-trader", rng=world.rng.fork("trader"))
-        # Section 6.1: the org KB dictates the trading policy.
-        self.trader.add_policy_hook(self.knowledge_base.trader_policy_hook())
-        self.interchange = InterchangeService()
-        self.applications = ApplicationRegistry(self.interchange, self.trader)
-        self.activities = ActivityRegistry()
-        self.dependencies = DependencyGraph()
-        self.scheduler = ActivityScheduler(self.activities, self.dependencies, self.bus)
-        self.negotiations = NegotiationService(self.activities)
-        self.resources = ResourceCoordinator()
-        self.information = InformationBase()
-        self.communicators = CommunicatorRegistry()
-        self.communication_log = CommunicationLog()
-        self.expertise = ExpertiseRegistry()
-        self.tailoring = TailoringService()
-        self.views = ViewRegistry()
-        self.exchanges_attempted = 0
-        self.exchanges_failed = 0
-        #: store-and-forward queue: person -> [(app, document, info)]
-        self._pending_deliveries: dict[str, list[tuple[str, dict[str, Any], dict[str, Any]]]] = {}
+    The recommended construction path is :meth:`builder`, which can
+    inject observability (``with_metrics``/``with_tracer``) and extra
+    trading policy at construction time; the plain constructor remains
+    supported and routes through the same builder wiring.
+    """
+
+    def __init__(
+        self,
+        world: World,
+        name: str = "mocca",
+        *,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        """Build an environment on *world*; keyword-only *metrics* and
+        *tracer* opt into observability (equivalent to the builder's
+        ``with_metrics``/``with_tracer``)."""
+        from repro.environment.builder import EnvironmentBuilder
+
+        spec = EnvironmentBuilder(type(self)).with_world(world).with_name(name)
+        if metrics is not None:
+            spec = spec.with_metrics(metrics)
+        if tracer is not None:
+            spec = spec.with_tracer(tracer)
+        spec._wire(self)
+
+    @classmethod
+    def builder(cls) -> "EnvironmentBuilder":
+        """A fluent :class:`~repro.environment.builder.EnvironmentBuilder`
+        producing instances of this class."""
+        from repro.environment.builder import EnvironmentBuilder
+
+        return EnvironmentBuilder(cls)
 
     # -- people ----------------------------------------------------------------
     def register_person(self, communicator: Communicator) -> None:
@@ -169,8 +188,46 @@ class CSCWEnvironment:
         transparency whose dimension the exchange actually crosses makes
         the exchange fail — quantifying exactly what each transparency
         buys (experiment E4).
+
+        When a tracer is attached, the whole exchange runs inside an
+        ``env.exchange`` span whose trace id the returned outcome
+        carries; when a metrics registry is attached, outcomes are
+        counted by reason code and transparency dimension.
         """
+        with self.tracer.span(
+            "env.exchange",
+            sender=sender,
+            receiver=receiver,
+            sender_app=sender_app,
+            receiver_app=receiver_app,
+        ) as span:
+            outcome = self._exchange(
+                sender, receiver, sender_app, receiver_app, document,
+                activity_id, profile, interaction, span.trace_id,
+            )
+            span.tag(
+                delivered=outcome.delivered,
+                mode=outcome.mode,
+                reason_code=outcome.reason_code,
+            )
+            return outcome
+
+    def _exchange(
+        self,
+        sender: str,
+        receiver: str,
+        sender_app: str,
+        receiver_app: str,
+        document: dict[str, Any],
+        activity_id: str,
+        profile: TransparencyProfile | None,
+        interaction: str,
+        trace_id: str,
+    ) -> ExchangeOutcome:
         self.exchanges_attempted += 1
+        obs = self.metrics
+        if obs.enabled:
+            obs.inc("env.exchange.attempted")
         active = profile if profile is not None else TransparencyProfile.all_on()
         handled: list[str] = []
 
@@ -179,7 +236,11 @@ class CSCWEnvironment:
             activity = self.activities.get(activity_id)
             for person in (sender, receiver):
                 if not activity.is_member(person):
-                    return self._fail(f"{person} is not a member of {activity_id}")
+                    return self._fail(
+                        REASON_MEMBERSHIP,
+                        f"{person} is not a member of {activity_id}",
+                        trace_id,
+                    )
 
         # 1. Organisation dimension.
         try:
@@ -190,15 +251,19 @@ class CSCWEnvironment:
         if sender_org != receiver_org:
             if not active.organisation:
                 return self._fail(
+                    REASON_ORGANISATION_OPAQUE,
                     f"cross-organisation exchange ({sender_org} -> {receiver_org}) "
-                    "with organisation transparency off"
+                    "with organisation transparency off",
+                    trace_id,
                 )
             if not self.knowledge_base.policies.compatible(
                 sender_org, receiver_org, interaction
             ):
                 return self._fail(
+                    REASON_POLICY,
                     f"no compatible policy between {sender_org} and {receiver_org} "
-                    f"for {interaction}"
+                    f"for {interaction}",
+                    trace_id,
                 )
             handled.append("organisation")
 
@@ -211,13 +276,15 @@ class CSCWEnvironment:
         if sender_format != receiver_format:
             if not active.view:
                 return self._fail(
+                    REASON_VIEW_OPAQUE,
                     f"format mismatch ({sender_format} -> {receiver_format}) "
-                    "with view transparency off"
+                    "with view transparency off",
+                    trace_id,
                 )
             try:
                 result = self.interchange.translate(sender_format, receiver_format, payload)
             except InteropError as exc:
-                return self._fail(str(exc))
+                return self._fail(REASON_TRANSLATION, str(exc), trace_id)
             payload = result.document
             fidelity = result.fidelity
             translated = True
@@ -233,7 +300,9 @@ class CSCWEnvironment:
         else:
             if not active.time:
                 return self._fail(
-                    f"receiver {receiver} absent with time transparency off"
+                    REASON_TIME_OPAQUE,
+                    f"receiver {receiver} absent with time transparency off",
+                    trace_id,
                 )
             mode = "asynchronous"
             handled.append("time")
@@ -263,13 +332,14 @@ class CSCWEnvironment:
             self._pending_deliveries.setdefault(receiver, []).append(
                 (receiver_app, rendered, info)
             )
+        size_bytes = document_size(payload)
         self.communication_log.record(
             Exchange(
                 sender=sender,
                 receiver=receiver,
                 mode=mode,
                 media="document",
-                size_bytes=document_size(payload),
+                size_bytes=size_bytes,
                 time=self.world.now,
                 context=CommunicationContext(
                     activity=activity_id, from_org=sender_org, to_org=receiver_org
@@ -278,27 +348,48 @@ class CSCWEnvironment:
         )
         self.world.metrics.increment("env.exchange.delivered")
         self.world.metrics.increment(f"env.exchange.{mode}")
+        if obs.enabled:
+            obs.inc("env.exchange.outcome.delivered")
+            obs.inc(f"env.exchange.reason.{REASON_DELIVERED}")
+            for dimension in handled:
+                obs.inc(f"env.exchange.transparency.{dimension}")
+            obs.observe("env.exchange.document_bytes", size_bytes)
         return ExchangeOutcome(
             delivered=True,
             mode=mode,
+            reason=f"delivered ({mode})",
             translated=translated,
             fidelity=fidelity,
             handled=tuple(handled),
+            reason_code=REASON_DELIVERED,
+            trace_id=trace_id,
         )
 
-    def _fail(self, reason: str) -> ExchangeOutcome:
+    def _fail(self, code: str, reason: str, trace_id: str = "") -> ExchangeOutcome:
         self.exchanges_failed += 1
         self.world.metrics.increment("env.exchange.failed")
-        return ExchangeOutcome(delivered=False, mode="failed", reason=reason)
+        obs = self.metrics
+        if obs.enabled:
+            obs.inc("env.exchange.outcome.failed")
+            obs.inc(f"env.exchange.reason.{code}")
+        return ExchangeOutcome(
+            delivered=False,
+            mode="failed",
+            reason=reason,
+            reason_code=code,
+            trace_id=trace_id,
+        )
 
     def describe(self) -> dict[str, Any]:
         """An inventory snapshot of the running environment.
 
         Covers the registered applications (with their quadrants), people
         and presence, activities by status, traded service types and
-        exchange counters — the administrator's view of Figure 3.
+        exchange counters — the administrator's view of Figure 3.  When
+        an enabled metrics registry is attached, a ``metrics`` section
+        with its full snapshot is included.
         """
-        return {
+        inventory: dict[str, Any] = {
             "name": self.name,
             "applications": self.applications.coverage_matrix(),
             "people": {
@@ -319,6 +410,9 @@ class CSCWEnvironment:
             "integration_cost": self.integration_cost(),
             "interop_coverage": self.interop_coverage(),
         }
+        if self.metrics.enabled:
+            inventory["metrics"] = self.metrics.snapshot()
+        return inventory
 
     # -- reporting ---------------------------------------------------------------
     def interop_coverage(self) -> float:

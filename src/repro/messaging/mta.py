@@ -31,6 +31,7 @@ from repro.messaging.reports import (
     NonDeliveryReport,
 )
 from repro.messaging.routing import RoutingTable
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.sim.transport import RequestReply
 from repro.sim.world import World
 from repro.util.errors import MessagingError, NoRouteError
@@ -81,6 +82,7 @@ class MessageTransferAgent:
         self.relayed = 0
         self.delivered = 0
         self.reports_issued = 0
+        self._obs: MetricsRegistry = NULL_METRICS
         self.rpc = RequestReply(world.network, node, port=MHS_PORT)
         self.rpc.serve("submit", self._op_submit)
         self.rpc.serve("transfer", self._op_transfer)
@@ -138,6 +140,15 @@ class MessageTransferAgent:
             return list(self._dlists[list_name.mailbox])
         except KeyError:
             raise MessagingError(f"no distribution list {list_name}") from None
+
+    def attach_metrics(self, metrics: MetricsRegistry | None) -> None:
+        """Report transfer activity to *metrics* (``None`` detaches).
+
+        Counters ``mta.relayed``/``delivered``/``reports`` and
+        ``mta.non_delivery.<reason>``, plus the ``mta.hops`` histogram of
+        hop counts at local delivery.
+        """
+        self._obs = metrics if metrics is not None else NULL_METRICS
 
     def add_delivery_hook(self, hook: DeliveryHook) -> None:
         """Call *hook*(mailbox, stored) on every local delivery."""
@@ -241,6 +252,10 @@ class MessageTransferAgent:
             return
         stored = self.store.deliver(recipient.mailbox, envelope, self._world.now)
         self.delivered += 1
+        obs = self._obs
+        if obs.enabled:
+            obs.inc("mta.delivered")
+            obs.observe("mta.hops", envelope.hop_count())
         for hook in self._delivery_hooks:
             hook(recipient.mailbox, stored)
         if envelope.delivery_report_requested:
@@ -263,6 +278,8 @@ class MessageTransferAgent:
 
     def _transfer(self, envelope: Envelope, node: str, attempt: int) -> None:
         self.relayed += 1
+        if self._obs.enabled:
+            self._obs.inc("mta.relayed")
 
         def on_timeout() -> None:
             if attempt >= self._attempts:
@@ -301,6 +318,8 @@ class MessageTransferAgent:
         # Never report about a report: that way lies mail loops.
         if envelope.content.extensions.get("report"):
             return
+        if self._obs.enabled:
+            self._obs.inc(f"mta.non_delivery.{reason}")
         report = NonDeliveryReport(
             subject_message_id=envelope.message_id,
             recipient=str(envelope.recipients[0]),
@@ -311,6 +330,8 @@ class MessageTransferAgent:
 
     def _send_report(self, subject: Envelope, report_document: dict[str, Any]) -> None:
         self.reports_issued += 1
+        if self._obs.enabled:
+            self._obs.inc("mta.reports")
         for hook in self._report_hooks:
             hook(dict(report_document))
         content = InterpersonalMessage(

@@ -1,0 +1,65 @@
+"""Observability: metrics, sim-clock tracing, and layer instrumentation.
+
+The management/monitoring function RM-ODP's engineering viewpoint
+prescribes, realised for this library: a process-local
+:class:`~repro.obs.metrics.MetricsRegistry` (counters, gauges,
+fixed-bucket histograms), a :class:`~repro.obs.tracing.Tracer` whose
+spans are timed on the *simulated* clock (wall-clock mode available for
+profiling), and :mod:`repro.obs.instrument` hooks that wire both into
+the five hot layers (engine, event bus, trader, MTA, exchange path).
+
+Everything is opt-in: components default to :data:`NULL_METRICS` /
+:data:`NULL_TRACER`, whose operations are no-ops behind a single
+``enabled`` check.  The recommended way to switch collection on is the
+environment builder::
+
+    env = (CSCWEnvironment.builder()
+           .with_world(world)
+           .with_metrics(MetricsRegistry())
+           .with_tracer(Tracer())
+           .build())
+"""
+
+from repro.obs.instrument import (
+    BYTES_BUCKETS,
+    COUNT_BUCKETS,
+    Observability,
+    instrument_engine,
+    instrument_event_bus,
+    instrument_environment,
+    instrument_mta,
+    instrument_trader,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+from repro.obs.tracing import NULL_SPAN, NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "BYTES_BUCKETS",
+    "COUNT_BUCKETS",
+    "DEFAULT_BUCKETS",
+    "NULL_METRICS",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NullTracer",
+    "Observability",
+    "Span",
+    "Tracer",
+    "instrument_engine",
+    "instrument_event_bus",
+    "instrument_environment",
+    "instrument_mta",
+    "instrument_trader",
+]

@@ -1,0 +1,136 @@
+"""Wiring hooks: attach a registry/tracer to the library's hot layers.
+
+Five layers know how to report (all opt-in, no-op by default):
+
+========================  =====================================================
+layer                     instruments
+========================  =====================================================
+``sim.engine``            ``sim.engine.scheduled`` / ``.fired`` / ``.cancelled``
+                          counters, ``sim.engine.queue_depth`` gauge
+``util.events``           ``events.published`` / ``.delivered`` counters,
+                          ``events.fanout`` subscriber fan-out histogram
+``odp.trader``            ``trader.exports`` / ``.imports`` / ``.offer_scans``
+                          / ``.link_hops`` / ``.no_offer`` /
+                          ``.policy_rejections`` counters
+``messaging.mta``         ``mta.relayed`` / ``.delivered`` / ``.reports`` and
+                          ``mta.non_delivery.<reason>`` counters,
+                          ``mta.hops`` histogram
+``environment.exchange``  ``env.exchange.attempted``,
+                          ``env.exchange.outcome.<delivered|failed>``,
+                          ``env.exchange.reason.<code>``,
+                          ``env.exchange.transparency.<dimension>`` counters,
+                          ``env.exchange.document_bytes`` histogram
+========================  =====================================================
+
+Each ``instrument_*`` function is idempotent, returns its target, and is
+pure wiring: the recording calls live inside the layers themselves,
+guarded by ``registry.enabled`` so the default
+:data:`~repro.obs.metrics.NULL_METRICS` keeps the hot paths at a single
+attribute check.  The functions duck-type their targets (anything with
+the layer's ``attach_metrics`` method works), so this module imports
+nothing from the rest of the library and can never create an import
+cycle.
+
+The recommended front door is ``CSCWEnvironment.builder()``, which calls
+:func:`instrument_environment` during construction; these functions stay
+public for instrumenting standalone engines, buses, traders and MTAs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.obs.metrics import MetricsRegistry, NULL_METRICS
+from repro.obs.tracing import NULL_TRACER, Tracer
+
+#: histogram bounds for small whole-number distributions (fan-out, hops)
+COUNT_BUCKETS: tuple[float, ...] = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+#: histogram bounds for document sizes in bytes
+BYTES_BUCKETS: tuple[float, ...] = (
+    64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0, 262144.0,
+)
+
+
+@dataclass
+class Observability:
+    """A registry + tracer pair, the unit the builder injects.
+
+    ``Observability.disabled()`` is the default bundle (both parts
+    no-op); ``Observability.collecting()`` builds an enabled pair.
+    """
+
+    metrics: MetricsRegistry = field(default_factory=lambda: NULL_METRICS)
+    tracer: Tracer = field(default_factory=lambda: NULL_TRACER)
+
+    @staticmethod
+    def disabled() -> "Observability":
+        """The no-op bundle: shared null registry and null tracer."""
+        return Observability(NULL_METRICS, NULL_TRACER)
+
+    @staticmethod
+    def collecting(wall_tracing: bool = False) -> "Observability":
+        """A fresh enabled bundle (sim-time tracing unless *wall_tracing*)."""
+        return Observability(MetricsRegistry(), Tracer(wall=wall_tracing))
+
+    @property
+    def enabled(self) -> bool:
+        """True when either half actually records."""
+        return self.metrics.enabled or self.tracer.enabled
+
+
+def instrument_engine(engine: Any, metrics: MetricsRegistry) -> Any:
+    """Attach *metrics* to a :class:`repro.sim.engine.Engine`."""
+    engine.attach_metrics(metrics)
+    return engine
+
+
+def instrument_event_bus(bus: Any, metrics: MetricsRegistry) -> Any:
+    """Attach *metrics* to a :class:`repro.util.events.EventBus`."""
+    if metrics.enabled:
+        metrics.histogram("events.fanout", buckets=COUNT_BUCKETS)
+    bus.attach_metrics(metrics)
+    return bus
+
+
+def instrument_trader(trader: Any, metrics: MetricsRegistry) -> Any:
+    """Attach *metrics* to a :class:`repro.odp.trader.Trader`."""
+    trader.attach_metrics(metrics)
+    return trader
+
+
+def instrument_mta(mta: Any, metrics: MetricsRegistry) -> Any:
+    """Attach *metrics* to a :class:`repro.messaging.mta.MessageTransferAgent`."""
+    if metrics.enabled:
+        metrics.histogram("mta.hops", buckets=COUNT_BUCKETS)
+    mta.attach_metrics(metrics)
+    return mta
+
+
+def instrument_environment(
+    environment: Any,
+    metrics: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
+) -> Any:
+    """Attach observability to an environment and its owned hot layers.
+
+    Wires the environment's engine, event bus and trader to *metrics*,
+    installs *metrics*/*tracer* as ``environment.metrics`` /
+    ``environment.tracer`` (consulted by ``exchange()`` and
+    ``describe()``), and binds a sim-mode tracer to the engine clock so
+    span durations are simulated seconds.  Passing ``None`` for either
+    half leaves that half as it was.
+    """
+    if metrics is not None:
+        environment.metrics = metrics
+        instrument_engine(environment.world.engine, metrics)
+        instrument_event_bus(environment.bus, metrics)
+        instrument_trader(environment.trader, metrics)
+        if metrics.enabled:
+            metrics.histogram("env.exchange.document_bytes", buckets=BYTES_BUCKETS)
+    if tracer is not None:
+        environment.tracer = tracer
+        if tracer.enabled and not tracer.wall:
+            tracer.bind_engine(environment.world.engine)
+    return environment

@@ -1,0 +1,318 @@
+"""Process-local metrics: counters, gauges and fixed-bucket histograms.
+
+The observability layer the scaling experiments measure themselves
+against.  A :class:`MetricsRegistry` is a plain in-process collection of
+named instruments with snapshot/reset semantics and zero-dependency
+export (``snapshot()`` for dicts/JSON, ``render_text()`` for humans).
+
+Instrumented components (``sim.engine``, ``util.events``, ``odp.trader``,
+``messaging.mta``, ``environment.exchange``) hold a registry reference
+that defaults to :data:`NULL_METRICS` — a no-op registry whose
+``enabled`` flag is ``False`` — so the un-instrumented hot path costs a
+single attribute check.  Attach a real registry through
+:mod:`repro.obs.instrument` (or ``CSCWEnvironment.builder()``) to turn
+collection on.
+
+>>> registry = MetricsRegistry()
+>>> registry.inc("requests")
+1
+>>> registry.observe("latency", 3.0, buckets=(1.0, 5.0))
+>>> registry.snapshot()["counters"]["requests"]
+1
+>>> NULL_METRICS.enabled
+False
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any
+
+#: default histogram bucket upper bounds (powers-of-two-ish spread wide
+#: enough for fan-outs, hop counts and latencies alike)
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0,
+)
+
+
+class Counter:
+    """A monotonically increasing named count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> int:
+        """Add *amount* (default 1); return the new value."""
+        self.value += amount
+        return self.value
+
+    def reset(self) -> None:
+        """Zero the counter (used by :meth:`MetricsRegistry.reset`)."""
+        self.value = 0
+
+
+class Gauge:
+    """A named value that can go up and down (e.g. queue depth)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the gauge's current value."""
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Raise the gauge by *amount*."""
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Lower the gauge by *amount*."""
+        self.value -= amount
+
+    def reset(self) -> None:
+        """Zero the gauge (used by :meth:`MetricsRegistry.reset`)."""
+        self.value = 0.0
+
+
+class Histogram:
+    """A fixed-bucket histogram over observed float values.
+
+    Buckets are cumulative-style upper bounds: an observation lands in
+    the first bucket whose bound is >= the value; values above the last
+    bound land in the implicit ``+inf`` bucket.  Bounds are fixed at
+    creation, so ``observe`` is O(log buckets) with no allocation.
+
+    >>> h = Histogram("fanout", buckets=(1.0, 4.0))
+    >>> for v in (0.5, 3.0, 100.0): h.observe(v)
+    >>> h.count, h.bucket_counts
+    (3, [1, 1, 1])
+    """
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "total", "minimum", "maximum")
+
+    def __init__(self, name: str, buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        if not buckets:
+            raise ValueError("histogram needs at least one bucket bound")
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if len(set(bounds)) != len(bounds):
+            raise ValueError(f"duplicate bucket bounds in {buckets!r}")
+        self.name = name
+        self.bounds = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)  # last = +inf overflow
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        """Mean of all observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-able summary of the distribution."""
+        labels = [f"le_{bound:g}" for bound in self.bounds] + ["le_inf"]
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.minimum if self.count else 0.0,
+            "max": self.maximum if self.count else 0.0,
+            "buckets": dict(zip(labels, self.bucket_counts)),
+        }
+
+    def reset(self) -> None:
+        """Forget all observations; bucket bounds are kept."""
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+
+
+class MetricsRegistry:
+    """A named collection of counters, gauges and histograms.
+
+    Instruments are created lazily on first use (``inc``/``set_gauge``/
+    ``observe``) or explicitly (``counter``/``gauge``/``histogram``) when
+    a caller wants non-default histogram buckets.  ``enabled`` is the
+    flag instrumented hot paths check before recording.
+    """
+
+    #: real registries record; the null registry advertises False
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- instrument access (get-or-create) --------------------------------
+    def counter(self, name: str) -> Counter:
+        """The counter *name*, created at zero when new."""
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge *name*, created at zero when new."""
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str, buckets: tuple[float, ...] | None = None) -> Histogram:
+        """The histogram *name*; *buckets* only applies at creation."""
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(
+                name, buckets if buckets is not None else DEFAULT_BUCKETS
+            )
+        return instrument
+
+    # -- recording shorthands ---------------------------------------------
+    def inc(self, name: str, amount: int = 1) -> int:
+        """Increment counter *name*; return its new value."""
+        return self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge *name* to *value*."""
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float, buckets: tuple[float, ...] | None = None) -> None:
+        """Record *value* into histogram *name* (*buckets* on first use)."""
+        self.histogram(name, buckets).observe(value)
+
+    # -- export / lifecycle -----------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-able dict of every instrument's current state."""
+        return {
+            "counters": {name: c.value for name, c in sorted(self._counters.items())},
+            "gauges": {name: g.value for name, g in sorted(self._gauges.items())},
+            "histograms": {
+                name: h.snapshot() for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    def render_text(self) -> str:
+        """A plain-text export, one instrument per line.
+
+        >>> r = MetricsRegistry()
+        >>> _ = r.inc("a.b")
+        >>> print(r.render_text())
+        counter a.b 1
+        """
+        lines: list[str] = []
+        for name, counter_ in sorted(self._counters.items()):
+            lines.append(f"counter {name} {counter_.value}")
+        for name, gauge_ in sorted(self._gauges.items()):
+            lines.append(f"gauge {name} {gauge_.value:g}")
+        for name, histogram_ in sorted(self._histograms.items()):
+            lines.append(
+                f"histogram {name} count={histogram_.count} "
+                f"mean={histogram_.mean:g} max={histogram_.maximum if histogram_.count else 0:g}"
+            )
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        """Zero every instrument, keeping names and histogram buckets."""
+        for counter_ in self._counters.values():
+            counter_.reset()
+        for gauge_ in self._gauges.values():
+            gauge_.reset()
+        for histogram_ in self._histograms.values():
+            histogram_.reset()
+
+
+class _NullCounter(Counter):
+    """Counter whose ``inc`` does nothing (shared by the null registry)."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> int:
+        """Discard the increment; always report zero."""
+        return 0
+
+
+class _NullGauge(Gauge):
+    """Gauge that discards all updates."""
+
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        """Discard the update."""
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Discard the update."""
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Discard the update."""
+
+
+class _NullHistogram(Histogram):
+    """Histogram that discards all observations."""
+
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        """Discard the observation."""
+
+
+class NullMetricsRegistry(MetricsRegistry):
+    """The default, disabled registry: every operation is a no-op.
+
+    Components are born with this attached so instrumented code can run
+    unconditionally; real hot paths additionally guard on ``enabled`` to
+    skip even the no-op call.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._null_counter = _NullCounter("null")
+        self._null_gauge = _NullGauge("null")
+        self._null_histogram = _NullHistogram("null")
+
+    def counter(self, name: str) -> Counter:
+        """Always the shared no-op counter."""
+        return self._null_counter
+
+    def gauge(self, name: str) -> Gauge:
+        """Always the shared no-op gauge."""
+        return self._null_gauge
+
+    def histogram(self, name: str, buckets: tuple[float, ...] | None = None) -> Histogram:
+        """Always the shared no-op histogram."""
+        return self._null_histogram
+
+    def inc(self, name: str, amount: int = 1) -> int:
+        """Discard the increment."""
+        return 0
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Discard the update."""
+
+    def observe(self, name: str, value: float, buckets: tuple[float, ...] | None = None) -> None:
+        """Discard the observation."""
+
+
+#: the shared disabled registry every component starts with
+NULL_METRICS = NullMetricsRegistry()

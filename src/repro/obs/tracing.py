@@ -1,0 +1,253 @@
+"""Sim-clock-aware trace spans.
+
+A :class:`Tracer` opens nested :class:`Span`\\ s through a context
+manager; by default the span clock is the *simulated* clock (bind an
+engine with :meth:`Tracer.bind_engine`), so durations measure how much
+simulated time an operation covered — the quantity the paper's claims
+are about.  Pass ``wall=True`` to profile the library itself instead
+with ``time.perf_counter`` (the one sanctioned wall-clock escape hatch;
+everything else in the repo stays deterministic).
+
+Trace and span ids are drawn from deterministic counters — no wall
+clock, no randomness — so a seeded run always produces the same ids.
+
+>>> tracer = Tracer()
+>>> with tracer.span("outer", who="ana") as outer:
+...     with tracer.span("inner") as inner:
+...         same_trace = inner.trace_id == outer.trace_id
+>>> same_trace
+True
+>>> [s.name for s in tracer.finished()]
+['inner', 'outer']
+>>> NULL_TRACER.enabled
+False
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from typing import Any, Callable
+
+
+class Span:
+    """One traced operation: a name, tags, and start/end clock readings.
+
+    ``start``/``end`` are readings of the owning tracer's clock —
+    simulated seconds in the default mode, wall seconds in ``wall``
+    mode (``clock`` records which).
+    """
+
+    __slots__ = ("name", "trace_id", "span_id", "parent_id", "tags", "start", "end", "clock")
+
+    def __init__(
+        self,
+        name: str,
+        trace_id: str,
+        span_id: str,
+        parent_id: str = "",
+        tags: dict[str, Any] | None = None,
+        clock: str = "sim",
+    ) -> None:
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.tags = dict(tags or {})
+        self.start = 0.0
+        self.end: float | None = None
+        self.clock = clock
+
+    @property
+    def finished(self) -> bool:
+        """True once the span's context manager has exited."""
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        """Elapsed clock between start and end (0.0 while open)."""
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def tag(self, **tags: Any) -> "Span":
+        """Attach or overwrite tags; returns self for chaining."""
+        self.tags.update(tags)
+        return self
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-able view of the span."""
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "tags": dict(self.tags),
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "clock": self.clock,
+        }
+
+
+class _ActiveSpan:
+    """Context manager that opens *span* on enter and closes it on exit."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        span = self._span
+        span.start = self._tracer._read_clock()
+        self._tracer._stack.append(span)
+        return span
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        span = self._span
+        span.end = self._tracer._read_clock()
+        if exc is not None:
+            span.tag(error=repr(exc))
+        self._tracer._stack.pop()
+        self._tracer._finished.append(span)
+        return False
+
+
+class Tracer:
+    """Produces nested spans timed on a pluggable clock.
+
+    The clock defaults to a constant 0.0 until one is bound; in normal
+    use :func:`repro.obs.instrument.instrument_environment` (or
+    ``CSCWEnvironment.builder()``) binds the simulation engine, so
+    durations are expressed in simulated seconds.  ``Tracer(wall=True)``
+    instead reads ``time.perf_counter`` for profiling the library's own
+    execution cost; such spans are *not* deterministic and belong in
+    profiling scripts, never in tests or experiments.
+    """
+
+    #: real tracers record; the null tracer advertises False
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] | None = None, wall: bool = False) -> None:
+        self.wall = wall
+        if wall:
+            self._clock: Callable[[], float] | None = time.perf_counter
+        else:
+            self._clock = clock
+        self._stack: list[Span] = []
+        self._finished: list[Span] = []
+        self._trace_ids = itertools.count(1)
+        self._span_ids = itertools.count(1)
+
+    @property
+    def mode(self) -> str:
+        """``"wall"`` for perf_counter tracers, ``"sim"`` otherwise."""
+        return "wall" if self.wall else "sim"
+
+    @property
+    def depth(self) -> int:
+        """Number of currently open (nested) spans."""
+        return len(self._stack)
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Use *clock* (a zero-arg float callable) for span timestamps."""
+        if not self.wall:
+            self._clock = clock
+
+    def bind_engine(self, engine: Any) -> None:
+        """Bind the simulated clock of *engine* (anything with ``.now``)."""
+        self.bind_clock(lambda: engine.now)
+
+    def _read_clock(self) -> float:
+        clock = self._clock
+        return clock() if clock is not None else 0.0
+
+    def span(self, name: str, **tags: Any) -> _ActiveSpan:
+        """Open a span as a context manager yielding the :class:`Span`.
+
+        Nested calls inherit the enclosing span's ``trace_id`` and point
+        their ``parent_id`` at it; a root span starts a fresh trace.
+        """
+        parent = self._stack[-1] if self._stack else None
+        if parent is None:
+            trace_id = f"trace-{next(self._trace_ids):04d}"
+            parent_id = ""
+        else:
+            trace_id = parent.trace_id
+            parent_id = parent.span_id
+        span = Span(
+            name,
+            trace_id=trace_id,
+            span_id=f"span-{next(self._span_ids):04d}",
+            parent_id=parent_id,
+            tags=tags,
+            clock=self.mode,
+        )
+        return _ActiveSpan(self, span)
+
+    def finished(self) -> list[Span]:
+        """All closed spans, in completion order."""
+        return list(self._finished)
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """All closed spans as JSON-able dicts."""
+        return [span.to_dict() for span in self._finished]
+
+    def reset(self) -> None:
+        """Forget finished spans (open spans are unaffected)."""
+        self._finished.clear()
+
+
+class _NullSpanContext:
+    """Reusable no-op context manager yielding the shared null span."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> Span:
+        return NULL_SPAN
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        return False
+
+
+class _NullSpan(Span):
+    """The shared inert span handed out when tracing is disabled."""
+
+    __slots__ = ()
+
+    def tag(self, **tags: Any) -> "Span":
+        """Discard the tags."""
+        return self
+
+
+class NullTracer(Tracer):
+    """The default, disabled tracer: ``span()`` costs one attribute load.
+
+    Every component and environment starts with this attached, so code
+    can open spans unconditionally; the shared context manager object is
+    reused, so the disabled path allocates nothing.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._null_context = _NullSpanContext()
+
+    def span(self, name: str, **tags: Any) -> _ActiveSpan:
+        """Return the shared no-op context manager."""
+        return self._null_context  # type: ignore[return-value]
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Ignore the clock; a disabled tracer never reads it."""
+
+    def finished(self) -> list[Span]:
+        """Always empty."""
+        return []
+
+
+#: the span yielded by a disabled tracer (empty ids, inert tag())
+NULL_SPAN = _NullSpan("", trace_id="", span_id="")
+
+#: the shared disabled tracer every component starts with
+NULL_TRACER = NullTracer()

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.odp.objects import InterfaceRef
 from repro.sim.rng import SeededRng
 from repro.util.errors import ConfigurationError, NoOfferError, TradingError
@@ -132,6 +133,16 @@ class Trader:
         self.exports = 0
         self.imports = 0
         self.policy_rejections = 0
+        self._obs: MetricsRegistry = NULL_METRICS
+
+    def attach_metrics(self, metrics: MetricsRegistry | None) -> None:
+        """Report trading activity to *metrics* (``None`` detaches).
+
+        Counters ``trader.exports``/``imports``/``offer_scans``/
+        ``link_hops``/``no_offer``/``policy_rejections``; the counts are
+        per-trader, so federated traders each need their own attach.
+        """
+        self._obs = metrics if metrics is not None else NULL_METRICS
 
     # -- service types ------------------------------------------------------
     def register_service_type(self, service_type: str, parent: str | None = None) -> None:
@@ -160,6 +171,8 @@ class Trader:
         for hook in self._policy_hooks:
             if not hook(offer, context):
                 self.policy_rejections += 1
+                if self._obs.enabled:
+                    self._obs.inc("trader.policy_rejections")
                 return False
         return True
 
@@ -183,6 +196,8 @@ class Trader:
         )
         self._offers[offer.offer_id] = offer
         self.exports += 1
+        if self._obs.enabled:
+            self._obs.inc("trader.exports")
         return offer
 
     def withdraw(self, offer_id: str) -> None:
@@ -248,11 +263,15 @@ class Trader:
         if max_offers < 1:
             raise TradingError("max_offers must be >= 1")
         self.imports += 1
+        if self._obs.enabled:
+            self._obs.inc("trader.imports")
         ctx = context if context is not None else ImportContext()
         matched = self._match_local(service_type, constraints or [], ctx)
         if not matched and search_links:
             matched = self._match_linked(service_type, constraints or [], ctx)
         if not matched:
+            if self._obs.enabled:
+                self._obs.inc("trader.no_offer")
             raise NoOfferError(
                 f"trader {self.name!r}: no offer for {service_type!r} satisfies the request"
             )
@@ -273,6 +292,8 @@ class Trader:
         self, service_type: str, constraints: list[Constraint], context: ImportContext
     ) -> list[ServiceOffer]:
         result = []
+        if self._obs.enabled:
+            self._obs.inc("trader.offer_scans", len(self._offers))
         for offer in self._offers.values():
             if not self.conforms_to(offer.service_type, service_type):
                 continue
@@ -289,6 +310,8 @@ class Trader:
     ) -> list[ServiceOffer]:
         for name in sorted(self._links):
             other = self._links[name]
+            if self._obs.enabled:
+                self._obs.inc("trader.link_hops")
             try:
                 return other.import_(
                     service_type,

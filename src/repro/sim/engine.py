@@ -17,6 +17,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.util.errors import SchedulingError
 
 Callback = Callable[[], None]
@@ -34,8 +35,9 @@ class _ScheduledEvent:
 class EventHandle:
     """Handle returned by :meth:`Engine.schedule`; allows cancellation."""
 
-    def __init__(self, event: _ScheduledEvent) -> None:
+    def __init__(self, event: _ScheduledEvent, engine: "Engine | None" = None) -> None:
         self._event = event
+        self._engine = engine
 
     @property
     def time(self) -> float:
@@ -49,7 +51,11 @@ class EventHandle:
 
     def cancel(self) -> None:
         """Prevent the callback from firing (idempotent)."""
+        if self._event.cancelled:
+            return
         self._event.cancelled = True
+        if self._engine is not None:
+            self._engine._note_cancel()
 
 
 class Engine:
@@ -61,6 +67,20 @@ class Engine:
         self._now = 0.0
         self._processed = 0
         self._running = False
+        self._obs: MetricsRegistry = NULL_METRICS
+
+    def attach_metrics(self, metrics: MetricsRegistry | None) -> None:
+        """Report scheduling activity to *metrics* (``None`` detaches).
+
+        Counters ``sim.engine.scheduled``/``fired``/``cancelled`` and the
+        ``sim.engine.queue_depth`` gauge; with the default no-op registry
+        the hot path pays one ``enabled`` check.
+        """
+        self._obs = metrics if metrics is not None else NULL_METRICS
+
+    def _note_cancel(self) -> None:
+        if self._obs.enabled:
+            self._obs.inc("sim.engine.cancelled")
 
     @property
     def now(self) -> float:
@@ -83,7 +103,11 @@ class Engine:
             raise SchedulingError(f"cannot schedule into the past (delay={delay})")
         event = _ScheduledEvent(self._now + delay, next(self._seq), callback, label=label)
         heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        obs = self._obs
+        if obs.enabled:
+            obs.inc("sim.engine.scheduled")
+            obs.set_gauge("sim.engine.queue_depth", len(self._queue))
+        return EventHandle(event, self)
 
     def schedule_at(self, time: float, callback: Callback, label: str = "") -> EventHandle:
         """Schedule *callback* at an absolute simulated time."""
@@ -101,6 +125,10 @@ class Engine:
                 continue
             self._now = event.time
             self._processed += 1
+            obs = self._obs
+            if obs.enabled:
+                obs.inc("sim.engine.fired")
+                obs.set_gauge("sim.engine.queue_depth", len(self._queue))
             event.callback()
             return True
         return False

@@ -12,10 +12,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+
 
 @dataclass(frozen=True)
 class Event:
-    """A published event: a topic, a payload, and the publisher's identity."""
+    """A published event: a topic, a payload, and the publisher's identity.
+
+    ``time`` is the simulated time of publication: a bus with a bound
+    clock (see :meth:`EventBus.bind_clock`) stamps it automatically, so
+    events and trace spans agree on when things happened.
+    """
 
     topic: str
     payload: Any
@@ -66,6 +73,25 @@ class EventBus:
         self._next_token = 1
         self._delivered = 0
         self._published = 0
+        self._clock: Callable[[], float] | None = None
+        self._obs: MetricsRegistry = NULL_METRICS
+
+    def bind_clock(self, clock: Callable[[], float] | None) -> None:
+        """Stamp events published without an explicit time from *clock*.
+
+        The environment binds its engine's simulated clock here so every
+        publish carries the simulated time it happened at; an unbound bus
+        keeps the historical default of 0.0.
+        """
+        self._clock = clock
+
+    def attach_metrics(self, metrics: MetricsRegistry | None) -> None:
+        """Report bus activity to *metrics* (``None`` detaches).
+
+        Counters ``events.published``/``events.delivered`` and the
+        ``events.fanout`` subscriber fan-out histogram.
+        """
+        self._obs = metrics if metrics is not None else NULL_METRICS
 
     @property
     def delivered_count(self) -> int:
@@ -96,10 +122,19 @@ class EventBus:
         """Return the patterns a subscriber is currently registered under."""
         return [s.pattern for s in self._subs if s.subscriber == subscriber]
 
-    def publish(self, topic: str, payload: Any, source: str = "", time: float = 0.0) -> int:
-        """Publish an event; return the number of handlers that saw it."""
+    def publish(
+        self, topic: str, payload: Any, source: str = "", time: float | None = None
+    ) -> int:
+        """Publish an event; return the number of handlers that saw it.
+
+        When *time* is omitted the bus stamps the bound clock's current
+        value (0.0 on an unbound bus), so publishers need not thread the
+        simulated time through themselves.
+        """
         if not topic:
             raise ValueError("topic must be non-empty")
+        if time is None:
+            time = self._clock() if self._clock is not None else 0.0
         event = Event(topic=topic, payload=payload, source=source, time=time)
         self._published += 1
         count = 0
@@ -108,6 +143,11 @@ class EventBus:
                 sub.handler(event)
                 count += 1
         self._delivered += count
+        obs = self._obs
+        if obs.enabled:
+            obs.inc("events.published")
+            obs.inc("events.delivered", count)
+            obs.observe("events.fanout", count)
         return count
 
 

@@ -17,6 +17,7 @@ import repro
 
 PACKAGES = [
     "repro.util",
+    "repro.obs",
     "repro.sim",
     "repro.odp",
     "repro.directory",

@@ -208,3 +208,130 @@ class TestExchange:
     def test_interop_coverage_full_with_converters(self, env, two_apps):
         assert env.interop_coverage() == 1.0
         assert env.integration_cost() == 2
+
+    def test_outcome_reason_code_uniform_for_success_and_failure(self, env, two_apps):
+        ok = env.exchange("ana", "wolf", "conferencing", "message-system",
+                          {"topic": "t", "entry": "e"})
+        assert ok.reason_code == "delivered"
+        assert ok.reason  # populated on success too, not only on failure
+        bad = env.exchange("ana", "wolf", "conferencing", "message-system",
+                           {"topic": "t", "entry": "e"},
+                           profile=TransparencyProfile.all_off())
+        assert bad.reason_code == "organisation-opaque"
+        assert bad.reason
+
+    def test_environment_stamps_event_time(self, env, two_apps):
+        """Events published through the environment carry simulated time."""
+        recorder = EventRecorder()
+        env.bus.subscribe("exchange", recorder)
+        env.world.engine.schedule(5.0, lambda: env.exchange(
+            "ana", "wolf", "conferencing", "message-system",
+            {"topic": "t", "entry": "e"}))
+        env.world.run()
+        assert recorder.events[0].time == 5.0
+
+
+class TestEnvironmentBuilder:
+    """The fluent construction path and its observability knobs."""
+
+    def _populate(self, env):
+        upc = Organisation("upc", "UPC")
+        upc.add_person(Person("ana", "Ana Lopez", "upc"))
+        env.knowledge_base.add_organisation(upc)
+        env.world.add_site("bcn", ["ws-ana"])
+        env.register_person(Communicator("ana", "ws-ana"))
+        ConferencingSystem().attach(env, exporter_org="upc")
+
+    def test_builder_round_trip_matches_legacy_constructor(self, world):
+        built = CSCWEnvironment.builder().with_world(world).with_name("mocca").build()
+        legacy = CSCWEnvironment(World(seed=42), "mocca")
+        assert type(built) is CSCWEnvironment
+        assert built.name == legacy.name
+        assert built.trader.name == legacy.trader.name
+        # both paths end with the same wiring surface
+        for attribute in ("bus", "knowledge_base", "trader", "applications",
+                          "scheduler", "metrics", "tracer", "views"):
+            assert hasattr(built, attribute) and hasattr(legacy, attribute)
+        assert built.metrics.enabled is False
+        assert built.tracer.enabled is False
+
+    def test_built_environment_exchanges_end_to_end(self, world):
+        env = CSCWEnvironment.builder().with_world(world).build()
+        self._populate(env)
+        outcome = env.exchange("ana", "ana", "conferencing", "conferencing",
+                               {"topic": "t", "entry": "e", "author": "ana"})
+        assert outcome.delivered
+
+    def test_with_metrics_instruments_owned_layers(self, world):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        env = (CSCWEnvironment.builder()
+               .with_world(world)
+               .with_metrics(registry)
+               .build())
+        self._populate(env)
+        env.exchange("ana", "ana", "conferencing", "conferencing",
+                     {"topic": "t", "entry": "e", "author": "ana"})
+        from repro.odp.objects import InterfaceRef
+
+        env.trader.export("printing", InterfaceRef("n", "o", "i"))
+        env.trader.import_one("printing")
+        world.engine.schedule(1.0, lambda: None)
+        world.run()
+        counters = registry.snapshot()["counters"]
+        assert counters["env.exchange.reason.delivered"] == 1
+        assert counters["trader.exports"] == 1
+        assert counters["trader.imports"] == 1
+        assert counters["sim.engine.fired"] >= 1
+        assert counters["events.published"] >= 1
+        assert env.describe()["metrics"]["counters"] == counters
+
+    def test_with_tracer_puts_trace_id_on_outcomes(self, world):
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        env = (CSCWEnvironment.builder()
+               .with_world(world)
+               .with_tracer(tracer)
+               .build())
+        self._populate(env)
+        outcome = env.exchange("ana", "ana", "conferencing", "conferencing",
+                               {"topic": "t", "entry": "e", "author": "ana"})
+        assert outcome.trace_id == "trace-0001"
+        [span] = tracer.finished()
+        assert span.name == "env.exchange"
+        assert span.tags["delivered"] is True
+        # failure path carries the same trace linkage
+        failure = env.exchange("ana", "ghost", "conferencing", "conferencing",
+                               {"topic": "t", "entry": "e"},
+                               profile=TransparencyProfile.all_off())
+        assert failure.trace_id == "trace-0002"
+        assert tracer.finished()[-1].tags["reason_code"] == failure.reason_code
+
+    def test_with_trader_policy_installs_hook(self, world):
+        from repro.util.errors import NoOfferError
+
+        env = (CSCWEnvironment.builder()
+               .with_world(world)
+               .with_trader_policy(lambda offer, context: False)
+               .build())
+        from repro.odp.objects import InterfaceRef
+
+        env.trader.export("printing", InterfaceRef("n", "o", "i"))
+        with pytest.raises(NoOfferError):
+            env.trader.import_one("printing")
+
+    def test_builder_requires_world(self):
+        from repro.util.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            CSCWEnvironment.builder().build()
+
+    def test_legacy_constructor_accepts_observability_kwargs(self, world):
+        from repro.obs import MetricsRegistry, Tracer
+
+        registry = MetricsRegistry()
+        env = CSCWEnvironment(world, metrics=registry, tracer=Tracer())
+        assert env.metrics is registry
+        assert env.tracer.enabled is True

@@ -1,0 +1,130 @@
+"""Tests for repro.obs.tracing: span nesting under the simulated clock,
+wall-clock mode, and the disabled tracer path."""
+
+from __future__ import annotations
+
+from repro.obs.tracing import NULL_SPAN, NULL_TRACER, NullTracer, Tracer
+from repro.sim.engine import Engine
+
+
+class TestSimClockSpans:
+    def test_span_durations_are_simulated_seconds(self):
+        engine = Engine()
+        tracer = Tracer()
+        tracer.bind_engine(engine)
+        durations = []
+
+        def work():
+            with tracer.span("work"):
+                engine.schedule(2.5, lambda: None)
+
+        engine.schedule(1.0, work)
+        engine.run()
+        [span] = tracer.finished()
+        assert span.name == "work"
+        assert span.start == 1.0
+        # the span closed before the inner event fired, so zero sim time passed
+        assert span.duration == 0.0
+        assert span.clock == "sim"
+
+        with tracer.span("outer"):
+            engine.schedule(4.0, lambda: durations.append(True))
+            engine.run()
+        outer = tracer.finished()[-1]
+        assert outer.duration == 4.0  # engine advanced while the span was open
+
+    def test_nesting_shares_trace_and_links_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer", who="ana") as outer:
+            assert tracer.depth == 1
+            with tracer.span("inner") as inner:
+                assert tracer.depth == 2
+                assert inner.trace_id == outer.trace_id
+                assert inner.parent_id == outer.span_id
+        assert tracer.depth == 0
+        assert [s.name for s in tracer.finished()] == ["inner", "outer"]
+
+    def test_sibling_roots_get_distinct_traces(self):
+        tracer = Tracer()
+        with tracer.span("first") as first:
+            pass
+        with tracer.span("second") as second:
+            pass
+        assert first.trace_id != second.trace_id
+        assert first.parent_id == "" and second.parent_id == ""
+
+    def test_ids_are_deterministic(self):
+        ids = []
+        for _ in range(2):
+            tracer = Tracer()
+            with tracer.span("a") as span:
+                ids.append((span.trace_id, span.span_id))
+        assert ids[0] == ids[1] == ("trace-0001", "span-0001")
+
+    def test_exception_tags_error_and_propagates(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("boom"):
+                raise RuntimeError("bad")
+        except RuntimeError:
+            pass
+        [span] = tracer.finished()
+        assert span.finished
+        assert "RuntimeError" in span.tags["error"]
+
+    def test_tags_and_to_dict(self):
+        tracer = Tracer()
+        with tracer.span("op", a=1) as span:
+            span.tag(b=2)
+        data = span.to_dict()
+        assert data["tags"] == {"a": 1, "b": 2}
+        assert data["clock"] == "sim"
+        assert data["duration"] == 0.0
+
+    def test_reset_forgets_finished_spans(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        tracer.reset()
+        assert tracer.finished() == []
+
+
+class TestWallClockMode:
+    def test_wall_mode_reads_a_real_monotonic_clock(self):
+        tracer = Tracer(wall=True)
+        assert tracer.mode == "wall"
+        with tracer.span("profiled") as span:
+            sum(range(1000))
+        assert span.clock == "wall"
+        assert span.end >= span.start
+
+    def test_wall_mode_ignores_bind_engine(self):
+        engine = Engine()
+        tracer = Tracer(wall=True)
+        tracer.bind_engine(engine)
+        with tracer.span("s") as span:
+            pass
+        # still wall time, not the engine's 0.0-forever clock
+        assert span.clock == "wall"
+
+
+class TestNullTracer:
+    def test_disabled_and_yields_shared_inert_span(self):
+        assert NULL_TRACER.enabled is False
+        with NULL_TRACER.span("anything", tag=1) as span:
+            assert span is NULL_SPAN
+            span.tag(more=2)
+        assert span.trace_id == ""
+        assert span.tags == {}
+        assert NULL_TRACER.finished() == []
+
+    def test_span_context_is_reused_not_allocated(self):
+        tracer = NullTracer()
+        assert tracer.span("a") is tracer.span("b")
+
+    def test_environment_defaults_to_null_tracer(self, world):
+        from repro.environment.environment import CSCWEnvironment
+
+        env = CSCWEnvironment(world)
+        assert env.tracer.enabled is False
+        assert env.metrics.enabled is False
