@@ -43,13 +43,18 @@ def build_environment(
     open_policies: bool = True,
     metrics=None,
     tracer=None,
+    resolution_cache: bool = True,
 ) -> CSCWEnvironment:
     """An environment with people spread round-robin over organisations.
 
     Pass an obs *metrics* registry and/or *tracer* to build an
-    instrumented environment (routed through the environment builder).
+    instrumented environment (routed through the environment builder);
+    pass ``resolution_cache=False`` for the cold-resolution baseline the
+    throughput benchmark compares the exchange fast path against.
     """
-    builder = CSCWEnvironment.builder().with_world(world)
+    builder = (CSCWEnvironment.builder()
+               .with_world(world)
+               .with_resolution_cache(resolution_cache))
     if metrics is not None:
         builder = builder.with_metrics(metrics)
     if tracer is not None:

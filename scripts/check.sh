@@ -1,7 +1,9 @@
 #!/usr/bin/env sh
 # One-command tier-1 verification (tox-free): unit/integration tests,
-# whole-tree bytecode compilation, and a doctest pass over the
-# observability subsystem.  Run from the repository root:
+# whole-tree bytecode compilation, a doctest pass over the
+# observability subsystem, and a smoke run of the exchange-throughput
+# bench (exercises the fast path end to end without timing asserts).
+# Run from the repository root:
 #
 #   sh scripts/check.sh
 #
@@ -30,5 +32,8 @@ for module_name in ("repro.obs.metrics", "repro.obs.tracing", "repro.obs.instrum
     failures += result.failed
 sys.exit(1 if failures else 0)
 EOF
+
+echo "== bench_e7 throughput (smoke) =="
+python benchmarks/bench_e7_throughput.py --smoke
 
 echo "== all checks passed =="

@@ -14,10 +14,13 @@ from repro.environment.environment import (
     REASON_POLICY,
     REASON_TIME_OPAQUE,
     REASON_TRANSLATION,
+    REASON_UNKNOWN_RECEIVER,
     REASON_VIEW_OPAQUE,
     CSCWEnvironment,
     ExchangeOutcome,
+    ExchangeRequest,
 )
+from repro.environment.resolution import ResolutionCache, RouteVerdict
 from repro.environment.registry import (
     Q_DIFFERENT_TIME_DIFFERENT_PLACE,
     Q_DIFFERENT_TIME_SAME_PLACE,
@@ -46,12 +49,16 @@ __all__ = [
     "CSCWEnvironment",
     "EnvironmentBuilder",
     "ExchangeOutcome",
+    "ExchangeRequest",
+    "ResolutionCache",
+    "RouteVerdict",
     "REASON_DELIVERED",
     "REASON_MEMBERSHIP",
     "REASON_ORGANISATION_OPAQUE",
     "REASON_POLICY",
     "REASON_TIME_OPAQUE",
     "REASON_TRANSLATION",
+    "REASON_UNKNOWN_RECEIVER",
     "REASON_VIEW_OPAQUE",
     "Q_DIFFERENT_TIME_DIFFERENT_PLACE",
     "Q_DIFFERENT_TIME_SAME_PLACE",

@@ -32,6 +32,7 @@ from repro.activity.negotiation import NegotiationService
 from repro.activity.scheduler import ActivityScheduler
 from repro.communication.model import CommunicationLog, CommunicatorRegistry
 from repro.environment.registry import ApplicationRegistry
+from repro.environment.resolution import ResolutionCache
 from repro.environment.tailoring import TailoringService
 from repro.environment.transparency import ViewRegistry
 from repro.expertise.model import ExpertiseRegistry
@@ -69,6 +70,7 @@ class EnvironmentBuilder:
         self._metrics: MetricsRegistry | None = None
         self._tracer: Tracer | None = None
         self._trader_policies: list[TraderPolicy] = []
+        self._resolution_cache = True
 
     # -- knobs -------------------------------------------------------------
     def with_world(self, world: World) -> "EnvironmentBuilder":
@@ -93,6 +95,16 @@ class EnvironmentBuilder:
         to the world's engine clock so span durations are simulated
         seconds."""
         self._tracer = tracer
+        return self
+
+    def with_resolution_cache(self, enabled: bool) -> "EnvironmentBuilder":
+        """Enable/disable the exchange resolution cache (default on).
+
+        Disabling forces every exchange to re-resolve org membership,
+        policy verdicts and app formats from scratch — the cold baseline
+        the throughput benchmark measures the cache against.
+        """
+        self._resolution_cache = enabled
         return self
 
     def with_trader_policy(self, hook: TraderPolicy) -> "EnvironmentBuilder":
@@ -135,6 +147,12 @@ class EnvironmentBuilder:
             env.trader.add_policy_hook(hook)
         env.interchange = InterchangeService()
         env.applications = ApplicationRegistry(env.interchange, env.trader)
+        # The exchange fast path: memoised org/policy/format resolution,
+        # invalidated by KB and app-registry mutations.
+        env.resolution = ResolutionCache(env.knowledge_base, env.applications)
+        env.resolution.enabled = self._resolution_cache
+        env.knowledge_base.add_listener(env.resolution.on_kb_change)
+        env.applications.add_listener(env.resolution.on_app_registered)
         env.activities = ActivityRegistry()
         env.dependencies = DependencyGraph()
         env.scheduler = ActivityScheduler(env.activities, env.dependencies, env.bus)

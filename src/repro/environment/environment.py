@@ -18,7 +18,12 @@ One :class:`CSCWEnvironment` aggregates the common services:
 
 Applications integrate once (:meth:`register_application`) and then
 exchange documents through :meth:`exchange`, which applies the four CSCW
-transparencies per the caller's :class:`TransparencyProfile`.
+transparencies per the caller's :class:`TransparencyProfile`.  Heavy
+traffic goes through :meth:`exchange_many`, the batched fast path: org
+membership, policy verdicts and app format pairs are memoised in a
+:class:`~repro.environment.resolution.ResolutionCache` (invalidated by
+knowledge-base and registry mutations) and tracing/metrics are amortised
+to one span and one flush per batch.
 """
 
 from __future__ import annotations
@@ -52,6 +57,10 @@ REASON_POLICY = "policy"
 REASON_VIEW_OPAQUE = "view-opaque"
 REASON_TRANSLATION = "translation"
 REASON_TIME_OPAQUE = "time-opaque"
+REASON_UNKNOWN_RECEIVER = "unknown-receiver"
+
+#: shared default profile — exchange() is hot, avoid rebuilding it per call
+_ALL_ON = TransparencyProfile.all_on()
 
 
 @dataclass(frozen=True)
@@ -75,6 +84,26 @@ class ExchangeOutcome:
     reason_code: str = ""
     #: trace id of the exchange span ('' when tracing is off)
     trace_id: str = ""
+    #: canonical JSON size of the delivered payload (0 on failure)
+    size_bytes: int = 0
+
+
+@dataclass(frozen=True)
+class ExchangeRequest:
+    """One exchange in a batch submitted to :meth:`CSCWEnvironment.exchange_many`.
+
+    Field-for-field the arguments of :meth:`CSCWEnvironment.exchange`;
+    a batch is simply a sequence of these.
+    """
+
+    sender: str
+    receiver: str
+    sender_app: str
+    receiver_app: str
+    document: dict[str, Any]
+    activity_id: str = ""
+    profile: TransparencyProfile | None = None
+    interaction: str = INTERACTION_MESSAGE
 
 
 class CSCWEnvironment:
@@ -223,12 +252,14 @@ class CSCWEnvironment:
         profile: TransparencyProfile | None,
         interaction: str,
         trace_id: str,
+        obs: MetricsRegistry | None = None,
     ) -> ExchangeOutcome:
         self.exchanges_attempted += 1
-        obs = self.metrics
+        if obs is None:
+            obs = self.metrics
         if obs.enabled:
             obs.inc("env.exchange.attempted")
-        active = profile if profile is not None else TransparencyProfile.all_on()
+        active = profile if profile is not None else _ALL_ON
         handled: list[str] = []
 
         # Membership check: activity-scoped exchanges require membership.
@@ -240,39 +271,37 @@ class CSCWEnvironment:
                         REASON_MEMBERSHIP,
                         f"{person} is not a member of {activity_id}",
                         trace_id,
+                        obs,
                     )
 
-        # 1. Organisation dimension.
-        try:
-            sender_org = self.knowledge_base.organisation_of(sender)
-            receiver_org = self.knowledge_base.organisation_of(receiver)
-        except UnknownObjectError:
-            sender_org = receiver_org = ""
-        if sender_org != receiver_org:
+        # 1. Organisation dimension (memoised per sender/receiver/interaction).
+        verdict = self.resolution.route(sender, receiver, interaction)
+        sender_org = verdict.sender_org
+        receiver_org = verdict.receiver_org
+        if verdict.cross_org:
             if not active.organisation:
                 return self._fail(
                     REASON_ORGANISATION_OPAQUE,
                     f"cross-organisation exchange ({sender_org} -> {receiver_org}) "
                     "with organisation transparency off",
                     trace_id,
+                    obs,
                 )
-            if not self.knowledge_base.policies.compatible(
-                sender_org, receiver_org, interaction
-            ):
+            if not verdict.policy_ok:
                 return self._fail(
                     REASON_POLICY,
                     f"no compatible policy between {sender_org} and {receiver_org} "
                     f"for {interaction}",
                     trace_id,
+                    obs,
                 )
             handled.append("organisation")
 
-        # 2. View (format) dimension.
+        # 2. View (format) dimension (memoised per app pair).
         translated = False
         fidelity = 1.0
         payload = dict(document)
-        sender_format = self.applications.descriptor(sender_app).format_name
-        receiver_format = self.applications.descriptor(receiver_app).format_name
+        sender_format, receiver_format = self.resolution.formats(sender_app, receiver_app)
         if sender_format != receiver_format:
             if not active.view:
                 return self._fail(
@@ -280,21 +309,29 @@ class CSCWEnvironment:
                     f"format mismatch ({sender_format} -> {receiver_format}) "
                     "with view transparency off",
                     trace_id,
+                    obs,
                 )
             try:
                 result = self.interchange.translate(sender_format, receiver_format, payload)
             except InteropError as exc:
-                return self._fail(REASON_TRANSLATION, str(exc), trace_id)
+                return self._fail(REASON_TRANSLATION, str(exc), trace_id, obs)
             payload = result.document
             fidelity = result.fidelity
             translated = True
             handled.append("view")
 
-        # 3. Time dimension.
+        # 3. Time dimension.  A receiver who was *never* registered is a
+        # hard failure, not an absence: queueing for them would blackhole
+        # the document in _pending_deliveries forever.
         try:
             receiver_present = self.communicators.get(receiver).present
         except UnknownObjectError:
-            receiver_present = False
+            return self._fail(
+                REASON_UNKNOWN_RECEIVER,
+                f"receiver {receiver!r} has no registered communicator",
+                trace_id,
+                obs,
+            )
         if receiver_present:
             mode = "synchronous"
         else:
@@ -303,6 +340,7 @@ class CSCWEnvironment:
                     REASON_TIME_OPAQUE,
                     f"receiver {receiver} absent with time transparency off",
                     trace_id,
+                    obs,
                 )
             mode = "asynchronous"
             handled.append("time")
@@ -363,12 +401,313 @@ class CSCWEnvironment:
             handled=tuple(handled),
             reason_code=REASON_DELIVERED,
             trace_id=trace_id,
+            size_bytes=size_bytes,
         )
 
-    def _fail(self, code: str, reason: str, trace_id: str = "") -> ExchangeOutcome:
+    def exchange_many(self, requests: "list[ExchangeRequest]") -> list[ExchangeOutcome]:
+        """Deliver a batch of exchanges, amortising per-call overheads.
+
+        Semantically equivalent to calling :meth:`exchange` once per
+        request — every outcome field except ``trace_id`` is identical —
+        but the batch shares one ``env.exchange_many`` trace span and a
+        single aggregated metrics flush, and runs of consecutive requests
+        with the same route (sender, receiver, apps, activity, profile,
+        interaction) resolve org membership, policy, formats and the
+        receiver endpoint **once per run** instead of once per document.
+        Within a run, requests carrying the *same document object* share
+        one translation and one size computation (converters are
+        shape-deterministic, see :class:`~repro.information.interchange`).
+
+        The once-per-run resolution is the documented contract: a
+        delivery callback that mutates the knowledge base mid-batch
+        affects the *next* run, not the remaining items of the current
+        one (presence changes are still seen item-by-item).
+        """
+        with self.tracer.span("env.exchange_many", batch=len(requests)) as span:
+            trace_id = span.trace_id
+            outcomes: list[ExchangeOutcome] = []
+            count = len(requests)
+            start = 0
+            while start < count:
+                head = requests[start]
+                stop = start + 1
+                while stop < count:
+                    nxt = requests[stop]
+                    if (
+                        nxt.sender != head.sender
+                        or nxt.receiver != head.receiver
+                        or nxt.sender_app != head.sender_app
+                        or nxt.receiver_app != head.receiver_app
+                        or nxt.activity_id != head.activity_id
+                        or nxt.interaction != head.interaction
+                        or nxt.profile != head.profile
+                    ):
+                        break
+                    stop += 1
+                self._exchange_group(requests[start:stop], trace_id, outcomes)
+                start = stop
+            obs = self.metrics
+            if obs.enabled and outcomes:
+                self._flush_batch_metrics(obs, outcomes)
+            delivered = sum(1 for outcome in outcomes if outcome.delivered)
+            span.tag(delivered=delivered, failed=len(outcomes) - delivered)
+            return outcomes
+
+    def _exchange_group(
+        self,
+        group: "list[ExchangeRequest]",
+        trace_id: str,
+        outcomes: list[ExchangeOutcome],
+    ) -> None:
+        """Run one same-route run of a batch, resolving shared state once.
+
+        Mirrors :meth:`_exchange` check-for-check (same order, same
+        reason strings) with the route-constant work hoisted out of the
+        per-document loop.  Appends one outcome per request to
+        *outcomes*; per-item metrics stay suppressed (the caller flushes
+        the aggregate).
+        """
+        head = group[0]
+        size = len(group)
+        sender = head.sender
+        receiver = head.receiver
+        sender_app = head.sender_app
+        receiver_app = head.receiver_app
+        activity_id = head.activity_id
+        self.exchanges_attempted += size
+        active = head.profile if head.profile is not None else _ALL_ON
+        world_metrics = self.world.metrics
+
+        def fail_all(code: str, reason: str) -> None:
+            self.exchanges_failed += size
+            world_metrics.increment("env.exchange.failed", size)
+            outcomes.extend(
+                [
+                    ExchangeOutcome(
+                        delivered=False,
+                        mode="failed",
+                        reason=reason,
+                        reason_code=code,
+                        trace_id=trace_id,
+                    )
+                ]
+                * size
+            )
+
+        handled: list[str] = []
+        if activity_id:
+            activity = self.activities.get(activity_id)
+            for person in (sender, receiver):
+                if not activity.is_member(person):
+                    return fail_all(
+                        REASON_MEMBERSHIP,
+                        f"{person} is not a member of {activity_id}",
+                    )
+
+        verdict = self.resolution.route(sender, receiver, head.interaction)
+        if verdict.cross_org:
+            if not active.organisation:
+                return fail_all(
+                    REASON_ORGANISATION_OPAQUE,
+                    f"cross-organisation exchange ({verdict.sender_org} -> "
+                    f"{verdict.receiver_org}) with organisation transparency off",
+                )
+            if not verdict.policy_ok:
+                return fail_all(
+                    REASON_POLICY,
+                    f"no compatible policy between {verdict.sender_org} and "
+                    f"{verdict.receiver_org} for {head.interaction}",
+                )
+            handled.append("organisation")
+
+        sender_format, receiver_format = self.resolution.formats(sender_app, receiver_app)
+        needs_translation = sender_format != receiver_format
+        if needs_translation:
+            if not active.view:
+                return fail_all(
+                    REASON_VIEW_OPAQUE,
+                    f"format mismatch ({sender_format} -> {receiver_format}) "
+                    "with view transparency off",
+                )
+            handled.append("view")
+
+        try:
+            endpoint = self.communicators.get(receiver)
+        except UnknownObjectError:
+            return fail_all(
+                REASON_UNKNOWN_RECEIVER,
+                f"receiver {receiver!r} has no registered communicator",
+            )
+
+        if active.activity and activity_id:
+            topic = f"activity/{activity_id}/exchange"
+            handled.append("activity")
+        else:
+            topic = "exchange"
+        handled_tuple = tuple(handled)
+        # the time dimension slots in before the (group-constant)
+        # activity dimension, matching _exchange's append order
+        time_index = len(handled_tuple) - (1 if handled_tuple[-1:] == ("activity",) else 0)
+        handled_async = handled_tuple[:time_index] + ("time",) + handled_tuple[time_index:]
+
+        translate = self.interchange.translate
+        render = self.views.render
+        deliver = self.applications.deliver
+        pending = self._pending_deliveries
+        publish = self.bus.publish
+        record = self.communication_log.record
+        now = self.world.now
+        context = CommunicationContext(
+            activity=activity_id,
+            from_org=verdict.sender_org,
+            to_org=verdict.receiver_org,
+        )
+        #: id(document) -> (payload, fidelity, size_bytes); repeated
+        #: documents in a run translate and size once
+        prepared: dict[int, tuple[dict[str, Any], float, int]] = {}
+        #: (id(document), mode) -> the (frozen, shareable) outcome
+        made: dict[tuple[int, str], ExchangeOutcome] = {}
+        failed = 0
+        sync_count = 0
+        async_count = 0
+        for request in group:
+            document = request.document
+            doc_key = id(document)
+            entry = prepared.get(doc_key)
+            if entry is None:
+                payload = dict(document)
+                fidelity = 1.0
+                if needs_translation:
+                    try:
+                        result = translate(sender_format, receiver_format, payload)
+                    except InteropError as exc:
+                        failed += 1
+                        outcomes.append(
+                            ExchangeOutcome(
+                                delivered=False,
+                                mode="failed",
+                                reason=str(exc),
+                                reason_code=REASON_TRANSLATION,
+                                trace_id=trace_id,
+                            )
+                        )
+                        continue
+                    payload = result.document
+                    fidelity = result.fidelity
+                entry = (payload, fidelity, document_size(payload))
+                prepared[doc_key] = entry
+            payload, fidelity, size_bytes = entry
+
+            # presence is re-read per item: a delivery callback may flip it
+            if endpoint.present:
+                mode = "synchronous"
+                sync_count += 1
+            else:
+                if not active.time:
+                    failed += 1
+                    outcomes.append(
+                        ExchangeOutcome(
+                            delivered=False,
+                            mode="failed",
+                            reason=f"receiver {receiver} absent "
+                            "with time transparency off",
+                            reason_code=REASON_TIME_OPAQUE,
+                            trace_id=trace_id,
+                        )
+                    )
+                    continue
+                mode = "asynchronous"
+                async_count += 1
+
+            info = {
+                "sender": sender,
+                "sender_app": sender_app,
+                "mode": mode,
+                "fidelity": fidelity,
+                "activity": activity_id,
+            }
+            publish(topic, info, source=sender_app, time=now)
+            rendered = render(receiver, payload)
+            if mode == "synchronous":
+                deliver(receiver_app, receiver, rendered, info)
+            else:
+                pending.setdefault(receiver, []).append((receiver_app, rendered, info))
+            record(
+                Exchange(
+                    sender=sender,
+                    receiver=receiver,
+                    mode=mode,
+                    media="document",
+                    size_bytes=size_bytes,
+                    time=now,
+                    context=context,
+                )
+            )
+            outcome_key = (doc_key, mode)
+            outcome = made.get(outcome_key)
+            if outcome is None:
+                outcome = ExchangeOutcome(
+                    delivered=True,
+                    mode=mode,
+                    reason=f"delivered ({mode})",
+                    translated=needs_translation,
+                    fidelity=fidelity,
+                    handled=handled_async if mode == "asynchronous" else handled_tuple,
+                    reason_code=REASON_DELIVERED,
+                    trace_id=trace_id,
+                    size_bytes=size_bytes,
+                )
+                made[outcome_key] = outcome
+            outcomes.append(outcome)
+
+        if failed:
+            self.exchanges_failed += failed
+            world_metrics.increment("env.exchange.failed", failed)
+        delivered = sync_count + async_count
+        if delivered:
+            world_metrics.increment("env.exchange.delivered", delivered)
+        if sync_count:
+            world_metrics.increment("env.exchange.synchronous", sync_count)
+        if async_count:
+            world_metrics.increment("env.exchange.asynchronous", async_count)
+
+    @staticmethod
+    def _flush_batch_metrics(
+        obs: MetricsRegistry, outcomes: "list[ExchangeOutcome]"
+    ) -> None:
+        """Record one batch's outcomes as if each had been counted live."""
+        obs.inc("env.exchange.attempted", len(outcomes))
+        reasons: dict[str, int] = {}
+        dimensions: dict[str, int] = {}
+        delivered = 0
+        size_histogram = obs.histogram("env.exchange.document_bytes")
+        for outcome in outcomes:
+            reasons[outcome.reason_code] = reasons.get(outcome.reason_code, 0) + 1
+            if outcome.delivered:
+                delivered += 1
+                for dimension in outcome.handled:
+                    dimensions[dimension] = dimensions.get(dimension, 0) + 1
+                size_histogram.observe(outcome.size_bytes)
+        if delivered:
+            obs.inc("env.exchange.outcome.delivered", delivered)
+        if delivered != len(outcomes):
+            obs.inc("env.exchange.outcome.failed", len(outcomes) - delivered)
+        for code, count in reasons.items():
+            obs.inc(f"env.exchange.reason.{code}", count)
+        for dimension, count in dimensions.items():
+            obs.inc(f"env.exchange.transparency.{dimension}", count)
+
+    def _fail(
+        self,
+        code: str,
+        reason: str,
+        trace_id: str = "",
+        obs: MetricsRegistry | None = None,
+    ) -> ExchangeOutcome:
         self.exchanges_failed += 1
         self.world.metrics.increment("env.exchange.failed")
-        obs = self.metrics
+        if obs is None:
+            obs = self.metrics
         if obs.enabled:
             obs.inc("env.exchange.outcome.failed")
             obs.inc(f"env.exchange.reason.{code}")
@@ -407,6 +746,7 @@ class CSCWEnvironment:
                 "attempted": self.exchanges_attempted,
                 "failed": self.exchanges_failed,
             },
+            "resolution_cache": self.resolution.stats(),
             "integration_cost": self.integration_cost(),
             "interop_coverage": self.interop_coverage(),
         }

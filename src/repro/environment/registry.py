@@ -72,6 +72,15 @@ class ApplicationRegistry:
         self._trader = trader
         self._descriptors: dict[str, AppDescriptor] = {}
         self._callbacks: dict[str, DeliveryCallback] = {}
+        self._listeners: list[Callable[[str], None]] = []
+
+    def add_listener(self, listener: Callable[[str], None]) -> None:
+        """Call *listener*(app_name) after every successful registration.
+
+        The environment's resolution cache subscribes here so memoised
+        format pairs are dropped when the application population grows.
+        """
+        self._listeners.append(listener)
 
     def register(
         self,
@@ -96,6 +105,8 @@ class ApplicationRegistry:
             )
         self._descriptors[descriptor.name] = descriptor
         self._callbacks[descriptor.name] = on_deliver
+        for listener in self._listeners:
+            listener(descriptor.name)
 
     def descriptor(self, name: str) -> AppDescriptor:
         """Look up a registered application."""

@@ -1,0 +1,192 @@
+"""Memoised resolution for the exchange hot path.
+
+Every ``CSCWEnvironment.exchange()`` must answer the same three questions
+before any document moves: which organisations the two people belong to,
+whether those organisations' policies permit the interaction, and which
+native formats the two applications speak.  Re-deriving those answers per
+document is exactly the mediation overhead that worries service-based
+mediation systems — the environment is *one* shared mediator, so the
+answers are shared too.
+
+The :class:`ResolutionCache` memoises
+
+* per ``(sender, receiver, interaction)`` — the :class:`RouteVerdict`
+  (both organisation ids plus the policy-compatibility verdict), and
+* per ``(sender_app, receiver_app)`` — the native format pair.
+
+Correctness under mutation is preserved by *explicit invalidation*: the
+environment builder subscribes the cache to
+:meth:`repro.org.knowledge_base.OrganisationalKnowledgeBase.add_listener`
+(fired on organisation, person and policy changes) and to
+:meth:`repro.environment.registry.ApplicationRegistry.add_listener`
+(fired on application registration), so a policy revoked or a person
+moved mid-run is visible to the very next exchange.  Failed lookups
+(unknown applications) are never cached.
+
+Hit/miss/invalidation totals are kept as plain attributes and, when a
+metrics registry is attached, exported as ``env.cache.route.<hit|miss>``,
+``env.cache.formats.<hit|miss>`` and ``env.cache.invalidations``
+counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.util.errors import UnknownObjectError
+
+
+@dataclass(frozen=True)
+class RouteVerdict:
+    """The memoised organisational answer for one (sender, receiver, interaction).
+
+    ``policy_ok`` is only meaningful when the organisations differ;
+    intra-organisation routes are always compatible.
+    """
+
+    sender_org: str
+    receiver_org: str
+    policy_ok: bool
+
+    @property
+    def cross_org(self) -> bool:
+        """True when the route crosses an organisational boundary."""
+        return self.sender_org != self.receiver_org
+
+
+class ResolutionCache:
+    """Memoises org/policy verdicts and app format pairs for exchanges.
+
+    ``enabled`` can be flipped off (builder knob
+    ``with_resolution_cache(False)``) to force fresh resolution on every
+    call — the cold baseline the throughput benchmark compares against.
+    Disabling never loses correctness, only speed.
+    """
+
+    def __init__(self, knowledge_base: Any, applications: Any) -> None:
+        self._kb = knowledge_base
+        self._apps = applications
+        self._routes: dict[tuple[str, str, str], RouteVerdict] = {}
+        self._formats: dict[tuple[str, str], tuple[str, str]] = {}
+        self._obs: MetricsRegistry = NULL_METRICS
+        self.enabled = True
+        self.route_hits = 0
+        self.route_misses = 0
+        self.format_hits = 0
+        self.format_misses = 0
+        self.invalidations = 0
+
+    def attach_metrics(self, metrics: MetricsRegistry | None) -> None:
+        """Report cache activity to *metrics* (``None`` detaches)."""
+        self._obs = metrics if metrics is not None else NULL_METRICS
+
+    # -- lookups -----------------------------------------------------------
+    def route(self, sender: str, receiver: str, interaction: str) -> RouteVerdict:
+        """The org/policy verdict for one directed person pair."""
+        if not self.enabled:
+            return self._resolve_route(sender, receiver, interaction)
+        key = (sender, receiver, interaction)
+        verdict = self._routes.get(key)
+        if verdict is None:
+            self.route_misses += 1
+            if self._obs.enabled:
+                self._obs.inc("env.cache.route.miss")
+            verdict = self._routes[key] = self._resolve_route(
+                sender, receiver, interaction
+            )
+        else:
+            self.route_hits += 1
+            if self._obs.enabled:
+                self._obs.inc("env.cache.route.hit")
+        return verdict
+
+    def formats(self, sender_app: str, receiver_app: str) -> tuple[str, str]:
+        """The (sender, receiver) native format pair for one app pair.
+
+        Unknown applications raise
+        :class:`~repro.util.errors.NotRegisteredError` exactly as the
+        direct descriptor lookup would; failures are not cached.
+        """
+        if not self.enabled:
+            return self._resolve_formats(sender_app, receiver_app)
+        key = (sender_app, receiver_app)
+        pair = self._formats.get(key)
+        if pair is None:
+            self.format_misses += 1
+            if self._obs.enabled:
+                self._obs.inc("env.cache.formats.miss")
+            pair = self._formats[key] = self._resolve_formats(sender_app, receiver_app)
+        else:
+            self.format_hits += 1
+            if self._obs.enabled:
+                self._obs.inc("env.cache.formats.hit")
+        return pair
+
+    def _resolve_route(self, sender: str, receiver: str, interaction: str) -> RouteVerdict:
+        kb = self._kb
+        try:
+            sender_org = kb.organisation_of(sender)
+            receiver_org = kb.organisation_of(receiver)
+        except UnknownObjectError:
+            sender_org = receiver_org = ""
+        policy_ok = True
+        if sender_org != receiver_org:
+            policy_ok = kb.policies.compatible(sender_org, receiver_org, interaction)
+        return RouteVerdict(sender_org, receiver_org, policy_ok)
+
+    def _resolve_formats(self, sender_app: str, receiver_app: str) -> tuple[str, str]:
+        apps = self._apps
+        return (
+            apps.descriptor(sender_app).format_name,
+            apps.descriptor(receiver_app).format_name,
+        )
+
+    # -- invalidation ------------------------------------------------------
+    def invalidate_routes(self) -> None:
+        """Forget every memoised org/policy verdict."""
+        if self._routes:
+            self._routes.clear()
+        self.invalidations += 1
+        if self._obs.enabled:
+            self._obs.inc("env.cache.invalidations")
+
+    def invalidate_formats(self) -> None:
+        """Forget every memoised format pair."""
+        if self._formats:
+            self._formats.clear()
+        self.invalidations += 1
+        if self._obs.enabled:
+            self._obs.inc("env.cache.invalidations")
+
+    def invalidate_all(self) -> None:
+        """Forget everything (routes and formats)."""
+        self.invalidate_routes()
+        self.invalidate_formats()
+
+    def on_kb_change(self, kind: str) -> None:
+        """Knowledge-base mutation hook (kind: organisation/person/policy).
+
+        Every KB mutation can change org membership or policy verdicts,
+        so the whole route cache is dropped — invalidation is rare and
+        re-resolution is one miss per live route.
+        """
+        self.invalidate_routes()
+
+    def on_app_registered(self, name: str) -> None:
+        """Application-registry mutation hook."""
+        self.invalidate_formats()
+
+    # -- introspection -----------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        """Counters and sizes, for ``describe()`` and the benchmarks."""
+        return {
+            "route_hits": self.route_hits,
+            "route_misses": self.route_misses,
+            "format_hits": self.format_hits,
+            "format_misses": self.format_misses,
+            "invalidations": self.invalidations,
+            "routes_cached": len(self._routes),
+            "formats_cached": len(self._formats),
+        }

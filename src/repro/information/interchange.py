@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.util.errors import ConfigurationError, InteropError
 
 ToCommon = Callable[[dict[str, Any]], dict[str, Any]]
@@ -67,13 +68,45 @@ class TranslationResult:
     hops: int
 
 
+@dataclass
+class _TranslationPlan:
+    """A memoised converter pair for one (source, target) format pair.
+
+    ``validated`` flips to True after the first successful common-form
+    validation for the pair; later translations through the same plan
+    skip the shape re-check (converters are frozen and assumed
+    shape-deterministic — a converter that emits a malformed common form
+    does so on its first use and the plan never validates).
+    """
+
+    source: FormatConverter
+    target: FormatConverter
+    fidelity: float
+    validated: bool = False
+
+
 class InterchangeService:
-    """Translates documents between registered application formats."""
+    """Translates documents between registered application formats.
+
+    Repeated same-pair translations run through a memoised
+    :class:`_TranslationPlan` (converter lookup, combined fidelity and
+    shape validation amortised to the first call); the plan cache is
+    invalidated whenever a new converter registers.  Attach a metrics
+    registry to export ``interchange.plan.<hit|miss>`` counters.
+    """
 
     def __init__(self) -> None:
         self._converters: dict[str, FormatConverter] = {}
+        self._plans: dict[tuple[str, str], _TranslationPlan] = {}
+        self._obs: MetricsRegistry = NULL_METRICS
         self.translations = 0
         self.failures = 0
+        self.plan_hits = 0
+        self.plan_misses = 0
+
+    def attach_metrics(self, metrics: MetricsRegistry | None) -> None:
+        """Report plan-cache activity to *metrics* (``None`` detaches)."""
+        self._obs = metrics if metrics is not None else NULL_METRICS
 
     def register(self, converter: FormatConverter) -> None:
         """Register an application format (one per format name)."""
@@ -82,6 +115,7 @@ class InterchangeService:
                 f"format {converter.format_name!r} already registered"
             )
         self._converters[converter.format_name] = converter
+        self._plans.clear()
 
     def formats(self) -> list[str]:
         """All registered format names, sorted."""
@@ -121,16 +155,36 @@ class InterchangeService:
         if source_format == target_format:
             self.translations += 1
             return TranslationResult(dict(document), source_format, target_format, 1.0, 0)
-        source = self._converter(source_format)
-        target = self._converter(target_format)
-        common = self.to_common(source_format, document)
-        native = target.from_common(common)
+        plan = self._plans.get((source_format, target_format))
+        if plan is None:
+            self.plan_misses += 1
+            if self._obs.enabled:
+                self._obs.inc("interchange.plan.miss")
+            source = self._converter(source_format)
+            target = self._converter(target_format)
+            plan = self._plans[(source_format, target_format)] = _TranslationPlan(
+                source, target, fidelity=source.fidelity * target.fidelity
+            )
+        else:
+            self.plan_hits += 1
+            if self._obs.enabled:
+                self._obs.inc("interchange.plan.hit")
+        common = plan.source.to_common(document)
+        if not plan.validated:
+            if not is_common(common):
+                self.failures += 1
+                raise InteropError(
+                    f"converter {source_format!r} produced a malformed common document "
+                    f"(missing keys from {COMMON_KEYS})"
+                )
+            plan.validated = True
+        native = plan.target.from_common(common)
         self.translations += 1
         return TranslationResult(
             document=native,
             source_format=source_format,
             target_format=target_format,
-            fidelity=source.fidelity * target.fidelity,
+            fidelity=plan.fidelity,
             hops=2,
         )
 

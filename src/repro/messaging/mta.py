@@ -208,7 +208,10 @@ class MessageTransferAgent:
         """
         if envelope.deferred_until is not None and envelope.deferred_until > self._world.now:
             delay = envelope.deferred_until - self._world.now
-            self._world.engine.schedule(delay, lambda: self._process(envelope), label="deferred")
+            # Re-enter accept() at release time so the envelope still pays
+            # its priority processing delay — deferral postpones a message,
+            # it must not let it skip the per-hop queue.
+            self._world.engine.schedule(delay, lambda: self.accept(envelope), label="deferred")
             return
         processing = PRIORITY_DELAYS.get(envelope.priority, PRIORITY_DELAYS[PRIORITY_NORMAL])
         if processing > 0:

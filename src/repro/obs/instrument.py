@@ -20,6 +20,10 @@ layer                     instruments
                           ``env.exchange.reason.<code>``,
                           ``env.exchange.transparency.<dimension>`` counters,
                           ``env.exchange.document_bytes`` histogram
+``environment.resolution``  ``env.cache.route.<hit|miss>``,
+                          ``env.cache.formats.<hit|miss>``,
+                          ``env.cache.invalidations`` counters
+``information.interchange``  ``interchange.plan.<hit|miss>`` counters
 ========================  =====================================================
 
 Each ``instrument_*`` function is idempotent, returns its target, and is
@@ -127,6 +131,12 @@ def instrument_environment(
         instrument_engine(environment.world.engine, metrics)
         instrument_event_bus(environment.bus, metrics)
         instrument_trader(environment.trader, metrics)
+        resolution = getattr(environment, "resolution", None)
+        if resolution is not None:
+            resolution.attach_metrics(metrics)
+        interchange = getattr(environment, "interchange", None)
+        if interchange is not None:
+            interchange.attach_metrics(metrics)
         if metrics.enabled:
             metrics.histogram("env.exchange.document_bytes", buckets=BYTES_BUCKETS)
     if tracer is not None:

@@ -14,7 +14,8 @@ directory so that non-CSCW applications find the same data.
 
 from __future__ import annotations
 
-from typing import Any
+from dataclasses import replace
+from typing import Any, Callable
 
 from repro.directory.dit import DirectoryInformationTree
 from repro.odp.trader import ImportContext, PolicyHook, ServiceOffer
@@ -33,11 +34,32 @@ class OrganisationalKnowledgeBase:
         self.relations = RelationStore()
         self.rules = RuleEngine(self.relations)
         self.policies = PolicyRegistry()
+        self._listeners: list[Callable[[str], None]] = []
+        self.policies.add_listener(self._policies_changed)
+
+    # -- change notification -----------------------------------------------
+    def add_listener(self, listener: Callable[[str], None]) -> None:
+        """Call *listener*(kind) after KB mutations.
+
+        *kind* is ``"organisation"``, ``"person"`` or ``"policy"``.  The
+        environment's exchange resolution cache subscribes here so that
+        memoised org/policy verdicts never outlive the facts they were
+        derived from.
+        """
+        self._listeners.append(listener)
+
+    def _notify(self, kind: str) -> None:
+        for listener in self._listeners:
+            listener(kind)
+
+    def _policies_changed(self) -> None:
+        self._notify("policy")
 
     # -- organisations -----------------------------------------------------
     def add_organisation(self, organisation: Organisation) -> Organisation:
         """Register an organisation."""
         self._organisations[organisation.org_id] = organisation
+        self._notify("organisation")
         return organisation
 
     def organisation(self, org_id: str) -> Organisation:
@@ -63,6 +85,32 @@ class OrganisationalKnowledgeBase:
     def organisation_of(self, person_id: str) -> str:
         """The organisation id a person belongs to."""
         return self.find_person(person_id).organisation
+
+    def add_person(self, person: Person) -> Person:
+        """Register a person with their (already registered) organisation.
+
+        Prefer this over ``Organisation.add_person`` for mid-run joins —
+        it fires the KB change listeners so memoised resolution state is
+        invalidated.
+        """
+        self.organisation(person.organisation).add_person(person)
+        self._notify("person")
+        return person
+
+    def move_person(self, person_id: str, to_org: str) -> Person:
+        """Move a person to another organisation mid-run.
+
+        The person is removed from their current organisation and
+        re-registered (same id/name) under *to_org*; listeners fire so
+        the next exchange resolves against the new membership.
+        """
+        person = self.find_person(person_id)
+        destination = self.organisation(to_org)
+        self.organisation(person.organisation).remove_person(person_id)
+        moved = replace(person, organisation=to_org)
+        destination.add_person(moved)
+        self._notify("person")
+        return moved
 
     # -- trader integration (paper section 6.1) ------------------------------
     def trader_policy_hook(self, exporter_org: "dict[str, str] | None" = None) -> PolicyHook:

@@ -119,6 +119,13 @@ class Organisation:
         self._persons[person.person_id] = person
         return person
 
+    def remove_person(self, person_id: str) -> Person:
+        """Deregister a person (they left or moved organisation)."""
+        try:
+            return self._persons.pop(person_id)
+        except KeyError:
+            raise UnknownObjectError(f"unknown person {person_id!r}") from None
+
     def add_role(self, role: Role) -> Role:
         """Register a role."""
         self._check_owner(role.organisation, role.role_id)

@@ -16,6 +16,7 @@ hook (experiment E5) are its two consumers.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.util.errors import PolicyViolationError
 
@@ -59,6 +60,19 @@ class PolicyRegistry:
         self._policies: dict[tuple[str, str], InterOrgPolicy] = {}
         self.checks = 0
         self.denials = 0
+        self._listeners: list[Callable[[], None]] = []
+
+    def add_listener(self, listener: Callable[[], None]) -> None:
+        """Call *listener*() after every policy mutation (declare/revoke).
+
+        Consumers that memoise compatibility verdicts (the environment's
+        exchange resolution cache) subscribe here to invalidate.
+        """
+        self._listeners.append(listener)
+
+    def _notify(self) -> None:
+        for listener in self._listeners:
+            listener()
 
     def declare(
         self,
@@ -76,6 +90,22 @@ class PolicyRegistry:
             self._policies[(to_org, from_org)] = InterOrgPolicy(
                 to_org, from_org, frozenset(allowed), cost
             )
+        self._notify()
+
+    def revoke(self, from_org: str, to_org: str, symmetric: bool = False) -> int:
+        """Remove a declared policy; returns how many directions existed.
+
+        Revoking a direction that was never declared is a no-op (returns
+        0 for it), so tearing down a partnership is idempotent.
+        """
+        removed = 0
+        if self._policies.pop((from_org, to_org), None) is not None:
+            removed += 1
+        if symmetric and self._policies.pop((to_org, from_org), None) is not None:
+            removed += 1
+        if removed:
+            self._notify()
+        return removed
 
     def policy_between(self, from_org: str, to_org: str) -> InterOrgPolicy | None:
         """The declared policy, or None when nothing is declared."""

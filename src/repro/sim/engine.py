@@ -133,36 +133,40 @@ class Engine:
             return True
         return False
 
+    def _has_runnable(self) -> bool:
+        """Drop cancelled events at the queue head; True when one remains."""
+        queue = self._queue
+        while queue and queue[0].cancelled:
+            heapq.heappop(queue)
+        return bool(queue)
+
     def run(self, max_events: int = 1_000_000) -> int:
         """Run until the queue drains; return the number of events executed.
 
-        *max_events* guards against runaway feedback loops; exceeding it
-        raises :class:`SchedulingError`.
+        *max_events* guards against runaway feedback loops: at most
+        *max_events* events execute, and :class:`SchedulingError` is
+        raised when the limit is hit with work still pending.
         """
         executed = 0
         while self.step():
             executed += 1
-            if executed > max_events:
+            if executed >= max_events and self._has_runnable():
                 raise SchedulingError(f"exceeded max_events={max_events}")
         return executed
 
     def run_until(self, time: float, max_events: int = 1_000_000) -> int:
         """Run events with timestamp <= *time*; advance the clock to *time*.
 
-        Events scheduled later than *time* remain queued.
+        Events scheduled later than *time* remain queued.  As in
+        :meth:`run`, at most *max_events* events execute before
+        :class:`SchedulingError` is raised.
         """
         executed = 0
-        while self._queue:
-            head = self._queue[0]
-            if head.cancelled:
-                heapq.heappop(self._queue)
-                continue
-            if head.time > time:
-                break
+        while self._has_runnable() and self._queue[0].time <= time:
+            if executed >= max_events:
+                raise SchedulingError(f"exceeded max_events={max_events}")
             self.step()
             executed += 1
-            if executed > max_events:
-                raise SchedulingError(f"exceeded max_events={max_events}")
         self._now = max(self._now, time)
         return executed
 
@@ -175,7 +179,11 @@ class PeriodicTask:
     """Re-schedules a callback at a fixed period until stopped.
 
     Used by monitors (activity progress checks, directory shadowing) that
-    poll on simulated time.
+    poll on simulated time.  A callback that raises does **not** kill the
+    task: the exception is swallowed, counted (``error_count`` and the
+    engine registry's ``sim.periodic.errors`` counter) and the next
+    firing is armed anyway — one bad poll must not silently stop a
+    monitor for the rest of the run.
     """
 
     def __init__(self, engine: Engine, period: float, callback: Callback, label: str = "") -> None:
@@ -187,12 +195,18 @@ class PeriodicTask:
         self._label = label
         self._stopped = False
         self._fired = 0
+        self._errors = 0
         self._handle: EventHandle | None = None
 
     @property
     def fired_count(self) -> int:
         """Number of times the callback has run."""
         return self._fired
+
+    @property
+    def error_count(self) -> int:
+        """Number of firings whose callback raised."""
+        return self._errors
 
     def start(self) -> "PeriodicTask":
         """Arm the first firing one period from now; returns self."""
@@ -209,6 +223,12 @@ class PeriodicTask:
         if self._stopped:
             return
         self._fired += 1
-        self._callback()
+        try:
+            self._callback()
+        except Exception:
+            self._errors += 1
+            obs = self._engine._obs
+            if obs.enabled:
+                obs.inc("sim.periodic.errors")
         if not self._stopped:
             self._handle = self._engine.schedule(self._period, self._fire, label=self._label)

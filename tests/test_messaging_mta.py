@@ -100,6 +100,25 @@ class TestDelivery:
         world.run()
         assert len(uas["wolf"].list_inbox()) == 1
 
+    def test_deferred_mail_still_pays_priority_delay(self, mhs):
+        # regression: a deferred envelope used to jump straight to
+        # _process at release time, skipping its per-hop priority delay
+        from repro.messaging.envelope import PRIORITY_NORMAL
+        from repro.messaging.mta import PRIORITY_DELAYS
+
+        world, mtas, uas = mhs
+        maria = or_name("C=ES;A= ;P=UPC;G=Maria;S=Serra")
+        ua_maria = UserAgent(world, "ws-ana", maria, "mta-upc")
+        ua_maria.register()
+        world.run()
+        deliveries = []
+        mtas["upc"].add_delivery_hook(lambda mailbox, stored: deliveries.append(stored))
+        uas["ana"].send([maria], "later", "after t=50", deferred_until=50.0)
+        world.run()
+        assert len(deliveries) == 1
+        released_at = 50.0 + PRIORITY_DELAYS[PRIORITY_NORMAL]
+        assert deliveries[0].delivered_at == pytest.approx(released_at)
+
 
 class TestNonDelivery:
     def test_unknown_recipient_ndr(self, mhs):

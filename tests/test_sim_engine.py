@@ -89,6 +89,36 @@ class TestEngine:
         with pytest.raises(SchedulingError):
             engine.run(max_events=100)
 
+    def test_max_events_executes_at_most_the_limit(self):
+        # regression: run(max_events=N) used to execute N+1 events
+        engine = Engine()
+
+        def forever():
+            engine.schedule(0.1, forever)
+
+        engine.schedule(0.1, forever)
+        with pytest.raises(SchedulingError):
+            engine.run(max_events=100)
+        assert engine.processed_count == 100
+
+    def test_max_events_equal_to_queue_size_is_fine(self):
+        engine = Engine()
+        for index in range(5):
+            engine.schedule(float(index), lambda: None)
+        assert engine.run(max_events=5) == 5
+
+    def test_run_until_respects_max_events(self):
+        engine = Engine()
+        for index in range(6):
+            engine.schedule(0.1 * index, lambda: None)
+        with pytest.raises(SchedulingError):
+            engine.run_until(10.0, max_events=3)
+        assert engine.processed_count == 3
+        engine2 = Engine()
+        for index in range(3):
+            engine2.schedule(0.1 * index, lambda: None)
+        assert engine2.run_until(10.0, max_events=3) == 3
+
     def test_schedule_at_absolute_time(self):
         engine = Engine()
         seen = []
@@ -125,3 +155,36 @@ class TestPeriodicTask:
     def test_zero_period_rejected(self):
         with pytest.raises(SchedulingError):
             PeriodicTask(Engine(), 0.0, lambda: None)
+
+    def test_raising_callback_does_not_stop_future_firings(self):
+        # regression: one exception used to silently kill the task
+        engine = Engine()
+        ticks = []
+
+        def flaky():
+            ticks.append(engine.now)
+            if len(ticks) == 2:
+                raise RuntimeError("one bad poll")
+
+        task = PeriodicTask(engine, 1.0, flaky).start()
+        engine.run_until(4.5)
+        task.stop()
+        assert ticks == [1.0, 2.0, 3.0, 4.0]
+        assert task.fired_count == 4
+        assert task.error_count == 1
+
+    def test_raising_callback_counted_in_metrics(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        engine = Engine()
+        metrics = MetricsRegistry()
+        engine.attach_metrics(metrics)
+
+        def always_raises():
+            raise RuntimeError("boom")
+
+        task = PeriodicTask(engine, 1.0, always_raises).start()
+        engine.run_until(3.0)
+        task.stop()
+        assert task.error_count == 3
+        assert metrics.snapshot()["counters"]["sim.periodic.errors"] == 3
