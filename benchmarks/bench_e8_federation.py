@@ -1,0 +1,220 @@
+"""E12 — federation: intra- vs cross-domain exchange cost, 1..8 domains.
+
+The paper's openness argument is inter-organisational: environments in
+different administrative domains must interoperate through explicit
+boundaries.  This bench measures what that boundary costs.  For each
+domain count (1, 2, 4, 8) it builds a :class:`repro.federation.Federation`
+on one sim engine, homes a small population in every domain, and pushes
+the same document stream two ways:
+
+* **intra** — sender and receiver share a home domain: the exchange runs
+  the local pipeline, no gateway involved;
+* **cross** — receiver lives in the next domain over: origin-side checks,
+  gateway relay over a WAN link, the full local pipeline at the target,
+  and the reply hop back.
+
+Reported per sweep: wall-clock throughput for both paths, the cross/intra
+mediation-cost ratio, and the *simulated* per-hop latency split (forward
+relay vs reply) taken from the hop metadata every federated outcome
+carries.  Results land in ``BENCH_federation.json`` (in
+``BENCH_METRICS_DIR`` when set, else the current directory).
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_e8_federation.py [--quick]
+
+``--quick`` (used by ``scripts/check.sh``; ``--smoke`` is accepted as an
+alias) runs a small workload over 1 and 2 domains only and skips the
+shape assertions that need real iteration counts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+from bench_common import synthetic_converter
+from repro.environment.registry import AppDescriptor, Q_DIFFERENT_TIME_DIFFERENT_PLACE
+from repro.federation import Federation
+from repro.obs import MetricsRegistry
+from repro.sim.world import World
+
+#: people homed in each domain
+PEOPLE_PER_DOMAIN = 4
+
+DOCUMENT = {"fmt0-title": "minutes", "fmt0-body": "we met"}
+
+
+def build_federation(n_domains: int) -> Federation:
+    """A federation of *n_domains* with apps registered everywhere."""
+    world = World(seed=7)
+    assignment = {
+        f"d{index}": [f"d{index}-p{p}" for p in range(PEOPLE_PER_DOMAIN)]
+        for index in range(n_domains)
+    }
+    federation = Federation.partition(
+        world, assignment, metrics=MetricsRegistry()
+    )
+    for app_index in (0, 1):
+        federation.register_application(
+            AppDescriptor(
+                name=f"app{app_index}",
+                quadrants=[Q_DIFFERENT_TIME_DIFFERENT_PLACE],
+                converter=synthetic_converter(app_index),
+            ),
+            lambda person, document, info: None,
+        )
+    return federation
+
+
+def run_sweep(n_domains: int, iterations: int) -> dict:
+    """Measure intra- and cross-domain exchange for one domain count."""
+    federation = build_federation(n_domains)
+
+    # -- intra: both parties in domain 0 ----------------------------------
+    start = time.perf_counter()
+    intra_outcomes = [
+        federation.federated_exchange(
+            "d0-p0", "d0-p1", "app0", "app1", DOCUMENT
+        )
+        for _ in range(iterations)
+    ]
+    intra_s = time.perf_counter() - start
+    assert all(outcome.delivered for outcome in intra_outcomes)
+
+    sweep = {
+        "domains": n_domains,
+        "iterations": iterations,
+        "intra_eps": round(iterations / intra_s, 1),
+        "intra_wall_us": round(intra_s / iterations * 1e6, 1),
+    }
+    if n_domains == 1:
+        return sweep
+
+    # -- cross: sender in domain i, receiver in domain (i+1) % n ----------
+    pairs = [
+        (f"d{index}-p0", f"d{(index + 1) % n_domains}-p1")
+        for index in range(n_domains)
+    ]
+    start = time.perf_counter()
+    cross_outcomes = [
+        federation.federated_exchange(
+            *pairs[i % len(pairs)], "app0", "app1", DOCUMENT
+        )
+        for i in range(iterations)
+    ]
+    cross_s = time.perf_counter() - start
+    assert all(outcome.delivered for outcome in cross_outcomes)
+    assert all(outcome.cross_domain for outcome in cross_outcomes)
+
+    forward_hops = []
+    return_hops = []
+    for outcome in cross_outcomes:
+        origin, deliver, reply = outcome.hops
+        forward_hops.append(deliver.time - origin.time)
+        return_hops.append(reply.time - deliver.time)
+    relays = sum(
+        domain.gateway_to(peer.name).stats()["relays"]
+        for domain in federation.domains()
+        for peer in federation.domains()
+        if peer.name in domain.gateways
+    )
+    sweep.update(
+        {
+            "cross_eps": round(iterations / cross_s, 1),
+            "cross_wall_us": round(cross_s / iterations * 1e6, 1),
+            "cross_over_intra_wall": round(
+                (cross_s / iterations) / (intra_s / iterations), 2
+            ),
+            "cross_sim_latency_s": round(
+                sum(o.latency_s for o in cross_outcomes) / iterations, 4
+            ),
+            "forward_hop_s": round(sum(forward_hops) / len(forward_hops), 4),
+            "return_hop_s": round(sum(return_hops) / len(return_hops), 4),
+            "gateway_relays": relays,
+        }
+    )
+    counters = federation._metrics.snapshot()["counters"]
+    sweep["federation_counters"] = {
+        key: counters[key]
+        for key in sorted(counters)
+        if key.startswith(("env.federation.", "gateway."))
+    }
+    return sweep
+
+
+def run_bench(domain_counts: list[int], iterations: int, quick: bool) -> dict:
+    """Run all sweeps; return the result blob."""
+    sweeps = [run_sweep(n, iterations) for n in domain_counts]
+    return {
+        "bench": "federation",
+        "mode": "quick" if quick else "full",
+        "people_per_domain": PEOPLE_PER_DOMAIN,
+        "sweeps": sweeps,
+    }
+
+
+def emit(blob: dict) -> str:
+    """Write ``BENCH_federation.json``; return the path."""
+    directory = os.environ.get("BENCH_METRICS_DIR") or "."
+    path = os.path.join(directory, "BENCH_federation.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(blob, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def report(blob: dict) -> None:
+    print(f"\nE12: federated exchange cost ({blob['mode']} mode, "
+          f"{blob['people_per_domain']} people/domain)")
+    for sweep in blob["sweeps"]:
+        line = (f"  {sweep['domains']} domain(s): "
+                f"intra {sweep['intra_eps']:>8.1f} ex/s")
+        if "cross_eps" in sweep:
+            line += (f"   cross {sweep['cross_eps']:>8.1f} ex/s "
+                     f"({sweep['cross_over_intra_wall']:.2f}x wall cost, "
+                     f"sim RTT {sweep['cross_sim_latency_s'] * 1000:.1f} ms = "
+                     f"{sweep['forward_hop_s'] * 1000:.1f} fwd + "
+                     f"{sweep['return_hop_s'] * 1000:.1f} ret)")
+        print(line)
+
+
+def main(argv: list[str]) -> int:
+    quick = "--quick" in argv or "--smoke" in argv
+    domain_counts = [1, 2] if quick else [1, 2, 4, 8]
+    iterations = 24 if quick else 240
+    blob = run_bench(domain_counts, iterations, quick)
+    report(blob)
+    path = emit(blob)
+    print(f"  wrote {path}")
+    if not quick:
+        two = next(s for s in blob["sweeps"] if s["domains"] == 2)
+        eight = next(s for s in blob["sweeps"] if s["domains"] == 8)
+        # the boundary is paid in simulated WAN latency on every relay
+        assert two["cross_sim_latency_s"] > 0.1, (
+            f"cross-domain sim RTT {two['cross_sim_latency_s']}s looks free"
+        )
+        # scaling the domain count must not degrade per-exchange cost by
+        # more than ~3x (pairwise wiring is O(N^2) in setup, not per-op)
+        assert eight["cross_wall_us"] < two["cross_wall_us"] * 3.0, (
+            f"8-domain cross exchange {eight['cross_wall_us']}us vs "
+            f"2-domain {two['cross_wall_us']}us"
+        )
+        print("  PASS: relay pays sim latency; per-op cost flat in domain count")
+    return 0
+
+
+def test_federation_bench_smoke():
+    """Pytest entry point: the sweep machinery on a tiny workload."""
+    blob = run_bench([1, 2], 6, quick=True)
+    assert [s["domains"] for s in blob["sweeps"]] == [1, 2]
+    two = blob["sweeps"][1]
+    assert two["intra_eps"] > 0 and two["cross_eps"] > 0
+    assert two["forward_hop_s"] > 0 and two["return_hop_s"] > 0
+    assert two["gateway_relays"] == 6
+    assert two["federation_counters"]["env.federation.remote"] == 6
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -36,4 +36,41 @@ EOF
 echo "== bench_e7 throughput (smoke) =="
 python benchmarks/bench_e7_throughput.py --smoke
 
+echo "== federation smoke (2-domain round trip) =="
+python - <<'EOF'
+from repro.environment.registry import AppDescriptor, Q_DIFFERENT_TIME_DIFFERENT_PLACE
+from repro.federation import Federation
+from repro.information.interchange import FormatConverter, make_common
+from repro.sim.world import World
+
+world = World(seed=42)
+federation = Federation.partition(world, {"upc": ["ana"], "gmd": ["bob"]})
+inbox = []
+for index, name in enumerate(("editor", "reviewer")):
+    key = f"fmt{index}"
+    converter = FormatConverter(
+        key,
+        lambda doc, key=key: make_common("note", doc[f"{key}-title"], doc[f"{key}-body"]),
+        lambda common, key=key: {f"{key}-title": common["title"], f"{key}-body": common["body"]},
+    )
+    federation.register_application(
+        AppDescriptor(name=name, quadrants=[Q_DIFFERENT_TIME_DIFFERENT_PLACE], converter=converter),
+        lambda person, doc, info: inbox.append((person, doc)),
+    )
+outcome = federation.federated_exchange(
+    "ana", "bob", "editor", "reviewer", {"fmt0-title": "ping", "fmt0-body": "x"}
+)
+assert outcome.delivered and outcome.cross_domain, outcome
+assert [hop.role for hop in outcome.hops] == ["origin", "deliver", "reply"]
+assert inbox == [("bob", {"fmt1-title": "ping", "fmt1-body": "x"})], inbox
+back = federation.federated_exchange(
+    "bob", "ana", "reviewer", "editor", {"fmt1-title": "pong", "fmt1-body": "y"}
+)
+assert back.delivered and back.origin == "gmd" and back.target == "upc", back
+print(f"round trip ok: {outcome.latency_s*1000:.1f} ms out, {back.latency_s*1000:.1f} ms back")
+EOF
+
+echo "== bench_e8 federation (quick) =="
+python benchmarks/bench_e8_federation.py --quick
+
 echo "== all checks passed =="

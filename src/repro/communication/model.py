@@ -92,6 +92,13 @@ class CommunicatorRegistry:
         """All registered communicators."""
         return list(self._communicators.values())
 
+    def remove(self, person_id: str) -> Communicator:
+        """Remove and return a person's endpoint (e.g. on domain move)."""
+        try:
+            return self._communicators.pop(person_id)
+        except KeyError:
+            raise UnknownObjectError(f"no communicator for {person_id!r}") from None
+
     def set_presence(self, person_id: str, present: bool) -> None:
         """Flip a person's presence (arrive at / leave the workstation)."""
         self.get(person_id).present = present

@@ -5,6 +5,12 @@ over an ODP channel and replays it into its own DIT.  This models X.525
 DISP shadowing closely enough for the experiments: reads can be served
 locally at each site while writes go to the master, and the staleness
 window equals the pull period.
+
+Failed pulls (master down, partition) back off exponentially — a dead
+master is probed at ``period_s * backoff_factor ** streak`` (capped at
+``max_backoff_s``) instead of hammered at full cadence — and the first
+successful pull resets the cadence.  Pull activity is exported as
+``directory.shadow.*`` counters when a metrics registry is attached.
 """
 
 from __future__ import annotations
@@ -13,9 +19,10 @@ from typing import Any
 
 from repro.directory.dit import ChangeRecord
 from repro.directory.dsa import DirectoryServiceAgent
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.odp.binding import BindingFactory, Channel
 from repro.odp.objects import InterfaceRef
-from repro.sim.engine import PeriodicTask
+from repro.sim.engine import EventHandle
 from repro.sim.world import World
 
 
@@ -24,8 +31,9 @@ class ShadowingAgreement:
 
     The agreement runs on simulated time: every *period_s* the shadow asks
     the master for changes after its high-water mark and replays them.
-    Failed pulls (master down, partition) are skipped silently and retried
-    at the next tick — shadowing is eventually consistent by design.
+    Each periodic pull re-arms the next one when it completes, with the
+    delay stretched by the current failure streak — shadowing stays
+    eventually consistent while an unreachable master is left in peace.
     """
 
     def __init__(
@@ -36,45 +44,94 @@ class ShadowingAgreement:
         shadow_node: str,
         master_ref: InterfaceRef,
         period_s: float = 30.0,
+        backoff_factor: float = 2.0,
+        max_backoff_s: float | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self._world = world
         self._shadow = shadow
         self._channel: Channel = factory.bind(shadow_node, master_ref)
         self._period_s = period_s
+        self._backoff_factor = backoff_factor
+        self._max_backoff_s = (
+            max_backoff_s if max_backoff_s is not None else period_s * 8
+        )
         self._high_water = 0
-        self._task: PeriodicTask | None = None
+        self._running = False
+        self._pending: EventHandle | None = None
+        self._fail_streak = 0
+        self._obs: MetricsRegistry = metrics if metrics is not None else NULL_METRICS
         self.pulls = 0
         self.changes_applied = 0
         self.failed_pulls = 0
+        #: pulls that completed successfully (whether or not changes came)
+        self.syncs = 0
 
     @property
     def high_water(self) -> int:
         """Highest master CSN the shadow has applied."""
         return self._high_water
 
+    @property
+    def current_period_s(self) -> float:
+        """Delay until the next periodic pull, backoff included."""
+        return min(
+            self._period_s * (self._backoff_factor ** self._fail_streak),
+            self._max_backoff_s,
+        )
+
+    @property
+    def fail_streak(self) -> int:
+        """Consecutive failed pulls since the last success."""
+        return self._fail_streak
+
+    def attach_metrics(self, metrics: MetricsRegistry | None) -> None:
+        """Report pull activity to *metrics* (``None`` detaches).
+
+        Counters ``directory.shadow.pulls``/``syncs``/``failures``/
+        ``changes_applied``.
+        """
+        self._obs = metrics if metrics is not None else NULL_METRICS
+
     def start(self) -> "ShadowingAgreement":
         """Begin periodic pulling; returns self."""
-        self._task = PeriodicTask(
-            self._world.engine, self._period_s, self._pull, label="shadow-pull"
-        ).start()
+        self._running = True
+        self._arm()
         return self
 
     def stop(self) -> None:
-        """Stop pulling."""
-        if self._task is not None:
-            self._task.stop()
+        """Stop pulling (a pull already in flight still completes)."""
+        self._running = False
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
 
     def sync_now(self) -> None:
         """Trigger an immediate pull (in addition to the periodic ones)."""
-        self._pull()
+        self._pull(periodic=False)
 
-    def _pull(self) -> None:
+    def _arm(self) -> None:
+        if not self._running:
+            return
+        self._pending = self._world.engine.schedule(
+            self.current_period_s, self._tick, label="shadow-pull"
+        )
+
+    def _tick(self) -> None:
+        self._pending = None
+        if self._running:
+            self._pull(periodic=True)
+
+    def _pull(self, periodic: bool = False) -> None:
         self.pulls += 1
+        if self._obs.enabled:
+            self._obs.inc("directory.shadow.pulls")
 
         def apply(documents: Any) -> None:
             if isinstance(documents, dict) and "error" in documents:
-                self.failed_pulls += 1
+                self._note_failure(periodic)
                 return
+            applied = 0
             for document in documents:
                 change = ChangeRecord(
                     csn=document["csn"],
@@ -87,13 +144,30 @@ class ShadowingAgreement:
                 self._shadow.dit.apply_change(change)
                 self._high_water = change.csn
                 self.changes_applied += 1
+                applied += 1
+            self._note_success(applied, periodic)
 
         self._channel.invoke(
             "changes_since",
             {"csn": self._high_water},
             on_reply=apply,
-            on_error=lambda error: self._note_failure(),
+            on_error=lambda error: self._note_failure(periodic),
         )
 
-    def _note_failure(self) -> None:
+    def _note_success(self, applied: int, periodic: bool) -> None:
+        self._fail_streak = 0
+        self.syncs += 1
+        if self._obs.enabled:
+            self._obs.inc("directory.shadow.syncs")
+            if applied:
+                self._obs.inc("directory.shadow.changes_applied", applied)
+        if periodic:
+            self._arm()
+
+    def _note_failure(self, periodic: bool = False) -> None:
         self.failed_pulls += 1
+        self._fail_streak += 1
+        if self._obs.enabled:
+            self._obs.inc("directory.shadow.failures")
+        if periodic:
+            self._arm()

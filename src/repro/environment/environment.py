@@ -169,6 +169,17 @@ class CSCWEnvironment:
         """Number of deliveries queued for an absent person."""
         return len(self._pending_deliveries.get(person_id, []))
 
+    def deregister_person(self, person_id: str) -> int:
+        """Remove a person's endpoint from this environment.
+
+        Queued store-and-forward deliveries for them are discarded (a
+        federation moving someone to another domain re-registers them
+        there; anything still parked here would never flush).  Returns
+        the number of discarded deliveries.
+        """
+        self.communicators.remove(person_id)
+        return len(self._pending_deliveries.pop(person_id, []))
+
     # -- applications ------------------------------------------------------------
     def register_application(
         self,

@@ -1,0 +1,40 @@
+"""Multi-domain CSCW: federated environments behind inter-domain gateways.
+
+The paper argues open CSCW systems are a specialisation of open
+*distributed* systems — organisation transparency has to hold across
+administrative domain boundaries, not just inside one environment.  This
+package composes the library's single-node primitives (federated naming,
+trader links, directory shadowing, MTAs) into a running multi-domain
+system:
+
+* :class:`~repro.federation.domain.Domain` — one org unit's environment
+  plus its naming domain, DSA, MTA and gateway endpoint,
+* :class:`~repro.federation.gateway.Gateway` — directed store-and-forward
+  relay between two domains with retry/backoff and a dead-letter queue,
+* :class:`~repro.federation.federation.Federation` — the coordinator that
+  partitions a :class:`~repro.sim.world.World` across domains, keeps
+  every pair wired, and provides
+  :meth:`~repro.federation.federation.Federation.federated_exchange`.
+"""
+
+from repro.federation.domain import MAIL_ADMD, MAIL_COUNTRY, Domain
+from repro.federation.federation import (
+    REASON_GATEWAY_DEAD_LETTER,
+    Federation,
+    FederatedOutcome,
+    Hop,
+)
+from repro.federation.gateway import GATEWAY_PORT, DeadLetter, Gateway
+
+__all__ = [
+    "Domain",
+    "DeadLetter",
+    "Federation",
+    "FederatedOutcome",
+    "GATEWAY_PORT",
+    "Gateway",
+    "Hop",
+    "MAIL_ADMD",
+    "MAIL_COUNTRY",
+    "REASON_GATEWAY_DEAD_LETTER",
+]

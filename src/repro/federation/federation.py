@@ -1,0 +1,695 @@
+"""The federation coordinator: N domains, one engine, explicit boundaries.
+
+This module composes the library's single-node primitives —
+``NamingDomain.federate``, trader links, directory
+:class:`~repro.directory.replication.ShadowingAgreement`, MTAs — into a
+running multi-domain CSCW system: the "open distributed system" shape
+the paper says open CSCW must take (organisation transparency across
+administrative boundaries, not just inside one environment).
+
+A :class:`Federation` owns a set of :class:`~repro.federation.domain.Domain`
+objects on one shared :class:`~repro.sim.world.World` and keeps them
+wired pairwise:
+
+* **naming** — every domain's :class:`~repro.odp.naming.NamingDomain`
+  federates with every peer, so ``people/ana`` resolves from anywhere as
+  ``<home>:/people/ana``; the federation's home-domain lookups go through
+  this federated naming and are memoised (invalidated on moves),
+* **trading** — every env trader links to every peer trader, so an
+  import that finds no local offer falls back over the links while each
+  side's organisational import policy still applies,
+* **directory** — each domain's DSA holds a shadowing agreement against
+  every peer DSA (created unstarted; :meth:`start_shadowing` arms them),
+* **messaging** — MTAs peer and route each other's X.400 domains,
+* **gateways** — a directed :class:`~repro.federation.gateway.Gateway`
+  per ordered pair relays exchange payloads over a configurable
+  inter-domain link.
+
+The headline operation is :meth:`federated_exchange`: resolve the
+receiver's home domain via federated naming, run the origin-side checks
+against the local environment, relay through the gateway, and reuse the
+unmodified local exchange pipeline at the target — so a federated
+outcome carries exactly the reason codes a single-domain
+``CSCWEnvironment.exchange`` would produce, plus hop metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.communication.model import Communicator
+from repro.environment.environment import (
+    REASON_MEMBERSHIP,
+    REASON_ORGANISATION_OPAQUE,
+    REASON_POLICY,
+    REASON_UNKNOWN_RECEIVER,
+    CSCWEnvironment,
+    ExchangeOutcome,
+)
+from repro.environment.registry import AppDescriptor, DeliveryCallback
+from repro.environment.transparency import TransparencyProfile
+from repro.directory.replication import ShadowingAgreement
+from repro.federation.domain import Domain
+from repro.federation.gateway import DeadLetter, Gateway
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.obs.tracing import Tracer
+from repro.odp.binding import BindingFactory
+from repro.odp.objects import InterfaceRef
+from repro.org.model import Organisation, Person
+from repro.org.policy import INTERACTION_MESSAGE
+from repro.sim.network import LinkSpec, WAN_LINK
+from repro.sim.world import World
+from repro.util.errors import ConfigurationError, NameError_, UnknownObjectError
+
+#: a federated exchange whose relay exhausted its gateway attempts
+REASON_GATEWAY_DEAD_LETTER = "gateway-dead-letter"
+
+#: outcome fields shipped over the gateway (trace ids stay domain-local)
+_OUTCOME_FIELDS = (
+    "delivered", "mode", "reason", "translated",
+    "fidelity", "handled", "reason_code", "size_bytes",
+)
+
+
+@dataclass(frozen=True)
+class Hop:
+    """One step in a federated exchange's path, stamped in simulated time."""
+
+    domain: str
+    role: str  # "local" | "origin" | "deliver" | "reply"
+    time: float
+
+
+@dataclass(frozen=True)
+class FederatedOutcome:
+    """A cross-domain exchange outcome with its hop metadata.
+
+    ``outcome`` is a plain :class:`ExchangeOutcome` with field parity to
+    the single-domain exchange path (same reason codes on the same
+    failure classes); the federation adds where the exchange ran
+    (``origin``/``target``), the hops it took, how many gateway attempts
+    the relay needed and the end-to-end simulated latency.
+    """
+
+    outcome: ExchangeOutcome
+    origin: str
+    target: str
+    hops: tuple[Hop, ...] = ()
+    attempts: int = 1
+    latency_s: float = 0.0
+
+    @property
+    def delivered(self) -> bool:
+        """Whether the document reached the receiving application."""
+        return self.outcome.delivered
+
+    @property
+    def mode(self) -> str:
+        """Delivery mode of the underlying exchange."""
+        return self.outcome.mode
+
+    @property
+    def reason_code(self) -> str:
+        """Structured reason code of the underlying exchange."""
+        return self.outcome.reason_code
+
+    @property
+    def cross_domain(self) -> bool:
+        """True when the exchange crossed a domain boundary."""
+        return self.origin != self.target
+
+
+def _outcome_document(outcome: ExchangeOutcome) -> dict[str, Any]:
+    """The gateway wire form of an outcome (hop-local trace id dropped)."""
+    document = {name: getattr(outcome, name) for name in _OUTCOME_FIELDS}
+    document["handled"] = list(outcome.handled)
+    return document
+
+
+def _outcome_from_document(document: dict[str, Any], trace_id: str) -> ExchangeOutcome:
+    """Rebuild an outcome at the origin, under the origin's trace."""
+    fields = dict(document)
+    fields["handled"] = tuple(fields.get("handled", ()))
+    return ExchangeOutcome(trace_id=trace_id, **fields)
+
+
+class Federation:
+    """N administrative domains on one sim engine, fully cross-wired."""
+
+    def __init__(
+        self,
+        world: World,
+        name: str = "federation",
+        *,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        link: LinkSpec = WAN_LINK,
+        gateway_retry_s: float = 0.5,
+        gateway_attempts: int = 4,
+        gateway_backoff: float = 2.0,
+        shadow_period_s: float = 30.0,
+    ) -> None:
+        self.world = world
+        self.name = name
+        self._metrics = metrics if metrics is not None else NULL_METRICS
+        self._env_metrics = metrics
+        self._tracer = tracer
+        self._link = link
+        self._gateway_retry_s = gateway_retry_s
+        self._gateway_attempts = gateway_attempts
+        self._gateway_backoff = gateway_backoff
+        self._shadow_period_s = shadow_period_s
+        self._domains: dict[str, Domain] = {}
+        #: memoised person -> home-domain name (resolved via federated
+        #: naming on miss; invalidated by add/move)
+        self._home_cache: dict[str, str] = {}
+        self._binding_factory = BindingFactory(world.network)
+        #: (consumer, master) -> shadowing agreement (created unstarted)
+        self.shadowing: dict[tuple[str, str], ShadowingAgreement] = {}
+        self._shadowing_started = False
+
+    @classmethod
+    def partition(
+        cls,
+        world: World,
+        assignment: dict[str, list[str]],
+        name: str = "federation",
+        **options: Any,
+    ) -> "Federation":
+        """Partition a world's population across domains in one call.
+
+        *assignment* maps domain name -> the person ids homed there;
+        extra keyword options go to the constructor.  Policies between
+        all domain pairs are opened for messages and service imports
+        (tighten afterwards with :meth:`declare_policy`).
+        """
+        federation = cls(world, name=name, **options)
+        for domain_name in assignment:
+            federation.add_domain(domain_name)
+        federation.open_policies()
+        for domain_name, people in assignment.items():
+            for person_id in people:
+                federation.add_person(person_id, domain_name)
+        return federation
+
+    # -- topology ----------------------------------------------------------
+    def add_domain(self, name: str) -> Domain:
+        """Create a domain and wire it to every existing domain."""
+        if name in self._domains:
+            raise ConfigurationError(f"domain {name!r} already exists in {self.name!r}")
+        domain = Domain(
+            self.world, name, metrics=self._env_metrics, tracer=self._tracer
+        )
+        domain.gateway_rpc.serve(
+            "relay", lambda payload, d=domain: self._handle_relay(d, payload)
+        )
+        self._binding_factory.register_capsule(domain.capsule)
+        # Every KB knows every organisation, so org/policy verdicts agree
+        # at both ends of a relay (the KB-level shadowing contract).
+        domain.env.knowledge_base.add_organisation(Organisation(name, name.upper()))
+        for peer in self._domains.values():
+            domain.env.knowledge_base.add_organisation(
+                Organisation(peer.name, peer.name.upper())
+            )
+            peer.env.knowledge_base.add_organisation(Organisation(name, name.upper()))
+            for person_id in peer.people:
+                person = peer.env.knowledge_base.find_person(person_id)
+                domain.env.knowledge_base.add_person(
+                    Person(person_id, person.name, peer.name)
+                )
+            self._wire_pair(domain, peer)
+        self._domains[name] = domain
+        if self._metrics.enabled:
+            self._metrics.set_gauge("env.federation.domains", len(self._domains))
+        return domain
+
+    def _wire_pair(self, a: Domain, b: Domain) -> None:
+        """Symmetric wiring between two domains (naming, trade, mail,
+        directory shadowing, gateway link + relays)."""
+        a.naming.federate(b.naming)
+        b.naming.federate(a.naming)
+        a.trader.link(b.trader, link_name=b.name)
+        b.trader.link(a.trader, link_name=a.name)
+        a.mta.add_peer(b.mta.name, b.node)
+        b.mta.add_peer(a.mta.name, a.node)
+        a.mta.routing.add_route("*", "*", b.name, b.mta.name)
+        b.mta.routing.add_route("*", "*", a.name, a.mta.name)
+        self.world.network.set_link(a.node, b.node, self._link)
+        for source, target in ((a, b), (b, a)):
+            source.gateways[target.name] = Gateway(
+                source.gateway_rpc,
+                source.name,
+                target.name,
+                target.node,
+                retry_s=self._gateway_retry_s,
+                max_attempts=self._gateway_attempts,
+                backoff=self._gateway_backoff,
+                metrics=self._env_metrics,
+            )
+            self.shadowing[(source.name, target.name)] = ShadowingAgreement(
+                self.world,
+                self._binding_factory,
+                source.dsa,
+                source.node,
+                target.directory_ref,
+                period_s=self._shadow_period_s,
+                metrics=self._env_metrics,
+            )
+
+    def domain(self, name: str) -> Domain:
+        """Look up a domain by name."""
+        try:
+            return self._domains[name]
+        except KeyError:
+            raise UnknownObjectError(f"unknown domain {name!r}") from None
+
+    def domains(self) -> list[Domain]:
+        """All domains, in creation order."""
+        return list(self._domains.values())
+
+    def set_pair_link(self, a: str, b: str, link: LinkSpec) -> None:
+        """Override the (symmetric) inter-domain link for one pair."""
+        self.world.network.set_link(self.domain(a).node, self.domain(b).node, link)
+
+    # -- directory shadowing ------------------------------------------------
+    def publish_directories(self) -> int:
+        """Publish each domain's KB into its own DSA; return entries created."""
+        return sum(
+            d.env.knowledge_base.publish_to_directory(d.dsa.dit)
+            for d in self._domains.values()
+        )
+
+    def start_shadowing(self) -> None:
+        """Arm every DSA shadowing agreement (periodic pulls begin).
+
+        Started agreements keep the engine's queue non-empty; prefer
+        ``world.run_for`` over ``world.run`` while they are live.
+        """
+        if self._shadowing_started:
+            return
+        for agreement in self.shadowing.values():
+            agreement.start()
+        self._shadowing_started = True
+
+    def stop_shadowing(self) -> None:
+        """Stop every shadowing agreement's periodic pulls."""
+        for agreement in self.shadowing.values():
+            agreement.stop()
+        self._shadowing_started = False
+
+    # -- policies and applications -----------------------------------------
+    def declare_policy(
+        self, org_a: str, org_b: str, interactions: set[str], symmetric: bool = True
+    ) -> None:
+        """Declare an inter-org policy in every domain's knowledge base."""
+        for domain in self._domains.values():
+            domain.env.knowledge_base.policies.declare(
+                org_a, org_b, set(interactions), symmetric=symmetric
+            )
+
+    def open_policies(self) -> None:
+        """Open every domain pair for every interaction (demo/bench default)."""
+        names = list(self._domains)
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                self.declare_policy(a, b, {"*"})
+
+    def register_application(
+        self,
+        descriptor: AppDescriptor,
+        on_deliver: DeliveryCallback,
+        exporter_org: str = "",
+    ) -> None:
+        """Register one application in every domain environment.
+
+        Federation keeps the paper's O(N) integration cost: one
+        descriptor + converter serves all domains (the delivery callback
+        receives deliveries from whichever domain the receiver lives in).
+        """
+        for domain in self._domains.values():
+            domain.env.register_application(descriptor, on_deliver, exporter_org)
+
+    def create_shared_activity(
+        self, activity_id: str, name: str, members: dict[str, str] | None = None
+    ) -> None:
+        """Create one activity, visible (with its members) in every domain."""
+        for domain in self._domains.values():
+            domain.env.create_activity(activity_id, name, dict(members or {}))
+
+    # -- people ------------------------------------------------------------
+    def add_person(self, person_id: str, domain_name: str, name: str = "") -> Person:
+        """Home a person in *domain_name*; known to every domain's KB.
+
+        The person gets a workstation node and communicator in the home
+        domain, a mailbox at the home MTA, and a federated-naming binding
+        ``people/<id>`` in the home naming domain.
+        """
+        home = self.domain(domain_name)
+        display = name or person_id
+        person = Person(person_id, display, domain_name)
+        for domain in self._domains.values():
+            domain.env.knowledge_base.add_person(Person(person_id, display, domain_name))
+        workstation = home.workstation(person_id)
+        if not self.world.network.has_node(workstation):
+            self.world.network.add_node(workstation, site=domain_name)
+        home.env.register_person(Communicator(person_id, workstation))
+        home.mta.register_mailbox(home.or_name(person_id))
+        home.naming.bind(
+            f"people/{person_id}",
+            InterfaceRef(workstation, person_id, "communicator"),
+        )
+        home.people.add(person_id)
+        self._home_cache[person_id] = domain_name
+        return person
+
+    def home_of(self, person_id: str) -> str:
+        """The name of a person's home domain, via federated naming.
+
+        The lookup is memoised; :meth:`add_person` and :meth:`move_person`
+        invalidate the memo so a moved person's very next exchange routes
+        to their new home.
+        """
+        cached = self._home_cache.get(person_id)
+        if cached is not None:
+            if self._metrics.enabled:
+                self._metrics.inc("env.federation.home.hit")
+            return cached
+        if self._metrics.enabled:
+            self._metrics.inc("env.federation.home.miss")
+        domains = list(self._domains.values())
+        if not domains:
+            raise UnknownObjectError(f"federation {self.name!r} has no domains")
+        viewpoint = domains[0].naming
+        path = f"people/{person_id}"
+        try:
+            viewpoint.resolve(path)
+            self._home_cache[person_id] = domains[0].name
+            return domains[0].name
+        except NameError_:
+            pass
+        for other in viewpoint.federated_domains():
+            try:
+                viewpoint.resolve(f"{other}:/{path}")
+            except NameError_:
+                continue
+            self._home_cache[person_id] = other
+            return other
+        raise UnknownObjectError(
+            f"person {person_id!r} is not homed in any domain of {self.name!r}"
+        )
+
+    def move_person(self, person_id: str, to_domain: str) -> Person:
+        """Move a person's home to another domain mid-run.
+
+        Every domain's knowledge base performs the move (firing its KB
+        listeners, so each environment's resolution cache drops its
+        memoised verdicts), the communicator and naming binding migrate,
+        and the federation's home memo is invalidated — the next
+        federated exchange resolves against the new home.  Deliveries
+        queued at the old home for the person's return are discarded.
+        """
+        old_name = self.home_of(person_id)
+        if old_name == to_domain:
+            return self._domains[old_name].env.knowledge_base.find_person(person_id)
+        old = self.domain(old_name)
+        new = self.domain(to_domain)
+        moved: Person | None = None
+        for domain in self._domains.values():
+            moved = domain.env.knowledge_base.move_person(person_id, to_domain)
+        old.env.deregister_person(person_id)
+        old.naming.unbind(f"people/{person_id}")
+        old.people.discard(person_id)
+        workstation = new.workstation(person_id)
+        if not self.world.network.has_node(workstation):
+            self.world.network.add_node(workstation, site=to_domain)
+        new.env.register_person(Communicator(person_id, workstation))
+        new.mta.register_mailbox(new.or_name(person_id))
+        new.naming.bind(
+            f"people/{person_id}", InterfaceRef(workstation, person_id, "communicator")
+        )
+        new.people.add(person_id)
+        self._home_cache.pop(person_id, None)
+        self._home_cache[person_id] = to_domain
+        if self._metrics.enabled:
+            self._metrics.inc("env.federation.moves")
+        assert moved is not None
+        return moved
+
+    # -- the federated exchange path ---------------------------------------
+    def federated_exchange(
+        self,
+        sender: str,
+        receiver: str,
+        sender_app: str,
+        receiver_app: str,
+        document: dict[str, Any],
+        activity_id: str = "",
+        profile: TransparencyProfile | None = None,
+        interaction: str = INTERACTION_MESSAGE,
+    ) -> FederatedOutcome:
+        """Deliver *document* across the federation.
+
+        Intra-domain exchanges run the home environment's pipeline
+        unchanged.  Cross-domain exchanges run the origin-side checks
+        (activity membership, organisation/policy — the same checks in
+        the same order with the same reason codes as
+        :meth:`CSCWEnvironment.exchange`), relay the payload through the
+        origin's gateway, and re-enter the *target* environment's local
+        exchange pipeline, so view/time/activity handling and all
+        remaining failure modes are decided exactly as at home.  A relay
+        that exhausts its gateway attempts returns a
+        :data:`REASON_GATEWAY_DEAD_LETTER` outcome and parks the payload
+        in the gateway's dead-letter queue.
+
+        The call is synchronous on simulated time: for cross-domain
+        exchanges the engine is stepped until the relay resolves, so the
+        returned outcome's latency is the simulated round trip.
+        """
+        obs = self._metrics
+        if obs.enabled:
+            obs.inc("env.federation.exchanges")
+        origin = self.domain(self.home_of(sender))
+        try:
+            target_name = self.home_of(receiver)
+        except UnknownObjectError:
+            if obs.enabled:
+                obs.inc("env.federation.unknown_receiver")
+            outcome = origin.env._fail(
+                REASON_UNKNOWN_RECEIVER,
+                f"receiver {receiver!r} has no home domain in {self.name!r}",
+            )
+            return FederatedOutcome(
+                outcome=outcome,
+                origin=origin.name,
+                target="",
+                hops=(Hop(origin.name, "local", self.world.now),),
+            )
+        if target_name == origin.name:
+            if obs.enabled:
+                obs.inc("env.federation.local")
+            started = self.world.now
+            outcome = origin.env.exchange(
+                sender, receiver, sender_app, receiver_app, document,
+                activity_id, profile, interaction,
+            )
+            return FederatedOutcome(
+                outcome=outcome,
+                origin=origin.name,
+                target=origin.name,
+                hops=(Hop(origin.name, "local", self.world.now),),
+                latency_s=self.world.now - started,
+            )
+        if obs.enabled:
+            obs.inc("env.federation.remote")
+        target = self.domain(target_name)
+        return self._relay_exchange(
+            origin, target, sender, receiver, sender_app, receiver_app,
+            document, activity_id, profile, interaction,
+        )
+
+    def _relay_exchange(
+        self,
+        origin: Domain,
+        target: Domain,
+        sender: str,
+        receiver: str,
+        sender_app: str,
+        receiver_app: str,
+        document: dict[str, Any],
+        activity_id: str,
+        profile: TransparencyProfile | None,
+        interaction: str,
+    ) -> FederatedOutcome:
+        obs = self._metrics
+        started = self.world.now
+        origin_hop = Hop(origin.name, "origin", started)
+
+        def fail(code: str, reason: str) -> FederatedOutcome:
+            return FederatedOutcome(
+                outcome=origin.env._fail(code, reason),
+                origin=origin.name,
+                target=target.name,
+                hops=(origin_hop,),
+            )
+
+        # Origin-side checks, mirroring CSCWEnvironment._exchange so the
+        # reason codes (and order) are identical to a single-domain run.
+        active = profile if profile is not None else TransparencyProfile.all_on()
+        if activity_id:
+            activity = origin.env.activities.get(activity_id)
+            for person in (sender, receiver):
+                if not activity.is_member(person):
+                    return fail(
+                        REASON_MEMBERSHIP, f"{person} is not a member of {activity_id}"
+                    )
+        verdict = origin.env.resolution.route(sender, receiver, interaction)
+        if verdict.cross_org:
+            if not active.organisation:
+                return fail(
+                    REASON_ORGANISATION_OPAQUE,
+                    f"cross-organisation exchange ({verdict.sender_org} -> "
+                    f"{verdict.receiver_org}) with organisation transparency off",
+                )
+            if not verdict.policy_ok:
+                return fail(
+                    REASON_POLICY,
+                    f"no compatible policy between {verdict.sender_org} and "
+                    f"{verdict.receiver_org} for {interaction}",
+                )
+
+        payload = {
+            "sender": sender,
+            "receiver": receiver,
+            "sender_app": sender_app,
+            "receiver_app": receiver_app,
+            "document": dict(document),
+            "activity_id": activity_id,
+            "interaction": interaction,
+            "profile": None if profile is None else {
+                "organisation": profile.organisation,
+                "time": profile.time,
+                "view": profile.view,
+                "activity": profile.activity,
+            },
+            "origin": origin.name,
+        }
+        holder: dict[str, Any] = {}
+
+        def on_reply(reply: dict[str, Any], attempts: int) -> None:
+            holder["reply"] = reply
+            holder["attempts"] = attempts
+
+        def on_dead_letter(letter: DeadLetter) -> None:
+            holder["dead_letter"] = letter
+
+        gateway = origin.gateway_to(target.name)
+        gateway.relay(payload, on_reply, on_dead_letter)
+        engine = self.world.engine
+        while "reply" not in holder and "dead_letter" not in holder:
+            if not engine.step():  # pragma: no cover - timeouts guarantee progress
+                raise ConfigurationError(
+                    f"relay {origin.name}->{target.name} neither replied nor timed out"
+                )
+        now = self.world.now
+        if "dead_letter" in holder:
+            letter: DeadLetter = holder["dead_letter"]
+            if obs.enabled:
+                obs.inc("env.federation.dead_letters")
+            outcome = origin.env._fail(
+                REASON_GATEWAY_DEAD_LETTER,
+                f"gateway {origin.name}->{target.name} unreachable after "
+                f"{letter.attempts} attempts; payload parked in dead-letter queue",
+            )
+            return FederatedOutcome(
+                outcome=outcome,
+                origin=origin.name,
+                target=target.name,
+                hops=(origin_hop,),
+                attempts=letter.attempts,
+                latency_s=now - started,
+            )
+        reply = holder["reply"]
+        outcome = _outcome_from_document(reply["outcome"], trace_id="")
+        if obs.enabled:
+            obs.observe("env.federation.relay_latency_s", now - started)
+            if outcome.delivered:
+                obs.inc("env.federation.delivered")
+        return FederatedOutcome(
+            outcome=outcome,
+            origin=origin.name,
+            target=target.name,
+            hops=(
+                origin_hop,
+                Hop(target.name, "deliver", reply["handled_at"]),
+                Hop(origin.name, "reply", now),
+            ),
+            attempts=holder["attempts"],
+            latency_s=now - started,
+        )
+
+    def _handle_relay(self, domain: Domain, payload: dict[str, Any]) -> dict[str, Any]:
+        """Inbound gateway handler: re-enter the local exchange pipeline."""
+        profile_fields = payload.get("profile")
+        profile = (
+            None if profile_fields is None else TransparencyProfile(**profile_fields)
+        )
+        if self._metrics.enabled:
+            self._metrics.inc("gateway.inbound")
+        outcome = domain.env.exchange(
+            payload["sender"],
+            payload["receiver"],
+            payload["sender_app"],
+            payload["receiver_app"],
+            payload["document"],
+            payload.get("activity_id", ""),
+            profile,
+            payload.get("interaction", INTERACTION_MESSAGE),
+        )
+        return {
+            "outcome": _outcome_document(outcome),
+            "handled_at": self.world.now,
+            "domain": domain.name,
+        }
+
+    # -- trading across domains --------------------------------------------
+    def import_service(
+        self,
+        domain_name: str,
+        service_type: str,
+        constraints: list | None = None,
+        preference: str = "first",
+        context: Any = None,
+    ) -> Any:
+        """Import one offer as *domain_name*: local trader first, links after.
+
+        Cross-domain offer lookup rides the trader links wired between
+        every pair; each linked trader applies its own organisational
+        import policy, so a peer's policy can hide its offers from this
+        importer even when the link is up.
+        """
+        return self.domain(domain_name).trader.import_one(
+            service_type, constraints, preference, context
+        )
+
+    # -- introspection -----------------------------------------------------
+    def describe(self) -> dict[str, Any]:
+        """A federation-wide inventory snapshot."""
+        inventory: dict[str, Any] = {
+            "name": self.name,
+            "domains": {name: d.describe() for name, d in self._domains.items()},
+            "people": {
+                person: home for person, home in sorted(self._home_cache.items())
+            },
+            "shadowing": {
+                f"{consumer}<-{master}": {
+                    "pulls": agreement.pulls,
+                    "syncs": agreement.syncs,
+                    "failed_pulls": agreement.failed_pulls,
+                }
+                for (consumer, master), agreement in sorted(self.shadowing.items())
+            },
+        }
+        if self._metrics.enabled:
+            inventory["metrics"] = self._metrics.snapshot()
+        return inventory

@@ -1,0 +1,219 @@
+"""Inter-domain gateways: store-and-forward relay between two domains.
+
+The paper's openness argument is inter-organisational: "the progression
+towards open CSCW systems requires the consideration of co-operation
+across different organisations" — which in ODP terms means crossing an
+*administrative domain boundary*.  A :class:`Gateway` is the engineering
+object sitting on that boundary: each domain runs one gateway endpoint
+(an RPC server on its gateway node), and a directed ``Gateway`` object
+per (source, target) pair relays exchange payloads over the simulated
+inter-domain link.
+
+Relay semantics are store-and-forward with at-least-once delivery:
+
+* a relay that times out is retried with exponential backoff
+  (``retry_s * backoff ** (attempt-1)`` between attempts),
+* a relay that exhausts its attempts lands in the gateway's
+  **dead-letter queue** together with the reason, where an operator (or
+  :meth:`Gateway.redrive` after the link heals) can pick it up,
+* round-trip latency, retries and dead letters are exported as
+  ``gateway.*`` metrics when a registry is attached.
+
+The link itself is ordinary :mod:`repro.sim.network` fabric — the
+federation sets an explicit :class:`~repro.sim.network.LinkSpec` between
+the two gateway nodes, so link latency/loss/partition behaviour is
+configurable per domain pair and observable in every relay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.sim.transport import RequestReply
+from repro.util.errors import ConfigurationError
+from repro.util.serialization import document_size
+
+#: RPC port gateway endpoints listen on (one per domain gateway node)
+GATEWAY_PORT = "gateway"
+
+#: histogram buckets for relay round-trip latency (simulated seconds)
+LATENCY_BUCKETS: tuple[float, ...] = (
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: reply callback — receives the remote handler's reply document
+RelayReply = Callable[[dict[str, Any], int], None]
+#: dead-letter callback — receives the dead letter entry
+RelayFailed = Callable[["DeadLetter"], None]
+
+
+@dataclass
+class DeadLetter:
+    """One relay that exhausted its attempts; parked for redelivery."""
+
+    payload: dict[str, Any]
+    target: str
+    attempts: int
+    reason: str
+    parked_at: float
+    #: filled when the dead letter is redriven
+    redriven: bool = False
+    #: original completion callbacks, reused on redrive
+    _on_reply: RelayReply | None = field(default=None, repr=False)
+
+
+class Gateway:
+    """Directed store-and-forward relay from one domain to another.
+
+    The gateway owns no transport of its own: it sends over the *source*
+    domain's shared gateway RPC endpoint to the *target* domain's
+    gateway node, where the federation's relay handler feeds the payload
+    into the target environment's local exchange pipeline.
+    """
+
+    def __init__(
+        self,
+        rpc: RequestReply,
+        source: str,
+        target: str,
+        target_node: str,
+        retry_s: float = 0.5,
+        max_attempts: int = 4,
+        backoff: float = 2.0,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if max_attempts < 1:
+            raise ConfigurationError("gateway needs max_attempts >= 1")
+        if retry_s <= 0:
+            raise ConfigurationError("gateway retry_s must be > 0")
+        self._rpc = rpc
+        self._engine = rpc._engine
+        self.source = source
+        self.target = target
+        self.target_node = target_node
+        self._retry_s = retry_s
+        self._max_attempts = max_attempts
+        self._backoff = backoff
+        self._obs: MetricsRegistry = metrics if metrics is not None else NULL_METRICS
+        self.relays = 0
+        self.delivered = 0
+        self.retries = 0
+        self.dead_letters: list[DeadLetter] = []
+
+    def attach_metrics(self, metrics: MetricsRegistry | None) -> None:
+        """Report relay activity to *metrics* (``None`` detaches).
+
+        Counters ``gateway.relays``/``delivered``/``retries``/
+        ``dead_letters`` plus the ``gateway.latency_s`` round-trip
+        histogram (simulated seconds).
+        """
+        self._obs = metrics if metrics is not None else NULL_METRICS
+
+    def relay(
+        self,
+        payload: dict[str, Any],
+        on_reply: RelayReply,
+        on_dead_letter: RelayFailed | None = None,
+    ) -> None:
+        """Relay *payload* to the target domain's gateway endpoint.
+
+        *on_reply* fires with (reply_document, attempts) once the remote
+        handler answers; after ``max_attempts`` timed-out attempts the
+        payload is parked in :attr:`dead_letters` and *on_dead_letter*
+        (when given) fires instead.
+        """
+        self.relays += 1
+        if self._obs.enabled:
+            self._obs.inc("gateway.relays")
+        self._attempt(payload, on_reply, on_dead_letter, attempt=1)
+
+    def _attempt(
+        self,
+        payload: dict[str, Any],
+        on_reply: RelayReply,
+        on_dead_letter: RelayFailed | None,
+        attempt: int,
+    ) -> None:
+        sent_at = self._engine.now
+
+        def deliver(reply: Any) -> None:
+            self.delivered += 1
+            if self._obs.enabled:
+                self._obs.inc("gateway.delivered")
+                self._obs.observe(
+                    "gateway.latency_s",
+                    self._engine.now - sent_at,
+                    buckets=LATENCY_BUCKETS,
+                )
+            on_reply(reply, attempt)
+
+        def timed_out() -> None:
+            if attempt >= self._max_attempts:
+                self._park(payload, attempt, "relay timeout", on_reply, on_dead_letter)
+                return
+            self.retries += 1
+            if self._obs.enabled:
+                self._obs.inc("gateway.retries")
+            delay = self._retry_s * (self._backoff ** (attempt - 1))
+            self._engine.schedule(
+                delay,
+                lambda: self._attempt(payload, on_reply, on_dead_letter, attempt + 1),
+                label=f"gateway-retry:{self.source}->{self.target}",
+            )
+
+        self._rpc.request(
+            self.target_node,
+            "relay",
+            payload,
+            on_reply=deliver,
+            timeout_s=self._retry_s * (self._backoff ** (attempt - 1)),
+            on_timeout=timed_out,
+            size_bytes=document_size(payload),
+        )
+
+    def _park(
+        self,
+        payload: dict[str, Any],
+        attempts: int,
+        reason: str,
+        on_reply: RelayReply,
+        on_dead_letter: RelayFailed | None,
+    ) -> None:
+        letter = DeadLetter(
+            payload=payload,
+            target=self.target,
+            attempts=attempts,
+            reason=reason,
+            parked_at=self._engine.now,
+            _on_reply=on_reply,
+        )
+        self.dead_letters.append(letter)
+        if self._obs.enabled:
+            self._obs.inc("gateway.dead_letters")
+        if on_dead_letter is not None:
+            on_dead_letter(letter)
+
+    def redrive(self) -> int:
+        """Re-relay every parked dead letter (after the link healed).
+
+        Each redriven payload gets a fresh attempt budget; letters that
+        fail again are parked again as new entries.  Returns the number
+        of letters redriven.
+        """
+        parked = [letter for letter in self.dead_letters if not letter.redriven]
+        for letter in parked:
+            letter.redriven = True
+            on_reply = letter._on_reply or (lambda reply, attempts: None)
+            self.relay(letter.payload, on_reply)
+        return len(parked)
+
+    def stats(self) -> dict[str, int]:
+        """Relay counters, for ``Federation.describe()`` and the bench."""
+        return {
+            "relays": self.relays,
+            "delivered": self.delivered,
+            "retries": self.retries,
+            "dead_letters": len(self.dead_letters),
+        }

@@ -131,3 +131,9 @@ class NamingDomain:
         if ":/" in name:
             raise NameError_("cannot bind into a federated domain")
         self.root.bind(name, ref)
+
+    def unbind(self, name: str) -> None:
+        """Remove a local binding (federated names are unbound by their owner)."""
+        if ":/" in name:
+            raise NameError_("cannot unbind from a federated domain")
+        self.root.unbind(name)

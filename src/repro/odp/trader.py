@@ -239,6 +239,16 @@ class Trader:
             raise ConfigurationError("a trader cannot link to itself")
         self._links[name] = other
 
+    def unlink(self, link_name: str) -> None:
+        """Revoke a federation link; its offers stop resolving here.
+
+        Imports in flight are unaffected (matching is synchronous); the
+        next import simply no longer searches the revoked trader.
+        """
+        if link_name not in self._links:
+            raise ConfigurationError(f"no link {link_name!r} to revoke")
+        del self._links[link_name]
+
     def links(self) -> list[str]:
         """Names of federated traders, sorted."""
         return sorted(self._links)

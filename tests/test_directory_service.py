@@ -115,3 +115,71 @@ class TestShadowing:
         agreement.sync_now()
         world.run_for(1.0)
         assert agreement.changes_applied == applied_after_first + 1
+
+
+class TestShadowingBackoff:
+    def _shadow_setup(self, world, factory, master_ref, metrics=None):
+        world.add_site("remote", ["shadow-node"])
+        shadow_capsule = Capsule(world.network, "shadow-node")
+        factory.register_capsule(shadow_capsule)
+        shadow = DirectoryServiceAgent("dsa-shadow")
+        shadow.deploy(shadow_capsule)
+        agreement = ShadowingAgreement(
+            world, factory, shadow, "shadow-node", master_ref,
+            period_s=10.0, metrics=metrics,
+        )
+        return shadow, agreement
+
+    def test_failing_pull_backs_off_and_recovers(self, deployment):
+        """A dead master is probed at stretched intervals, not hammered.
+
+        Channel timeouts are 5 s and the period is 10 s, so pulls land at
+        t=10 (fails, noted t=15), t=35 (15 + 10*2, fails, noted t=40) and
+        t=80 (40 + 10*4) — by which point the master has recovered, so
+        the third pull succeeds and the cadence resets to 10 s.
+        """
+        world, factory, dsa, ref, dua = deployment
+        shadow, agreement = self._shadow_setup(world, factory, ref)
+        agreement.start()
+        world.failures.crash_at("dsa-node", at=5.0, duration=60.0)
+        world.run_for(75.0)
+        # without backoff there would be 7 pulls by t=75; with it, two
+        # failed probes and a third still pending
+        assert agreement.pulls == 2
+        assert agreement.failed_pulls == 2
+        assert agreement.fail_streak == 2
+        assert agreement.current_period_s == 40.0
+        world.run_for(15.0)  # t=90: pull at t=80 hits the recovered master
+        assert agreement.pulls == 3
+        assert agreement.syncs == 1
+        assert agreement.fail_streak == 0
+        assert agreement.current_period_s == 10.0
+        assert agreement.high_water == dsa.dit.csn
+        # cadence is back to one pull per period
+        world.run_for(25.0)
+        assert agreement.pulls >= 5
+        assert agreement.failed_pulls == 2
+
+    def test_backoff_is_capped(self, deployment):
+        world, factory, dsa, ref, dua = deployment
+        shadow, agreement = self._shadow_setup(world, factory, ref)
+        agreement._fail_streak = 50
+        assert agreement.current_period_s == 80.0  # period_s * 8 default cap
+
+    def test_shadow_metrics_counters(self, deployment):
+        from repro.obs.metrics import MetricsRegistry
+
+        world, factory, dsa, ref, dua = deployment
+        registry = MetricsRegistry()
+        shadow, agreement = self._shadow_setup(world, factory, ref, metrics=registry)
+        agreement.sync_now()
+        world.run_for(1.0)
+        world.failures.crash_at("dsa-node", at=1.5, duration=30.0)
+        world.run_for(1.0)
+        agreement.sync_now()
+        world.run_for(10.0)
+        counters = registry.snapshot()["counters"]
+        assert counters["directory.shadow.pulls"] == 2
+        assert counters["directory.shadow.syncs"] == 1
+        assert counters["directory.shadow.failures"] == 1
+        assert counters["directory.shadow.changes_applied"] == agreement.changes_applied

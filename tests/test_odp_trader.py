@@ -162,6 +162,33 @@ class TestFederation:
         with pytest.raises(ConfigurationError):
             a.link(b)
 
+    def test_revoked_link_stops_resolving_offers(self):
+        local = Trader("upc")
+        remote = Trader("gmd")
+        remote.export("conferencing", _ref("bonn1"))
+        local.link(remote)
+        assert local.import_one("conferencing").ref.node == "bonn1"
+        local.unlink("gmd")
+        assert local.links() == []
+        with pytest.raises(NoOfferError):
+            local.import_one("conferencing")
+
+    def test_unlink_unknown_link_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Trader("t").unlink("ghost")
+
+    def test_unlink_is_directional(self):
+        a, b = Trader("a"), Trader("b")
+        a.export("printing", _ref("node-a"))
+        b.export("conferencing", _ref("node-b"))
+        a.link(b)
+        b.link(a)
+        a.unlink("b")
+        # the reverse link survives the revocation
+        assert b.import_one("printing").ref.node == "node-a"
+        with pytest.raises(NoOfferError):
+            a.import_one("conferencing")
+
 
 class TestTradingPolicy:
     def test_policy_hook_hides_offers(self, trader):
