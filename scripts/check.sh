@@ -73,4 +73,40 @@ EOF
 echo "== bench_e8 federation (quick) =="
 python benchmarks/bench_e8_federation.py --quick
 
+echo "== resilience smoke (failover across an open breaker) =="
+python - <<'EOF'
+from repro.environment.registry import AppDescriptor, Q_DIFFERENT_TIME_DIFFERENT_PLACE
+from repro.federation import Federation
+from repro.sim.world import World
+
+world = World(seed=42)
+federation = Federation.partition(
+    world, {"upc": ["ana"], "gmd": ["bob"], "inria": ["eva"]}
+)
+inbox = []
+federation.register_application(
+    AppDescriptor(name="editor", quadrants=[Q_DIFFERENT_TIME_DIFFERENT_PLACE]),
+    lambda person, doc, info: inbox.append((person, doc)),
+)
+# Trip the direct upc->gmd breaker: the exchange must route via inria.
+federation.domain("upc").gateway_to("gmd").breaker.force_open()
+outcome = federation.federated_exchange(
+    "ana", "bob", "editor", "editor", {"title": "ping", "body": "x"}
+)
+assert outcome.delivered, outcome
+assert [hop.role for hop in outcome.hops] == ["origin", "relay", "deliver", "reply"], outcome.hops
+assert outcome.hops[1].domain == "inria", outcome.hops
+assert inbox == [("bob", {"title": "ping", "body": "x"})], inbox
+# Deadlines propagate: an already-expired exchange fails fast, reason-coded.
+expired = federation.federated_exchange(
+    "ana", "bob", "editor", "editor", {"title": "late", "body": "y"},
+    deadline=world.now - 1.0,
+)
+assert not expired.delivered and expired.reason_code == "deadline-exceeded", expired
+print(f"failover ok via {outcome.hops[1].domain}: {outcome.latency_s*1000:.1f} ms")
+EOF
+
+echo "== bench_e9 resilience (quick) =="
+python benchmarks/bench_e9_resilience.py --quick
+
 echo "== all checks passed =="

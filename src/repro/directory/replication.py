@@ -9,8 +9,13 @@ window equals the pull period.
 Failed pulls (master down, partition) back off exponentially — a dead
 master is probed at ``period_s * backoff_factor ** streak`` (capped at
 ``max_backoff_s``) instead of hammered at full cadence — and the first
-successful pull resets the cadence.  Pull activity is exported as
-``directory.shadow.*`` counters when a metrics registry is attached.
+successful pull resets the cadence.  An optional
+:class:`~repro.resilience.breaker.CircuitBreaker` gates each pull: while
+it is open the pull is skipped outright (``skipped_pulls``) and the
+cadence keeps ticking, so a dead master costs nothing but a breaker
+check until its cooldown lets a trial pull through.  Pull activity is
+exported as ``directory.shadow.*`` counters when a metrics registry is
+attached.
 """
 
 from __future__ import annotations
@@ -22,6 +27,7 @@ from repro.directory.dsa import DirectoryServiceAgent
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.odp.binding import BindingFactory, Channel
 from repro.odp.objects import InterfaceRef
+from repro.resilience.breaker import CircuitBreaker
 from repro.sim.engine import EventHandle
 from repro.sim.world import World
 
@@ -47,6 +53,7 @@ class ShadowingAgreement:
         backoff_factor: float = 2.0,
         max_backoff_s: float | None = None,
         metrics: MetricsRegistry | None = None,
+        breaker: CircuitBreaker | None = None,
     ) -> None:
         self._world = world
         self._shadow = shadow
@@ -61,9 +68,12 @@ class ShadowingAgreement:
         self._pending: EventHandle | None = None
         self._fail_streak = 0
         self._obs: MetricsRegistry = metrics if metrics is not None else NULL_METRICS
+        self.breaker = breaker
         self.pulls = 0
         self.changes_applied = 0
         self.failed_pulls = 0
+        #: pulls skipped because the breaker was open
+        self.skipped_pulls = 0
         #: pulls that completed successfully (whether or not changes came)
         self.syncs = 0
 
@@ -123,6 +133,13 @@ class ShadowingAgreement:
             self._pull(periodic=True)
 
     def _pull(self, periodic: bool = False) -> None:
+        if self.breaker is not None and not self.breaker.allow():
+            self.skipped_pulls += 1
+            if self._obs.enabled:
+                self._obs.inc("directory.shadow.skipped")
+            if periodic:
+                self._arm()
+            return
         self.pulls += 1
         if self._obs.enabled:
             self._obs.inc("directory.shadow.pulls")
@@ -157,6 +174,8 @@ class ShadowingAgreement:
     def _note_success(self, applied: int, periodic: bool) -> None:
         self._fail_streak = 0
         self.syncs += 1
+        if self.breaker is not None:
+            self.breaker.record_success()
         if self._obs.enabled:
             self._obs.inc("directory.shadow.syncs")
             if applied:
@@ -167,6 +186,8 @@ class ShadowingAgreement:
     def _note_failure(self, periodic: bool = False) -> None:
         self.failed_pulls += 1
         self._fail_streak += 1
+        if self.breaker is not None:
+            self.breaker.record_failure()
         if self._obs.enabled:
             self._obs.inc("directory.shadow.failures")
         if periodic:

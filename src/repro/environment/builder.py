@@ -71,6 +71,8 @@ class EnvironmentBuilder:
         self._tracer: Tracer | None = None
         self._trader_policies: list[TraderPolicy] = []
         self._resolution_cache = True
+        self._shed_limit: int | None = None
+        self._default_deadline_s: float | None = None
 
     # -- knobs -------------------------------------------------------------
     def with_world(self, world: World) -> "EnvironmentBuilder":
@@ -105,6 +107,34 @@ class EnvironmentBuilder:
         the throughput benchmark measures the cache against.
         """
         self._resolution_cache = enabled
+        return self
+
+    def with_shed_limit(self, limit: int | None) -> "EnvironmentBuilder":
+        """Shed asynchronous deliveries beyond *limit* queued per receiver.
+
+        When an absent receiver already has *limit* store-and-forward
+        deliveries queued, further exchanges to them fail with
+        ``REASON_OVERLOAD`` (counted as ``env.shed.overload``) instead of
+        growing the queue without bound.  ``None`` (the default) never
+        sheds.
+        """
+        if limit is not None and limit < 1:
+            raise ConfigurationError("shed limit must be >= 1 (or None)")
+        self._shed_limit = limit
+        return self
+
+    def with_default_deadline(self, seconds: float | None) -> "EnvironmentBuilder":
+        """Give every exchange a default deadline of *seconds* from its start.
+
+        An explicit ``deadline=`` argument on ``exchange``/
+        ``exchange_many`` overrides the default; expired exchanges fail
+        with ``REASON_DEADLINE_EXCEEDED`` and expired queued deliveries
+        are dropped at flush time (``env.shed.expired``).  ``None`` (the
+        default) means exchanges never expire.
+        """
+        if seconds is not None and seconds <= 0:
+            raise ConfigurationError("default deadline must be > 0 (or None)")
+        self._default_deadline_s = seconds
         return self
 
     def with_trader_policy(self, hook: TraderPolicy) -> "EnvironmentBuilder":
@@ -167,4 +197,6 @@ class EnvironmentBuilder:
         env.exchanges_attempted = 0
         env.exchanges_failed = 0
         env._pending_deliveries = {}
+        env._shed_limit = self._shed_limit
+        env._default_deadline_s = self._default_deadline_s
         instrument_environment(env, metrics=self._metrics, tracer=self._tracer)

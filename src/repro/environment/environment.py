@@ -58,6 +58,8 @@ REASON_VIEW_OPAQUE = "view-opaque"
 REASON_TRANSLATION = "translation"
 REASON_TIME_OPAQUE = "time-opaque"
 REASON_UNKNOWN_RECEIVER = "unknown-receiver"
+REASON_DEADLINE_EXCEEDED = "deadline-exceeded"
+REASON_OVERLOAD = "overload"
 
 #: shared default profile — exchange() is hot, avoid rebuilding it per call
 _ALL_ON = TransparencyProfile.all_on()
@@ -104,6 +106,8 @@ class ExchangeRequest:
     activity_id: str = ""
     profile: TransparencyProfile | None = None
     interaction: str = INTERACTION_MESSAGE
+    #: absolute simulated-time delivery deadline (None = no deadline)
+    deadline: float | None = None
 
 
 class CSCWEnvironment:
@@ -157,13 +161,25 @@ class CSCWEnvironment:
 
         Returns the number of deliveries flushed — the store-and-forward
         half of time transparency: work done while you were away is
-        waiting when you return.
+        waiting when you return.  Deliveries whose deadline passed while
+        the person was absent are dropped instead of flushed (counted as
+        ``env.shed.expired``): a deadline-carrying exchange promised its
+        sender delivery-by, not delivery-eventually.
         """
         self.communicators.set_presence(person_id, True)
         pending = self._pending_deliveries.pop(person_id, [])
-        for app_name, document, info in pending:
+        now = self.world.now
+        flushed = 0
+        expired = 0
+        for app_name, document, info, expires_at in pending:
+            if expires_at is not None and now >= expires_at:
+                expired += 1
+                continue
             self.applications.deliver(app_name, person_id, document, info)
-        return len(pending)
+            flushed += 1
+        if expired and self.metrics.enabled:
+            self.metrics.inc("env.shed.expired", expired)
+        return flushed
 
     def pending_for(self, person_id: str) -> int:
         """Number of deliveries queued for an absent person."""
@@ -221,6 +237,7 @@ class CSCWEnvironment:
         activity_id: str = "",
         profile: TransparencyProfile | None = None,
         interaction: str = INTERACTION_MESSAGE,
+        deadline: float | None = None,
     ) -> ExchangeOutcome:
         """Deliver *document* from one application's user to another's.
 
@@ -228,6 +245,14 @@ class CSCWEnvironment:
         transparency whose dimension the exchange actually crosses makes
         the exchange fail — quantifying exactly what each transparency
         buys (experiment E4).
+
+        *deadline* is an absolute simulated time: an exchange arriving
+        past it fails with :data:`REASON_DEADLINE_EXCEEDED`, and a
+        store-and-forward delivery still queued at the deadline is
+        dropped instead of flushed (the builder's ``with_default_deadline``
+        supplies a relative default).  When the builder's
+        ``with_shed_limit`` is set, asynchronous deliveries beyond that
+        per-receiver queue depth are shed with :data:`REASON_OVERLOAD`.
 
         When a tracer is attached, the whole exchange runs inside an
         ``env.exchange`` span whose trace id the returned outcome
@@ -244,6 +269,7 @@ class CSCWEnvironment:
             outcome = self._exchange(
                 sender, receiver, sender_app, receiver_app, document,
                 activity_id, profile, interaction, span.trace_id,
+                deadline=deadline,
             )
             span.tag(
                 delivered=outcome.delivered,
@@ -264,6 +290,7 @@ class CSCWEnvironment:
         interaction: str,
         trace_id: str,
         obs: MetricsRegistry | None = None,
+        deadline: float | None = None,
     ) -> ExchangeOutcome:
         self.exchanges_attempted += 1
         if obs is None:
@@ -272,6 +299,19 @@ class CSCWEnvironment:
             obs.inc("env.exchange.attempted")
         active = profile if profile is not None else _ALL_ON
         handled: list[str] = []
+
+        # Deadline check runs first: an exchange that arrives expired
+        # (e.g. after gateway hops) must not consume pipeline work.
+        expires_at = self.effective_deadline(deadline)
+        if expires_at is not None and self.world.now >= expires_at:
+            if obs.enabled:
+                obs.inc("env.shed.expired")
+            return self._fail(
+                REASON_DEADLINE_EXCEEDED,
+                f"exchange deadline {expires_at:.3f} passed at {self.world.now:.3f}",
+                trace_id,
+                obs,
+            )
 
         # Membership check: activity-scoped exchanges require membership.
         if activity_id:
@@ -353,6 +393,19 @@ class CSCWEnvironment:
                     trace_id,
                     obs,
                 )
+            if (
+                self._shed_limit is not None
+                and len(self._pending_deliveries.get(receiver, ())) >= self._shed_limit
+            ):
+                if obs.enabled:
+                    obs.inc("env.shed.overload")
+                return self._fail(
+                    REASON_OVERLOAD,
+                    f"receiver {receiver} has {self._shed_limit} deliveries "
+                    "queued; shedding to protect the environment",
+                    trace_id,
+                    obs,
+                )
             mode = "asynchronous"
             handled.append("time")
 
@@ -379,7 +432,7 @@ class CSCWEnvironment:
             self.applications.deliver(receiver_app, receiver, rendered, info)
         else:
             self._pending_deliveries.setdefault(receiver, []).append(
-                (receiver_app, rendered, info)
+                (receiver_app, rendered, info, expires_at)
             )
         size_bytes = document_size(payload)
         self.communication_log.record(
@@ -452,6 +505,7 @@ class CSCWEnvironment:
                         or nxt.activity_id != head.activity_id
                         or nxt.interaction != head.interaction
                         or nxt.profile != head.profile
+                        or nxt.deadline != head.deadline
                     ):
                         break
                     stop += 1
@@ -506,6 +560,16 @@ class CSCWEnvironment:
             )
 
         handled: list[str] = []
+        # Deadline first, as in _exchange (the run shares one deadline).
+        expires_at = self.effective_deadline(head.deadline)
+        if expires_at is not None and self.world.now >= expires_at:
+            obs = self.metrics
+            if obs.enabled:
+                obs.inc("env.shed.expired", size)
+            return fail_all(
+                REASON_DEADLINE_EXCEEDED,
+                f"exchange deadline {expires_at:.3f} passed at {self.world.now:.3f}",
+            )
         if activity_id:
             activity = self.activities.get(activity_id)
             for person in (sender, receiver):
@@ -579,6 +643,7 @@ class CSCWEnvironment:
         #: (id(document), mode) -> the (frozen, shareable) outcome
         made: dict[tuple[int, str], ExchangeOutcome] = {}
         failed = 0
+        shed = 0
         sync_count = 0
         async_count = 0
         for request in group:
@@ -627,6 +692,26 @@ class CSCWEnvironment:
                         )
                     )
                     continue
+                # queue depth is re-read per item: each queued delivery
+                # counts against the next one's shed check
+                if (
+                    self._shed_limit is not None
+                    and len(pending.get(receiver, ())) >= self._shed_limit
+                ):
+                    failed += 1
+                    shed += 1
+                    outcomes.append(
+                        ExchangeOutcome(
+                            delivered=False,
+                            mode="failed",
+                            reason=f"receiver {receiver} has "
+                            f"{self._shed_limit} deliveries queued; "
+                            "shedding to protect the environment",
+                            reason_code=REASON_OVERLOAD,
+                            trace_id=trace_id,
+                        )
+                    )
+                    continue
                 mode = "asynchronous"
                 async_count += 1
 
@@ -642,7 +727,9 @@ class CSCWEnvironment:
             if mode == "synchronous":
                 deliver(receiver_app, receiver, rendered, info)
             else:
-                pending.setdefault(receiver, []).append((receiver_app, rendered, info))
+                pending.setdefault(receiver, []).append(
+                    (receiver_app, rendered, info, expires_at)
+                )
             record(
                 Exchange(
                     sender=sender,
@@ -674,6 +761,8 @@ class CSCWEnvironment:
         if failed:
             self.exchanges_failed += failed
             world_metrics.increment("env.exchange.failed", failed)
+        if shed and self.metrics.enabled:
+            self.metrics.inc("env.shed.overload", shed)
         delivered = sync_count + async_count
         if delivered:
             world_metrics.increment("env.exchange.delivered", delivered)
@@ -707,6 +796,19 @@ class CSCWEnvironment:
             obs.inc(f"env.exchange.reason.{code}", count)
         for dimension, count in dimensions.items():
             obs.inc(f"env.exchange.transparency.{dimension}", count)
+
+    def effective_deadline(self, deadline: float | None) -> float | None:
+        """Resolve a caller deadline against the configured default.
+
+        An explicit *deadline* (absolute simulated time) wins; otherwise
+        the builder's ``with_default_deadline`` (relative seconds) is
+        applied from now; otherwise exchanges never expire.
+        """
+        if deadline is not None:
+            return deadline
+        if self._default_deadline_s is not None:
+            return self.world.now + self._default_deadline_s
+        return None
 
     def _fail(
         self,

@@ -58,6 +58,8 @@ class Domain:
         *,
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        shed_limit: int | None = None,
+        default_deadline_s: float | None = None,
     ) -> None:
         self.world = world
         self.name = name
@@ -68,6 +70,10 @@ class Domain:
             builder = builder.with_metrics(metrics)
         if tracer is not None:
             builder = builder.with_tracer(tracer)
+        if shed_limit is not None:
+            builder = builder.with_shed_limit(shed_limit)
+        if default_deadline_s is not None:
+            builder = builder.with_default_deadline(default_deadline_s)
         self.env: CSCWEnvironment = builder.build()
         self.naming = NamingDomain(name)
         self.capsule = Capsule(world.network, self.node)
@@ -82,6 +88,9 @@ class Domain:
         self.gateways: dict[str, Gateway] = {}
         #: person ids homed in this domain
         self.people: set[str] = set()
+        #: relay_id -> reply (or in-flight DeferredReply): the inbound
+        #: dedup cache that makes at-least-once relays at-most-once here
+        self.relay_seen: dict[str, object] = {}
 
     @property
     def trader(self) -> "Trader":

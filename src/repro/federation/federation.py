@@ -40,6 +40,7 @@ from typing import Any
 
 from repro.communication.model import Communicator
 from repro.environment.environment import (
+    REASON_DEADLINE_EXCEEDED,
     REASON_MEMBERSHIP,
     REASON_ORGANISATION_OPAQUE,
     REASON_POLICY,
@@ -51,14 +52,21 @@ from repro.environment.registry import AppDescriptor, DeliveryCallback
 from repro.environment.transparency import TransparencyProfile
 from repro.directory.replication import ShadowingAgreement
 from repro.federation.domain import Domain
-from repro.federation.gateway import DeadLetter, Gateway
+from repro.federation.gateway import (
+    REASON_RELAY_DEADLINE,
+    DeadLetter,
+    Gateway,
+)
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.obs.tracing import Tracer
 from repro.odp.binding import BindingFactory
 from repro.odp.objects import InterfaceRef
 from repro.org.model import Organisation, Person
 from repro.org.policy import INTERACTION_MESSAGE
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.health import HealthMonitor
 from repro.sim.network import LinkSpec, WAN_LINK
+from repro.sim.transport import DeferredReply
 from repro.sim.world import World
 from repro.util.errors import ConfigurationError, NameError_, UnknownObjectError
 
@@ -149,6 +157,11 @@ class Federation:
         gateway_attempts: int = 4,
         gateway_backoff: float = 2.0,
         shadow_period_s: float = 30.0,
+        resilience: bool = True,
+        breaker_threshold: int = 4,
+        breaker_cooldown_s: float = 30.0,
+        shed_limit: int | None = None,
+        default_deadline_s: float | None = None,
     ) -> None:
         self.world = world
         self.name = name
@@ -160,6 +173,15 @@ class Federation:
         self._gateway_attempts = gateway_attempts
         self._gateway_backoff = gateway_backoff
         self._shadow_period_s = shadow_period_s
+        #: resilience=False reverts to bare retry gateways: no breakers,
+        #: no failover routing (the bench's "retry-only" baseline)
+        self._resilience = resilience
+        self._breaker_threshold = breaker_threshold
+        self._breaker_cooldown_s = breaker_cooldown_s
+        self._shed_limit = shed_limit
+        self._default_deadline_s = default_deadline_s
+        self._health: HealthMonitor | None = None
+        self._health_timeout_s = 1.0
         self._domains: dict[str, Domain] = {}
         #: memoised person -> home-domain name (resolved via federated
         #: naming on miss; invalidated by add/move)
@@ -199,10 +221,18 @@ class Federation:
         if name in self._domains:
             raise ConfigurationError(f"domain {name!r} already exists in {self.name!r}")
         domain = Domain(
-            self.world, name, metrics=self._env_metrics, tracer=self._tracer
+            self.world,
+            name,
+            metrics=self._env_metrics,
+            tracer=self._tracer,
+            shed_limit=self._shed_limit,
+            default_deadline_s=self._default_deadline_s,
         )
         domain.gateway_rpc.serve(
             "relay", lambda payload, d=domain: self._handle_relay(d, payload)
+        )
+        domain.gateway_rpc.serve(
+            "ping", lambda body, d=domain: {"domain": d.name, "at": self.world.now}
         )
         self._binding_factory.register_capsule(domain.capsule)
         # Every KB knows every organisation, so org/policy verdicts agree
@@ -246,6 +276,7 @@ class Federation:
                 max_attempts=self._gateway_attempts,
                 backoff=self._gateway_backoff,
                 metrics=self._env_metrics,
+                breaker=self._make_breaker(f"gw:{source.name}->{target.name}"),
             )
             self.shadowing[(source.name, target.name)] = ShadowingAgreement(
                 self.world,
@@ -255,7 +286,25 @@ class Federation:
                 target.directory_ref,
                 period_s=self._shadow_period_s,
                 metrics=self._env_metrics,
+                breaker=self._make_breaker(
+                    f"shadow:{source.name}<-{target.name}"
+                ),
             )
+            if self._health is not None:
+                self._watch_pair(source, target)
+
+    def _make_breaker(self, name: str) -> CircuitBreaker | None:
+        """A circuit breaker for one directed dependency (None when the
+        federation runs in retry-only mode)."""
+        if not self._resilience:
+            return None
+        return CircuitBreaker(
+            self.world.engine,
+            name=name,
+            failure_threshold=self._breaker_threshold,
+            cooldown_s=self._breaker_cooldown_s,
+            metrics=self._env_metrics,
+        )
 
     def domain(self, name: str) -> Domain:
         """Look up a domain by name."""
@@ -297,6 +346,64 @@ class Federation:
         for agreement in self.shadowing.values():
             agreement.stop()
         self._shadowing_started = False
+
+    # -- gateway health checks ----------------------------------------------
+    def start_health_checks(
+        self, period_s: float = 5.0, timeout_s: float = 1.0
+    ) -> HealthMonitor:
+        """Probe every directed gateway link periodically (opt-in).
+
+        Each probe is a tiny ``ping`` RPC from the source domain's
+        gateway node to the target's; outcomes feed the pair's circuit
+        breaker, so a dead link is discovered (breaker tripped, failover
+        engaged) and its recovery noticed (breaker reclosed) without a
+        real relay having to burn its retry budget first.  Like
+        shadowing, running probes keep the engine queue non-empty —
+        prefer ``world.run_for`` over ``world.run`` while they are live.
+        """
+        if self._health is not None:
+            return self._health
+        self._health = HealthMonitor(
+            self.world.engine, period_s=period_s, metrics=self._env_metrics
+        )
+        self._health_timeout_s = timeout_s
+        domains = list(self._domains.values())
+        for source in domains:
+            for target in domains:
+                if source is not target:
+                    self._watch_pair(source, target)
+        return self._health
+
+    def stop_health_checks(self) -> None:
+        """Stop all gateway health probes."""
+        if self._health is not None:
+            self._health.stop()
+            self._health = None
+
+    def _watch_pair(self, source: Domain, target: Domain) -> None:
+        """Register the directed health probe source -> target."""
+        assert self._health is not None
+
+        def probe(
+            report: Any, source: Domain = source, target: Domain = target
+        ) -> None:
+            source.gateway_rpc.request(
+                target.node,
+                "ping",
+                {},
+                on_reply=lambda reply: report(
+                    not (isinstance(reply, dict) and "error" in reply)
+                ),
+                timeout_s=self._health_timeout_s,
+                on_timeout=lambda: report(False),
+                size_bytes=32,
+            )
+
+        self._health.watch(
+            f"{source.name}->{target.name}",
+            probe,
+            breaker=source.gateways[target.name].breaker,
+        )
 
     # -- policies and applications -----------------------------------------
     def declare_policy(
@@ -447,6 +554,7 @@ class Federation:
         activity_id: str = "",
         profile: TransparencyProfile | None = None,
         interaction: str = INTERACTION_MESSAGE,
+        deadline: float | None = None,
     ) -> FederatedOutcome:
         """Deliver *document* across the federation.
 
@@ -462,6 +570,17 @@ class Federation:
         :data:`REASON_GATEWAY_DEAD_LETTER` outcome and parks the payload
         in the gateway's dead-letter queue.
 
+        When the direct gateway's circuit breaker is open, the relay
+        fails over through a healthy intermediate domain (when one
+        exists): the intermediate's inbound handler forwards the payload
+        onward and the outcome comes back field-identical, with the
+        extra ``relay`` hops recorded in :attr:`FederatedOutcome.hops`.
+
+        *deadline* (absolute simulated time) rides along the whole
+        path — gateway hops, forwarding, the target pipeline — and an
+        exchange that cannot settle before it fails with
+        :data:`~repro.environment.environment.REASON_DEADLINE_EXCEEDED`.
+
         The call is synchronous on simulated time: for cross-domain
         exchanges the engine is stepped until the relay resolves, so the
         returned outcome's latency is the simulated round trip.
@@ -470,6 +589,21 @@ class Federation:
         if obs.enabled:
             obs.inc("env.federation.exchanges")
         origin = self.domain(self.home_of(sender))
+        expires_at = origin.env.effective_deadline(deadline)
+        if expires_at is not None and self.world.now >= expires_at:
+            if obs.enabled:
+                obs.inc("env.federation.expired")
+            outcome = origin.env._fail(
+                REASON_DEADLINE_EXCEEDED,
+                f"federated exchange deadline {expires_at:.3f} already passed "
+                f"at {self.world.now:.3f}",
+            )
+            return FederatedOutcome(
+                outcome=outcome,
+                origin=origin.name,
+                target="",
+                hops=(Hop(origin.name, "local", self.world.now),),
+            )
         try:
             target_name = self.home_of(receiver)
         except UnknownObjectError:
@@ -491,7 +625,7 @@ class Federation:
             started = self.world.now
             outcome = origin.env.exchange(
                 sender, receiver, sender_app, receiver_app, document,
-                activity_id, profile, interaction,
+                activity_id, profile, interaction, deadline=expires_at,
             )
             return FederatedOutcome(
                 outcome=outcome,
@@ -505,7 +639,7 @@ class Federation:
         target = self.domain(target_name)
         return self._relay_exchange(
             origin, target, sender, receiver, sender_app, receiver_app,
-            document, activity_id, profile, interaction,
+            document, activity_id, profile, interaction, expires_at,
         )
 
     def _relay_exchange(
@@ -520,6 +654,7 @@ class Federation:
         activity_id: str,
         profile: TransparencyProfile | None,
         interaction: str,
+        deadline: float | None = None,
     ) -> FederatedOutcome:
         obs = self._metrics
         started = self.world.now
@@ -573,6 +708,7 @@ class Federation:
                 "activity": profile.activity,
             },
             "origin": origin.name,
+            "deadline": deadline,
         }
         holder: dict[str, Any] = {}
 
@@ -584,7 +720,16 @@ class Federation:
             holder["dead_letter"] = letter
 
         gateway = origin.gateway_to(target.name)
-        gateway.relay(payload, on_reply, on_dead_letter)
+        if self._resilience and not gateway.ready():
+            # The direct link's breaker is open: route via a healthy
+            # intermediate, whose relay handler forwards to the target.
+            via = self._pick_intermediate(origin, target)
+            if via is not None:
+                if obs.enabled:
+                    obs.inc("env.federation.failover")
+                gateway = origin.gateway_to(via.name)
+                payload["final_target"] = target.name
+        gateway.relay(payload, on_reply, on_dead_letter, deadline=deadline)
         engine = self.world.engine
         while "reply" not in holder and "dead_letter" not in holder:
             if not engine.step():  # pragma: no cover - timeouts guarantee progress
@@ -594,13 +739,22 @@ class Federation:
         now = self.world.now
         if "dead_letter" in holder:
             letter: DeadLetter = holder["dead_letter"]
-            if obs.enabled:
-                obs.inc("env.federation.dead_letters")
-            outcome = origin.env._fail(
-                REASON_GATEWAY_DEAD_LETTER,
-                f"gateway {origin.name}->{target.name} unreachable after "
-                f"{letter.attempts} attempts; payload parked in dead-letter queue",
-            )
+            if letter.reason == REASON_RELAY_DEADLINE:
+                if obs.enabled:
+                    obs.inc("env.federation.expired")
+                outcome = origin.env._fail(
+                    REASON_DEADLINE_EXCEEDED,
+                    f"relay {origin.name}->{target.name} missed its deadline "
+                    f"after {letter.attempts} attempts",
+                )
+            else:
+                if obs.enabled:
+                    obs.inc("env.federation.dead_letters")
+                outcome = origin.env._fail(
+                    REASON_GATEWAY_DEAD_LETTER,
+                    f"gateway {origin.name}->{target.name} unreachable after "
+                    f"{letter.attempts} attempts; payload parked in dead-letter queue",
+                )
             return FederatedOutcome(
                 outcome=outcome,
                 origin=origin.name,
@@ -610,6 +764,48 @@ class Federation:
                 latency_s=now - started,
             )
         reply = holder["reply"]
+        relay_path = reply.get("relay_path", ()) if isinstance(reply, dict) else ()
+        relay_hops = tuple(
+            Hop(h["domain"], "relay", h["at"]) for h in relay_path
+        )
+        attempts = holder["attempts"] + sum(h.get("attempts", 0) for h in relay_path)
+        if isinstance(reply, dict) and "error" in reply:
+            if obs.enabled:
+                obs.inc("env.federation.dead_letters")
+            outcome = origin.env._fail(
+                REASON_GATEWAY_DEAD_LETTER,
+                f"relay {origin.name}->{target.name} failed remotely: "
+                f"{reply['error']}",
+            )
+            return FederatedOutcome(
+                outcome=outcome,
+                origin=origin.name,
+                target=target.name,
+                hops=(origin_hop, *relay_hops),
+                attempts=attempts,
+                latency_s=now - started,
+            )
+        if isinstance(reply, dict) and "failed" in reply:
+            # A forwarded leg died downstream; the intermediate reported
+            # the structured failure back instead of an outcome.
+            code = reply["failed"]
+            if obs.enabled:
+                obs.inc(
+                    "env.federation.expired"
+                    if code == REASON_DEADLINE_EXCEEDED
+                    else "env.federation.dead_letters"
+                )
+            outcome = origin.env._fail(
+                code, reply.get("detail", "forwarded relay failed")
+            )
+            return FederatedOutcome(
+                outcome=outcome,
+                origin=origin.name,
+                target=target.name,
+                hops=(origin_hop, *relay_hops),
+                attempts=attempts,
+                latency_s=now - started,
+            )
         outcome = _outcome_from_document(reply["outcome"], trace_id="")
         if obs.enabled:
             obs.observe("env.federation.relay_latency_s", now - started)
@@ -621,15 +817,54 @@ class Federation:
             target=target.name,
             hops=(
                 origin_hop,
+                *relay_hops,
                 Hop(target.name, "deliver", reply["handled_at"]),
                 Hop(origin.name, "reply", now),
             ),
-            attempts=holder["attempts"],
+            attempts=attempts,
             latency_s=now - started,
         )
 
-    def _handle_relay(self, domain: Domain, payload: dict[str, Any]) -> dict[str, Any]:
-        """Inbound gateway handler: re-enter the local exchange pipeline."""
+    def _pick_intermediate(self, origin: Domain, target: Domain) -> Domain | None:
+        """The first domain (creation order) with both legs healthy.
+
+        A viable intermediate has ready breakers on origin -> via and
+        via -> target; ``None`` when no such domain exists (the relay
+        then falls through to the direct gateway and fast-fails).
+        """
+        for via in self._domains.values():
+            if via is origin or via is target:
+                continue
+            first = origin.gateways.get(via.name)
+            second = via.gateways.get(target.name)
+            if (
+                first is not None
+                and second is not None
+                and first.ready()
+                and second.ready()
+            ):
+                return via
+        return None
+
+    def _handle_relay(self, domain: Domain, payload: dict[str, Any]) -> Any:
+        """Inbound gateway handler: dedup, forward on, or run the pipeline.
+
+        Gateways are at-least-once on the wire; the ``relay_id`` dedup
+        cache makes the processing at-most-once — a retried relay whose
+        earlier attempt already got through returns the cached reply
+        instead of re-delivering.  A payload whose ``final_target`` is
+        another domain arrived here as a failover intermediate and is
+        forwarded through this domain's own gateway (the transport holds
+        the inbound request open via a deferred reply meanwhile).
+        """
+        relay_id = payload.get("relay_id")
+        if relay_id is not None and relay_id in domain.relay_seen:
+            if self._metrics.enabled:
+                self._metrics.inc("gateway.deduplicated")
+            return domain.relay_seen[relay_id]
+        final = payload.get("final_target")
+        if final is not None and final != domain.name:
+            return self._forward_relay(domain, payload, final)
         profile_fields = payload.get("profile")
         profile = (
             None if profile_fields is None else TransparencyProfile(**profile_fields)
@@ -645,12 +880,76 @@ class Federation:
             payload.get("activity_id", ""),
             profile,
             payload.get("interaction", INTERACTION_MESSAGE),
+            deadline=payload.get("deadline"),
         )
-        return {
+        reply = {
             "outcome": _outcome_document(outcome),
             "handled_at": self.world.now,
             "domain": domain.name,
+            "relay_path": [],
         }
+        if relay_id is not None:
+            domain.relay_seen[relay_id] = reply
+        return reply
+
+    def _forward_relay(
+        self, domain: Domain, payload: dict[str, Any], final: str
+    ) -> DeferredReply:
+        """Forward a failover relay from intermediate *domain* to *final*."""
+        obs = self._metrics
+        if obs.enabled:
+            obs.inc("env.federation.forwarded")
+        deferred = DeferredReply()
+        relay_id = payload.get("relay_id")
+        forwarded_at = self.world.now
+        if relay_id is not None:
+            # Cache the in-flight deferred so a duplicate of the inbound
+            # leg latches onto the same forwarding, not a second one.
+            domain.relay_seen[relay_id] = deferred
+
+        def on_reply(reply: Any, attempts: int) -> None:
+            if isinstance(reply, dict) and "relay_path" in reply:
+                reply = dict(reply)
+                reply["relay_path"] = [
+                    {"domain": domain.name, "at": forwarded_at, "attempts": attempts}
+                ] + list(reply["relay_path"])
+            if relay_id is not None:
+                domain.relay_seen[relay_id] = reply
+            deferred.resolve(reply)
+
+        def on_dead_letter(letter: DeadLetter) -> None:
+            code = (
+                REASON_DEADLINE_EXCEEDED
+                if letter.reason == REASON_RELAY_DEADLINE
+                else REASON_GATEWAY_DEAD_LETTER
+            )
+            failure = {
+                "failed": code,
+                "detail": (
+                    f"forwarded relay {domain.name}->{final} failed "
+                    f"({letter.reason}) after {letter.attempts} attempts"
+                ),
+                "relay_path": [
+                    {
+                        "domain": domain.name,
+                        "at": forwarded_at,
+                        "attempts": letter.attempts,
+                    }
+                ],
+            }
+            if relay_id is not None:
+                domain.relay_seen[relay_id] = failure
+            deferred.resolve(failure)
+
+        try:
+            gateway = domain.gateway_to(final)
+        except KeyError:
+            deferred.fail(f"no gateway from {domain.name} to {final}")
+            return deferred
+        gateway.relay(
+            dict(payload), on_reply, on_dead_letter, deadline=payload.get("deadline")
+        )
+        return deferred
 
     # -- trading across domains --------------------------------------------
     def import_service(
@@ -690,6 +989,16 @@ class Federation:
                 for (consumer, master), agreement in sorted(self.shadowing.items())
             },
         }
+        if self._resilience:
+            inventory["resilience"] = {
+                "breakers": {
+                    f"{source}->{peer}": domain.gateways[peer].breaker.stats()
+                    for source, domain in sorted(self._domains.items())
+                    for peer in sorted(domain.gateways)
+                    if domain.gateways[peer].breaker is not None
+                },
+                "health": None if self._health is None else self._health.stats(),
+            }
         if self._metrics.enabled:
             inventory["metrics"] = self._metrics.snapshot()
         return inventory

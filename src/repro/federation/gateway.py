@@ -11,11 +11,24 @@ inter-domain link.
 
 Relay semantics are store-and-forward with at-least-once delivery:
 
-* a relay that times out is retried with exponential backoff
-  (``retry_s * backoff ** (attempt-1)`` between attempts),
-* a relay that exhausts its attempts lands in the gateway's
-  **dead-letter queue** together with the reason, where an operator (or
+* each relay gets an attempt budget: retries fire with exponential
+  backoff (``retry_s * backoff ** (attempt-1)`` between attempts) while
+  any in-flight attempt's reply — however late — can still settle the
+  relay; exactly one of reply / dead-letter wins (the ``settled`` flag),
+* every relay is stamped with a ``relay_id`` so the receiving side can
+  deduplicate: at-least-once on the wire, at-most-once downstream,
+* a relay that exhausts its budget lands in the gateway's **dead-letter
+  queue** together with the reason, where an operator (or
   :meth:`Gateway.redrive` after the link heals) can pick it up,
+* an optional per-relay ``deadline`` clamps the budget: a relay that
+  cannot settle before its deadline fails with
+  :data:`REASON_RELAY_DEADLINE` and is *not* parked (redriving an
+  expired request helps nobody),
+* an optional :class:`~repro.resilience.breaker.CircuitBreaker` gates
+  admission: while the breaker is open new relays fail fast to the
+  dead-letter queue (:data:`REASON_RELAY_CIRCUIT_OPEN`) instead of
+  burning the full retry budget; attempt failures feed the breaker and
+  :meth:`redrive` recloses it (redriving asserts the link healed),
 * round-trip latency, retries and dead letters are exported as
   ``gateway.*`` metrics when a registry is attached.
 
@@ -31,12 +44,19 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.resilience.breaker import CircuitBreaker
 from repro.sim.transport import RequestReply
 from repro.util.errors import ConfigurationError
+from repro.util.ids import IdFactory
 from repro.util.serialization import document_size
 
 #: RPC port gateway endpoints listen on (one per domain gateway node)
 GATEWAY_PORT = "gateway"
+
+#: dead-letter reasons
+REASON_RELAY_TIMEOUT = "relay timeout"
+REASON_RELAY_CIRCUIT_OPEN = "circuit-open"
+REASON_RELAY_DEADLINE = "deadline-exceeded"
 
 #: histogram buckets for relay round-trip latency (simulated seconds)
 LATENCY_BUCKETS: tuple[float, ...] = (
@@ -62,6 +82,29 @@ class DeadLetter:
     redriven: bool = False
     #: original completion callbacks, reused on redrive
     _on_reply: RelayReply | None = field(default=None, repr=False)
+    _on_dead_letter: RelayFailed | None = field(default=None, repr=False)
+
+
+class _Relay:
+    """Mutable state of one relay: its attempts and its single settlement."""
+
+    __slots__ = ("payload", "on_reply", "on_dead_letter", "deadline",
+                 "park_at", "attempts", "settled")
+
+    def __init__(
+        self,
+        payload: dict[str, Any],
+        on_reply: RelayReply,
+        on_dead_letter: RelayFailed | None,
+        deadline: float | None,
+    ) -> None:
+        self.payload = payload
+        self.on_reply = on_reply
+        self.on_dead_letter = on_dead_letter
+        self.deadline = deadline
+        self.park_at = 0.0
+        self.attempts = 0
+        self.settled = False
 
 
 class Gateway:
@@ -83,6 +126,7 @@ class Gateway:
         max_attempts: int = 4,
         backoff: float = 2.0,
         metrics: MetricsRegistry | None = None,
+        breaker: CircuitBreaker | None = None,
     ) -> None:
         if max_attempts < 1:
             raise ConfigurationError("gateway needs max_attempts >= 1")
@@ -97,123 +141,219 @@ class Gateway:
         self._max_attempts = max_attempts
         self._backoff = backoff
         self._obs: MetricsRegistry = metrics if metrics is not None else NULL_METRICS
+        self.breaker = breaker
+        self._ids = IdFactory(width=6)
         self.relays = 0
         self.delivered = 0
         self.retries = 0
+        self.duplicate_replies = 0
+        self.expired = 0
+        self.fast_failed = 0
         self.dead_letters: list[DeadLetter] = []
 
     def attach_metrics(self, metrics: MetricsRegistry | None) -> None:
         """Report relay activity to *metrics* (``None`` detaches).
 
         Counters ``gateway.relays``/``delivered``/``retries``/
-        ``dead_letters`` plus the ``gateway.latency_s`` round-trip
+        ``dead_letters``/``duplicate_replies``/``expired``/
+        ``fast_failed`` plus the ``gateway.latency_s`` round-trip
         histogram (simulated seconds).
         """
         self._obs = metrics if metrics is not None else NULL_METRICS
+
+    def ready(self) -> bool:
+        """Whether a relay would currently be admitted (breaker view).
+
+        Side-effect free; the federation's failover routing consults
+        this before choosing a path.
+        """
+        return self.breaker is None or self.breaker.ready()
+
+    def _budget_s(self) -> float:
+        """Total simulated seconds one relay may spend before parking."""
+        return sum(
+            self._retry_s * (self._backoff ** k) for k in range(self._max_attempts)
+        )
 
     def relay(
         self,
         payload: dict[str, Any],
         on_reply: RelayReply,
         on_dead_letter: RelayFailed | None = None,
+        deadline: float | None = None,
     ) -> None:
         """Relay *payload* to the target domain's gateway endpoint.
 
         *on_reply* fires with (reply_document, attempts) once the remote
-        handler answers; after ``max_attempts`` timed-out attempts the
+        handler answers; after the attempt budget is exhausted the
         payload is parked in :attr:`dead_letters` and *on_dead_letter*
-        (when given) fires instead.
+        (when given) fires instead.  Exactly one of the two callbacks
+        fires per relay.  *deadline* (absolute simulated time) clamps
+        the budget; a relay unsettled at its deadline fails with
+        :data:`REASON_RELAY_DEADLINE` without being parked.
         """
         self.relays += 1
         if self._obs.enabled:
             self._obs.inc("gateway.relays")
-        self._attempt(payload, on_reply, on_dead_letter, attempt=1)
+        payload.setdefault("relay_id", self._ids.next(f"relay:{self.source}>{self.target}"))
+        state = _Relay(payload, on_reply, on_dead_letter, deadline)
+        now = self._engine.now
+        if deadline is not None and now >= deadline:
+            self._settle_expired(state)
+            return
+        if self.breaker is not None and not self.breaker.allow():
+            self.fast_failed += 1
+            if self._obs.enabled:
+                self._obs.inc("gateway.fast_failed")
+            self._settle_parked(state, REASON_RELAY_CIRCUIT_OPEN)
+            return
+        state.park_at = now + self._budget_s()
+        if deadline is not None:
+            state.park_at = min(state.park_at, deadline)
+        self._engine.schedule_at(
+            state.park_at,
+            lambda: self._on_budget_exhausted(state),
+            label=f"gateway-budget:{self.source}->{self.target}",
+        )
+        self._launch(state)
 
-    def _attempt(
-        self,
-        payload: dict[str, Any],
-        on_reply: RelayReply,
-        on_dead_letter: RelayFailed | None,
-        attempt: int,
-    ) -> None:
-        sent_at = self._engine.now
+    def _launch(self, state: _Relay) -> None:
+        if state.settled:
+            return
+        state.attempts += 1
+        attempt = state.attempts
+        now = self._engine.now
+        sent_at = now
 
         def deliver(reply: Any) -> None:
-            self.delivered += 1
-            if self._obs.enabled:
-                self._obs.inc("gateway.delivered")
-                self._obs.observe(
-                    "gateway.latency_s",
-                    self._engine.now - sent_at,
-                    buckets=LATENCY_BUCKETS,
-                )
-            on_reply(reply, attempt)
+            self._settle_delivered(state, reply, sent_at)
 
-        def timed_out() -> None:
-            if attempt >= self._max_attempts:
-                self._park(payload, attempt, "relay timeout", on_reply, on_dead_letter)
-                return
-            self.retries += 1
-            if self._obs.enabled:
-                self._obs.inc("gateway.retries")
-            delay = self._retry_s * (self._backoff ** (attempt - 1))
-            self._engine.schedule(
-                delay,
-                lambda: self._attempt(payload, on_reply, on_dead_letter, attempt + 1),
-                label=f"gateway-retry:{self.source}->{self.target}",
-            )
-
+        # The RPC window stays open for the relay's whole remaining
+        # budget: a slow reply to an earlier attempt still settles the
+        # relay (the settled flag keeps later replies from firing twice).
         self._rpc.request(
             self.target_node,
             "relay",
-            payload,
+            state.payload,
             on_reply=deliver,
-            timeout_s=self._retry_s * (self._backoff ** (attempt - 1)),
-            on_timeout=timed_out,
-            size_bytes=document_size(payload),
+            timeout_s=max(state.park_at - now, self._retry_s * 0.01),
+            size_bytes=document_size(state.payload),
         )
+        if attempt < self._max_attempts:
+            delay = self._retry_s * (self._backoff ** (attempt - 1))
+            if now + delay < state.park_at:
+                self._engine.schedule(
+                    delay,
+                    lambda: self._retry(state),
+                    label=f"gateway-retry:{self.source}->{self.target}",
+                )
 
-    def _park(
-        self,
-        payload: dict[str, Any],
-        attempts: int,
-        reason: str,
-        on_reply: RelayReply,
-        on_dead_letter: RelayFailed | None,
-    ) -> None:
+    def _retry(self, state: _Relay) -> None:
+        if state.settled:
+            return
+        self.retries += 1
+        if self._obs.enabled:
+            self._obs.inc("gateway.retries")
+        self._note_failure()
+        self._launch(state)
+
+    def _note_failure(self) -> None:
+        if self.breaker is not None:
+            self.breaker.record_failure()
+
+    def _settle_delivered(self, state: _Relay, reply: Any, sent_at: float) -> None:
+        if state.settled:
+            self.duplicate_replies += 1
+            if self._obs.enabled:
+                self._obs.inc("gateway.duplicate_replies")
+            return
+        state.settled = True
+        self.delivered += 1
+        if self.breaker is not None:
+            self.breaker.record_success()
+        if self._obs.enabled:
+            self._obs.inc("gateway.delivered")
+            self._obs.observe(
+                "gateway.latency_s",
+                self._engine.now - sent_at,
+                buckets=LATENCY_BUCKETS,
+            )
+        state.on_reply(reply, state.attempts)
+
+    def _on_budget_exhausted(self, state: _Relay) -> None:
+        if state.settled:
+            return
+        self._note_failure()
+        if state.deadline is not None and self._engine.now >= state.deadline:
+            self._settle_expired(state)
+            return
+        self._settle_parked(state, REASON_RELAY_TIMEOUT)
+
+    def _settle_expired(self, state: _Relay) -> None:
+        """Deadline hit: fail the relay without parking it."""
+        state.settled = True
+        self.expired += 1
+        if self._obs.enabled:
+            self._obs.inc("gateway.expired")
         letter = DeadLetter(
-            payload=payload,
+            payload=state.payload,
             target=self.target,
-            attempts=attempts,
+            attempts=state.attempts,
+            reason=REASON_RELAY_DEADLINE,
+            parked_at=self._engine.now,
+            _on_reply=state.on_reply,
+            _on_dead_letter=state.on_dead_letter,
+        )
+        if state.on_dead_letter is not None:
+            state.on_dead_letter(letter)
+
+    def _settle_parked(self, state: _Relay, reason: str) -> None:
+        state.settled = True
+        letter = DeadLetter(
+            payload=state.payload,
+            target=self.target,
+            attempts=state.attempts,
             reason=reason,
             parked_at=self._engine.now,
-            _on_reply=on_reply,
+            _on_reply=state.on_reply,
+            _on_dead_letter=state.on_dead_letter,
         )
         self.dead_letters.append(letter)
         if self._obs.enabled:
             self._obs.inc("gateway.dead_letters")
-        if on_dead_letter is not None:
-            on_dead_letter(letter)
+        if state.on_dead_letter is not None:
+            state.on_dead_letter(letter)
 
     def redrive(self) -> int:
         """Re-relay every parked dead letter (after the link healed).
 
-        Each redriven payload gets a fresh attempt budget; letters that
-        fail again are parked again as new entries.  Returns the number
-        of letters redriven.
+        Redriving is an operator assertion that the link is back: the
+        breaker (when present) is reclosed first so the redriven relays
+        are admitted.  Each redriven payload gets a fresh attempt budget
+        with its original callbacks; letters that fail again are parked
+        again as new entries.  Returns the number of letters redriven.
         """
+        if self.breaker is not None:
+            self.breaker.reset()
         parked = [letter for letter in self.dead_letters if not letter.redriven]
         for letter in parked:
             letter.redriven = True
             on_reply = letter._on_reply or (lambda reply, attempts: None)
-            self.relay(letter.payload, on_reply)
+            self.relay(letter.payload, on_reply, letter._on_dead_letter)
         return len(parked)
 
     def stats(self) -> dict[str, int]:
-        """Relay counters, for ``Federation.describe()`` and the bench."""
+        """Relay counters, for ``Federation.describe()`` and the bench.
+
+        ``dead_letters`` counts letters still awaiting redrive — a
+        redriven letter is the same payload continuing its life as a new
+        relay, not a second loss.
+        """
         return {
             "relays": self.relays,
             "delivered": self.delivered,
             "retries": self.retries,
-            "dead_letters": len(self.dead_letters),
+            "dead_letters": sum(
+                1 for letter in self.dead_letters if not letter.redriven
+            ),
         }

@@ -84,6 +84,10 @@ class Envelope:
     priority: str = PRIORITY_NORMAL
     delivery_report_requested: bool = False
     deferred_until: float | None = None
+    #: absolute simulated time past which MTAs stop carrying the message
+    #: (deadline propagation: an expired envelope non-delivers instead of
+    #: queueing forever)
+    expires_at: float | None = None
     max_hops: int = 8
     trace: list[TraceEntry] = field(default_factory=list)
     #: distribution lists already expanded for this message (loop control)
@@ -121,6 +125,7 @@ class Envelope:
             priority=self.priority,
             delivery_report_requested=self.delivery_report_requested,
             deferred_until=self.deferred_until,
+            expires_at=self.expires_at,
             max_hops=self.max_hops,
             trace=list(self.trace),
             expanded_lists=list(self.expanded_lists),
@@ -136,6 +141,7 @@ class Envelope:
             "priority": self.priority,
             "delivery_report_requested": self.delivery_report_requested,
             "deferred_until": self.deferred_until,
+            "expires_at": self.expires_at,
             "max_hops": self.max_hops,
             "trace": [{"mta": t.mta, "arrival_time": t.arrival_time} for t in self.trace],
             "expanded_lists": list(self.expanded_lists),
@@ -152,6 +158,7 @@ class Envelope:
             priority=document.get("priority", PRIORITY_NORMAL),
             delivery_report_requested=document.get("delivery_report_requested", False),
             deferred_until=document.get("deferred_until"),
+            expires_at=document.get("expires_at"),
             max_hops=document.get("max_hops", 8),
             trace=[
                 TraceEntry(t["mta"], t["arrival_time"]) for t in document.get("trace", [])

@@ -23,6 +23,7 @@ from repro.messaging.envelope import (
 from repro.messaging.message_store import MessageStore, StoredMessage
 from repro.messaging.names import OrName
 from repro.messaging.reports import (
+    REASON_EXPIRED,
     REASON_HOP_LIMIT,
     REASON_NO_ROUTE,
     REASON_TRANSFER_FAILURE,
@@ -222,6 +223,17 @@ class MessageTransferAgent:
             self._process(envelope)
 
     def _process(self, envelope: Envelope) -> None:
+        # Deadline propagation: the expiry stamp travels on the envelope,
+        # so whichever MTA holds the message when it expires — including
+        # after retries and deferrals — non-delivers it rather than
+        # carrying it further.
+        if envelope.expires_at is not None and self._world.now >= envelope.expires_at:
+            self._non_deliver(
+                envelope,
+                REASON_EXPIRED,
+                f"expired at {envelope.expires_at:.3f}, now {self._world.now:.3f}",
+            )
+            return
         if envelope.visited(self.name) or envelope.hop_count() >= envelope.max_hops:
             self._non_deliver(envelope, REASON_HOP_LIMIT, f"at {self.name}")
             return

@@ -17,6 +17,7 @@ REASON_NO_ROUTE = "no-route"
 REASON_UNKNOWN_RECIPIENT = "unknown-recipient"
 REASON_HOP_LIMIT = "hop-limit-exceeded"
 REASON_TRANSFER_FAILURE = "transfer-failure"
+REASON_EXPIRED = "deadline-exceeded"
 
 
 @dataclass(frozen=True)

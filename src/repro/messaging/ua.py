@@ -73,9 +73,16 @@ class UserAgent:
         priority: str = PRIORITY_NORMAL,
         delivery_report: bool = False,
         deferred_until: float | None = None,
+        expires_at: float | None = None,
         receipt_requested: bool = False,
     ) -> Envelope:
-        """Build an envelope ready for submission."""
+        """Build an envelope ready for submission.
+
+        *expires_at* (absolute simulated time) gives the message a
+        delivery deadline: an MTA still holding it past that time
+        non-delivers with a ``deadline-exceeded`` report instead of
+        carrying it further.
+        """
         parts = [text_body(body)] if isinstance(body, str) else list(body)
         content = InterpersonalMessage(
             ipm_id=self._ids.next(f"ipm-{self.user.mailbox}"),
@@ -93,6 +100,7 @@ class UserAgent:
             priority=priority,
             delivery_report_requested=delivery_report,
             deferred_until=deferred_until,
+            expires_at=expires_at,
         )
 
     def submit(self, envelope: Envelope) -> str:

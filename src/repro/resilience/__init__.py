@@ -1,0 +1,34 @@
+"""Engineered degradation: breakers, health probes, chaos schedules.
+
+The ROADMAP's production-scale goal needs the failure path to be a
+designed artifact, not an accident of stacked timeouts.  This package
+holds the pieces the federation and directory layers wrap around their
+cross-domain channels:
+
+* :class:`~repro.resilience.breaker.CircuitBreaker` — closed/open/half-
+  open failure gate on simulated time; a dead boundary fails fast
+  instead of burning its full retry budget per call,
+* :class:`~repro.resilience.health.HealthMonitor` — keyed periodic
+  probes whose verdicts feed the breakers,
+* :class:`~repro.resilience.chaos.ChaosRunner` — seeded, composable
+  fault suites (link flaps, rolling partitions, crash storms) that two
+  benchmark runs can replay identically.
+"""
+
+from repro.resilience.breaker import (
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    CircuitBreaker,
+)
+from repro.resilience.chaos import ChaosRunner
+from repro.resilience.health import HealthMonitor
+
+__all__ = [
+    "ChaosRunner",
+    "CircuitBreaker",
+    "HealthMonitor",
+    "STATE_CLOSED",
+    "STATE_HALF_OPEN",
+    "STATE_OPEN",
+]

@@ -1,0 +1,126 @@
+"""Health monitoring: periodic probes that drive circuit breakers.
+
+A :class:`HealthMonitor` runs one :class:`~repro.sim.engine.PeriodicTask`
+per watched key.  Each firing invokes the key's *probe* — any async
+check, typically an RPC ping to a peer gateway node — and the probe
+reports back through a single ``report(healthy)`` callback.  The report
+updates the key's health flag and, when a :class:`CircuitBreaker` is
+attached, feeds it: a successful probe recloses the breaker (the link
+demonstrably works), a failed probe counts towards tripping it.
+
+Health is therefore *eventual* knowledge: between probes the monitor
+answers with the last observation, and a key never probed reports the
+``default`` verdict (healthy unless configured otherwise).  Probe
+outcomes are exported as ``resilience.health.*`` counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.resilience.breaker import CircuitBreaker
+from repro.sim.engine import Engine, PeriodicTask
+from repro.util.errors import ConfigurationError
+
+#: a probe receives ``report`` and must eventually call it with True/False
+Probe = Callable[[Callable[[bool], None]], None]
+
+
+@dataclass
+class _Watch:
+    probe: Probe
+    breaker: CircuitBreaker | None
+    task: PeriodicTask
+    healthy: bool
+    probes: int = 0
+    failures: int = 0
+
+
+class HealthMonitor:
+    """Keyed periodic health probes, optionally wired to breakers."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        period_s: float = 5.0,
+        default_healthy: bool = True,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if period_s <= 0:
+            raise ConfigurationError("health probe period_s must be > 0")
+        self._engine = engine
+        self._period_s = period_s
+        self._default = default_healthy
+        self._obs: MetricsRegistry = metrics if metrics is not None else NULL_METRICS
+        self._watches: dict[str, _Watch] = {}
+
+    def watch(
+        self,
+        key: str,
+        probe: Probe,
+        breaker: CircuitBreaker | None = None,
+        period_s: float | None = None,
+    ) -> None:
+        """Probe *key* every period; feed results into *breaker* if given."""
+        if key in self._watches:
+            raise ConfigurationError(f"already watching {key!r}")
+        task = PeriodicTask(
+            self._engine,
+            period_s if period_s is not None else self._period_s,
+            lambda: self._probe(key),
+            label=f"health:{key}",
+        )
+        self._watches[key] = _Watch(
+            probe=probe, breaker=breaker, task=task, healthy=self._default
+        )
+        task.start()
+
+    def stop(self, key: str | None = None) -> None:
+        """Stop probing *key*, or every watch when ``None``."""
+        keys = [key] if key is not None else list(self._watches)
+        for name in keys:
+            watch = self._watches.pop(name, None)
+            if watch is not None:
+                watch.task.stop()
+
+    def _probe(self, key: str) -> None:
+        watch = self._watches.get(key)
+        if watch is None:
+            return
+        watch.probes += 1
+        if self._obs.enabled:
+            self._obs.inc("resilience.health.probes")
+        watch.probe(lambda healthy: self._report(key, healthy))
+
+    def _report(self, key: str, healthy: bool) -> None:
+        watch = self._watches.get(key)
+        if watch is None:
+            return
+        watch.healthy = healthy
+        if healthy:
+            if watch.breaker is not None:
+                watch.breaker.record_success()
+            return
+        watch.failures += 1
+        if self._obs.enabled:
+            self._obs.inc("resilience.health.failures")
+        if watch.breaker is not None:
+            watch.breaker.record_failure()
+
+    def healthy(self, key: str) -> bool:
+        """Last observed health for *key* (``default`` when never probed)."""
+        watch = self._watches.get(key)
+        return self._default if watch is None else watch.healthy
+
+    def stats(self) -> dict[str, dict[str, Any]]:
+        """Per-key probe/failure counts and current verdicts."""
+        return {
+            key: {
+                "healthy": watch.healthy,
+                "probes": watch.probes,
+                "failures": watch.failures,
+            }
+            for key, watch in sorted(self._watches.items())
+        }

@@ -4,6 +4,13 @@ Experiment E6 (DESIGN.md) exercises delivery ratios under node crashes and
 partitions; tests use the injector for failure-path coverage.  All schedules
 run on simulated time and all randomness comes from the injector's RNG
 stream.
+
+Overlapping windows compose correctly: a node recovers only when *no*
+scheduled outage still covers the current instant (a manual crash window
+and a ``random_crashes`` window for the same node do not resurrect the
+node mid-outage), and a partition window's heal is scoped to that window
+— when a later partition window is still active, healing the earlier one
+re-asserts the later instead of clearing everything.
 """
 
 from __future__ import annotations
@@ -24,6 +31,19 @@ class PlannedOutage:
     end: float
 
 
+@dataclass(frozen=True)
+class PlannedPartition:
+    """A recorded partition window (groups + duration) for reporting."""
+
+    groups: tuple[tuple[str, ...], ...]
+    start: float
+    end: float
+
+    def covers(self, time: float) -> bool:
+        """True while the window is active at *time*."""
+        return self.start <= time < self.end
+
+
 class FailureInjector:
     """Schedules crashes, recoveries and partitions on a network."""
 
@@ -32,38 +52,93 @@ class FailureInjector:
         self._engine = network.engine
         self._rng = rng if rng is not None else network.rng.fork("failures")
         self._outages: list[PlannedOutage] = []
+        self._partitions: list[PlannedPartition] = []
 
     @property
     def planned_outages(self) -> list[PlannedOutage]:
         """All crash windows scheduled so far."""
         return list(self._outages)
 
+    @property
+    def planned_partitions(self) -> list[PlannedPartition]:
+        """All partition windows scheduled so far."""
+        return list(self._partitions)
+
     def crash_at(self, node: str, at: float, duration: float | None = None) -> PlannedOutage:
         """Crash *node* at simulated time *at*; recover after *duration*.
 
-        With ``duration=None`` the node stays down forever.
+        With ``duration=None`` the node stays down forever.  Recovery
+        respects every scheduled outage: the node comes back only when no
+        other window (from this or any overlapping schedule) still covers
+        the recovery instant.
         """
-        target = self._network.node(node)
+        self._network.node(node)
         if at < self._engine.now:
             raise ConfigurationError("cannot schedule a crash in the past")
-        self._engine.schedule_at(at, target.crash, label=f"crash:{node}")
+        self._engine.schedule_at(
+            at, lambda: self._network.node(node).crash(), label=f"crash:{node}"
+        )
         end = float("inf")
         if duration is not None:
             if duration <= 0:
                 raise ConfigurationError("duration must be > 0")
             end = at + duration
-            self._engine.schedule_at(end, target.recover, label=f"recover:{node}")
+            self._engine.schedule_at(
+                end, lambda: self._maybe_recover(node), label=f"recover:{node}"
+            )
         outage = PlannedOutage(node=node, start=at, end=end)
         self._outages.append(outage)
         return outage
 
-    def partition_at(self, groups: list[list[str]], at: float, duration: float | None = None) -> None:
-        """Partition the network into *groups* at time *at*; heal after *duration*."""
+    def _maybe_recover(self, node: str) -> None:
+        """Recover *node* unless another outage window still covers now."""
+        now = self._engine.now
+        for outage in self._outages:
+            if outage.node == node and outage.start <= now < outage.end:
+                return
+        self._network.node(node).recover()
+
+    def partition_at(
+        self, groups: list[list[str]], at: float, duration: float | None = None
+    ) -> PlannedPartition:
+        """Partition the network into *groups* at time *at*; heal after *duration*.
+
+        The heal is scoped to this window: when another partition window
+        is still active at heal time, that window's cut is re-asserted
+        instead of clearing the network (the network holds one partition
+        at a time; the latest-started active window wins).
+        """
         if at < self._engine.now:
             raise ConfigurationError("cannot schedule a partition in the past")
-        self._engine.schedule_at(at, lambda: self._network.partition(groups), label="partition")
+        end = float("inf")
         if duration is not None:
-            self._engine.schedule_at(at + duration, self._network.heal, label="heal")
+            if duration <= 0:
+                raise ConfigurationError("duration must be > 0")
+            end = at + duration
+        window = PlannedPartition(
+            groups=tuple(tuple(group) for group in groups), start=at, end=end
+        )
+        self._partitions.append(window)
+        self._engine.schedule_at(
+            at,
+            lambda: self._network.partition([list(g) for g in window.groups]),
+            label="partition",
+        )
+        if duration is not None:
+            self._engine.schedule_at(
+                end, lambda: self._heal_window(window), label="heal"
+            )
+        return window
+
+    def _heal_window(self, window: PlannedPartition) -> None:
+        """End one partition window; re-assert any window still active."""
+        now = self._engine.now
+        active = [w for w in self._partitions if w.covers(now)]
+        if active:
+            latest = max(active, key=lambda w: w.start)
+            self._network.partition([list(g) for g in latest.groups])
+        else:
+            self._network.heal()
 
     def random_crashes(
         self,

@@ -165,6 +165,45 @@ class _PendingRequest:
     timer: EventHandle | None = None
 
 
+class DeferredReply:
+    """Returned by a :class:`RequestReply` handler that answers later.
+
+    A handler that must itself wait on asynchronous work (e.g. a gateway
+    forwarding a relay to a third domain) returns a ``DeferredReply``
+    instead of a reply body; the transport holds the request open and
+    sends the reply packet when :meth:`resolve` (or :meth:`fail`) fires.
+    Only the first completion wins — later calls are ignored.
+    """
+
+    def __init__(self) -> None:
+        self._send: Callable[[str, Any], None] | None = None
+        self._result: tuple[str, Any] | None = None
+        self._done = False
+
+    def resolve(self, body: Any) -> None:
+        """Complete the request successfully with *body*."""
+        self._finish("body", body)
+
+    def fail(self, error: str) -> None:
+        """Complete the request with an error (caller sees ``{"error": ...}``)."""
+        self._finish("error", error)
+
+    def _finish(self, kind: str, value: Any) -> None:
+        if self._done:
+            return
+        self._done = True
+        if self._send is not None:
+            self._send(kind, value)
+        else:
+            self._result = (kind, value)
+
+    def _wire(self, send: Callable[[str, Any], None]) -> None:
+        """Transport hookup; replays a completion that beat the wiring."""
+        self._send = send
+        if self._result is not None:
+            send(*self._result)
+
+
 class RequestReply:
     """Correlated request/reply messaging for RPC-style interactions.
 
@@ -244,16 +283,30 @@ class RequestReply:
 
     def _handle_request(self, packet: Packet) -> None:
         message = packet.payload
+        reply_port = message.get("reply_port", f"{self._port}.rep")
+
+        def send_reply(kind: str, value: Any) -> None:
+            self._network.send(
+                self._local,
+                message["reply_to"],
+                reply_port,
+                {"id": message["id"], kind: value},
+                size_bytes=128,
+            )
+
         handler = self._operations.get(message["op"])
         if handler is None:
-            reply = {"id": message["id"], "error": f"unknown operation {message['op']!r}"}
-        else:
-            try:
-                reply = {"id": message["id"], "body": handler(message["body"])}
-            except Exception as exc:  # deliberate: errors travel back to caller
-                reply = {"id": message["id"], "error": f"{type(exc).__name__}: {exc}"}
-        reply_port = message.get("reply_port", f"{self._port}.rep")
-        self._network.send(self._local, message["reply_to"], reply_port, reply, size_bytes=128)
+            send_reply("error", f"unknown operation {message['op']!r}")
+            return
+        try:
+            result = handler(message["body"])
+        except Exception as exc:  # deliberate: errors travel back to caller
+            send_reply("error", f"{type(exc).__name__}: {exc}")
+            return
+        if isinstance(result, DeferredReply):
+            result._wire(send_reply)
+            return
+        send_reply("body", result)
 
     def _handle_reply(self, packet: Packet) -> None:
         message = packet.payload

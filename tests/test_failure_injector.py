@@ -1,0 +1,94 @@
+"""Fault-path regressions for the failure injector.
+
+Two bugs fixed in the resilience PR get pinned here: an earlier crash
+window's recovery must not resurrect a node mid-way through a later,
+overlapping outage, and a partition window's heal must be scoped to its
+own window — healing the earlier of two overlapping partitions re-asserts
+the later cut instead of clearing the network.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.world import World
+from repro.util.errors import ConfigurationError
+
+
+@pytest.fixture
+def net(world):
+    world.add_site("s", ["a", "b", "c"])
+    return world.network
+
+
+class TestOverlappingOutages:
+    def test_earlier_recovery_respects_later_window(self, world, net):
+        """Regression: crash [1,3) + crash [2,6) — the t=3 recovery must
+        not resurrect the node while the second outage still covers it."""
+        world.failures.crash_at("a", at=1.0, duration=2.0)
+        world.failures.crash_at("a", at=2.0, duration=4.0)
+        world.run_for(3.5)  # past the first window's end
+        assert not net.node("a").is_up
+        world.run_for(3.0)  # past the second window's end
+        assert net.node("a").is_up
+
+    def test_infinite_outage_blocks_recovery_forever(self, world, net):
+        world.failures.crash_at("a", at=1.0, duration=2.0)
+        world.failures.crash_at("a", at=2.0)  # no duration: down forever
+        world.run_for(100.0)
+        assert not net.node("a").is_up
+
+    def test_disjoint_windows_recover_normally(self, world, net):
+        world.failures.crash_at("a", at=1.0, duration=1.0)
+        world.failures.crash_at("a", at=5.0, duration=1.0)
+        world.run_for(3.0)
+        assert net.node("a").is_up
+        world.run_for(2.5)
+        assert not net.node("a").is_up
+        world.run_for(1.0)
+        assert net.node("a").is_up
+
+    def test_outages_recorded_for_reporting(self, world, net):
+        outage = world.failures.crash_at("a", at=1.0, duration=2.0)
+        assert outage.start == 1.0 and outage.end == 3.0
+        assert world.failures.planned_outages == [outage]
+
+
+class TestWindowScopedHeal:
+    def test_earlier_heal_reasserts_later_partition(self, world, net):
+        """Regression: partition [1,4) and partition [2,8) overlap — the
+        t=4 heal must re-assert the second cut, not clear everything."""
+        world.failures.partition_at([["a"], ["b", "c"]], at=1.0, duration=3.0)
+        world.failures.partition_at([["a", "b"], ["c"]], at=2.0, duration=6.0)
+        world.run_for(4.5)  # past the first window's heal
+        assert not net.reachable("b", "c")  # second cut still holds
+        assert net.reachable("a", "b")
+        world.run_for(4.0)  # past the second window's heal
+        assert net.reachable("b", "c")
+        assert net.reachable("a", "c")
+
+    def test_single_window_heals_cleanly(self, world, net):
+        world.failures.partition_at([["a"], ["b", "c"]], at=1.0, duration=2.0)
+        world.run_for(1.5)
+        assert not net.reachable("a", "b")
+        world.run_for(2.0)
+        assert net.reachable("a", "b")
+
+    def test_partition_windows_recorded(self, world, net):
+        window = world.failures.partition_at([["a"], ["b", "c"]], at=1.0, duration=2.0)
+        assert window.groups == (("a",), ("b", "c"))
+        assert window.covers(1.0) and window.covers(2.9)
+        assert not window.covers(3.0)
+        assert world.failures.planned_partitions == [window]
+
+    def test_infinite_partition_never_heals(self, world, net):
+        world.failures.partition_at([["a"], ["b", "c"]], at=1.0)
+        world.run_for(50.0)
+        assert not net.reachable("a", "b")
+
+    def test_validation(self, world, net):
+        with pytest.raises(ConfigurationError):
+            world.failures.partition_at([["a"], ["b"]], at=1.0, duration=0.0)
+        world.run_for(2.0)
+        with pytest.raises(ConfigurationError):
+            world.failures.partition_at([["a"], ["b"]], at=1.0)
