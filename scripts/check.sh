@@ -25,7 +25,15 @@ import doctest
 import sys
 
 failures = 0
-for module_name in ("repro.obs.metrics", "repro.obs.tracing", "repro.obs.instrument"):
+for module_name in (
+    "repro.obs.metrics",
+    "repro.obs.tracing",
+    "repro.obs.instrument",
+    "repro.obs.context",
+    "repro.obs.events",
+    "repro.obs.export",
+    "repro.obs.analyze",
+):
     module = __import__(module_name, fromlist=["_"])
     result = doctest.testmod(module, verbose=False)
     print(f"{module_name}: {result.attempted} doctests, {result.failed} failures")
@@ -108,5 +116,73 @@ EOF
 
 echo "== bench_e9 resilience (quick) =="
 python benchmarks/bench_e9_resilience.py --quick
+
+echo "== obs smoke (one connected trace across a failover exchange) =="
+python - <<'EOF'
+from repro.environment.registry import AppDescriptor, Q_DIFFERENT_TIME_DIFFERENT_PLACE
+from repro.federation import Federation
+from repro.obs import EventLog, TraceAnalyzer, Tracer, chrome_trace_json
+from repro.sim.world import World
+import json
+
+world = World(seed=42)
+tracer = Tracer()
+events = EventLog()
+federation = Federation.partition(
+    world, {"upc": ["ana"], "gmd": ["bob"], "inria": ["eva"]},
+    tracer=tracer, events=events,
+)
+federation.register_application(
+    AppDescriptor(name="editor", quadrants=[Q_DIFFERENT_TIME_DIFFERENT_PLACE]),
+    lambda person, doc, info: None,
+)
+# Trip the direct breaker so the relay reroutes via inria: the trace
+# must still come back as ONE connected tree under the origin's id.
+federation.domain("upc").gateway_to("gmd").breaker.force_open()
+outcome = federation.federated_exchange(
+    "ana", "bob", "editor", "editor", {"title": "ping", "body": "x"}
+)
+assert outcome.delivered, outcome
+analyzer = TraceAnalyzer.from_tracers(tracer)
+[trace_id] = analyzer.trace_ids()
+assert outcome.outcome.trace_id == trace_id, (outcome.outcome.trace_id, trace_id)
+assert analyzer.is_connected(trace_id), analyzer.summary()
+path = [span["name"] for span in analyzer.critical_path(trace_id)]
+assert path[0] == "federation.exchange" and "federation.forward" in path, path
+coverage = analyzer.critical_path_coverage(trace_id)
+assert coverage >= 0.95, coverage
+blob = json.loads(chrome_trace_json(tracer.finished()))
+assert any(event["ph"] == "X" for event in blob["traceEvents"])
+assert events.events(kind="breaker-open"), events.kinds()
+print(f"trace {trace_id} connected: {len(path)} hops on the critical "
+      f"path, coverage {coverage:.2f}, events {events.kinds()}")
+EOF
+
+echo "== determinism guard (no wall clock outside obs wall mode) =="
+python - <<'EOF'
+# Simulated time is the repo's contract: the only sanctioned wall-clock
+# reads live in repro/obs (Tracer(wall=True) profiling mode).  A stray
+# time.time()/datetime.now() anywhere else silently breaks seeded
+# reproducibility, so fail loudly here.
+import pathlib
+import re
+import sys
+
+FORBIDDEN = re.compile(r"time\.time\(|datetime\.now\(")
+hits = []
+for path in sorted(pathlib.Path("src").rglob("*.py")):
+    if "obs" in path.parts:
+        continue  # wall-mode tracing is the sanctioned escape hatch
+    for number, line in enumerate(path.read_text().splitlines(), start=1):
+        if FORBIDDEN.search(line):
+            hits.append(f"{path}:{number}: {line.strip()}")
+print(f"scanned src/ for wall-clock reads: {len(hits)} hits")
+if hits:
+    print("\n".join(hits))
+    sys.exit(1)
+EOF
+
+echo "== bench_e10 observability (quick) =="
+python benchmarks/bench_e10_observability.py --quick
 
 echo "== all checks passed =="

@@ -24,6 +24,7 @@ from typing import Any
 
 from repro.directory.dit import ChangeRecord
 from repro.directory.dsa import DirectoryServiceAgent
+from repro.obs.events import KIND_SHADOW_PULL_FAILED, NULL_EVENTS, EventLog
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.odp.binding import BindingFactory, Channel
 from repro.odp.objects import InterfaceRef
@@ -54,6 +55,7 @@ class ShadowingAgreement:
         max_backoff_s: float | None = None,
         metrics: MetricsRegistry | None = None,
         breaker: CircuitBreaker | None = None,
+        events: EventLog | None = None,
     ) -> None:
         self._world = world
         self._shadow = shadow
@@ -68,6 +70,7 @@ class ShadowingAgreement:
         self._pending: EventHandle | None = None
         self._fail_streak = 0
         self._obs: MetricsRegistry = metrics if metrics is not None else NULL_METRICS
+        self._events: EventLog = events if events is not None else NULL_EVENTS
         self.breaker = breaker
         self.pulls = 0
         self.changes_applied = 0
@@ -190,5 +193,12 @@ class ShadowingAgreement:
             self.breaker.record_failure()
         if self._obs.enabled:
             self._obs.inc("directory.shadow.failures")
+        if self._events.enabled:
+            self._events.record(
+                self._world.now,
+                KIND_SHADOW_PULL_FAILED,
+                shadow=self._shadow.name,
+                streak=self._fail_streak,
+            )
         if periodic:
             self._arm()

@@ -38,8 +38,10 @@ from repro.environment.transparency import ViewRegistry
 from repro.expertise.model import ExpertiseRegistry
 from repro.information.interchange import InterchangeService
 from repro.information.objects import InformationBase
+from repro.obs.events import NULL_EVENTS, EventLog
 from repro.obs.instrument import instrument_environment
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.obs.slo import SLOEngine
 from repro.obs.tracing import NULL_TRACER, Tracer
 from repro.odp.trader import ImportContext, ServiceOffer, Trader
 from repro.org.knowledge_base import OrganisationalKnowledgeBase
@@ -69,6 +71,8 @@ class EnvironmentBuilder:
         self._name = "mocca"
         self._metrics: MetricsRegistry | None = None
         self._tracer: Tracer | None = None
+        self._events: EventLog | None = None
+        self._slo_period_s: float | None = None
         self._trader_policies: list[TraderPolicy] = []
         self._resolution_cache = True
         self._shed_limit: int | None = None
@@ -97,6 +101,33 @@ class EnvironmentBuilder:
         to the world's engine clock so span durations are simulated
         seconds."""
         self._tracer = tracer
+        return self
+
+    def with_event_log(self, events: EventLog) -> "EnvironmentBuilder":
+        """Record structured, trace-correlated events into *events*.
+
+        The environment emits ``shed``/``deadline-exceeded`` events on
+        its own paths; components that receive the same log (breakers,
+        gateways, shadowing) add theirs, so one bounded ring buffer
+        holds the whole run's noteworthy moments in simulated-time
+        order.
+        """
+        self._events = events
+        return self
+
+    def with_slo(self, sample_period_s: float = 1.0) -> "EnvironmentBuilder":
+        """Attach an (unstarted) :class:`~repro.obs.slo.SLOEngine`.
+
+        Requires ``with_metrics``: objectives window the environment's
+        own counters and histograms.  The engine is exposed as
+        ``env.slo`` with no objectives declared — add them with
+        ``env.slo.add_ratio(...)``/``add_latency(...)`` and call
+        ``env.slo.start()``.  Burn alerts go to the event log when one
+        is attached.
+        """
+        if sample_period_s <= 0:
+            raise ConfigurationError("SLO sample_period_s must be > 0")
+        self._slo_period_s = sample_period_s
         return self
 
     def with_resolution_cache(self, enabled: bool) -> "EnvironmentBuilder":
@@ -165,6 +196,7 @@ class EnvironmentBuilder:
         env.name = self._name
         env.metrics = NULL_METRICS
         env.tracer = NULL_TRACER
+        env.events = self._events if self._events is not None else NULL_EVENTS
         env.bus = EventBus()
         # Satellite fix: events published through the environment carry
         # the simulated time of publication.
@@ -200,3 +232,16 @@ class EnvironmentBuilder:
         env._shed_limit = self._shed_limit
         env._default_deadline_s = self._default_deadline_s
         instrument_environment(env, metrics=self._metrics, tracer=self._tracer)
+        env.slo = None
+        if self._slo_period_s is not None:
+            if self._metrics is None:
+                raise ConfigurationError(
+                    "with_slo requires with_metrics: objectives window the "
+                    "environment's counters and histograms"
+                )
+            env.slo = SLOEngine(
+                world.engine,
+                self._metrics,
+                events=env.events if env.events.enabled else None,
+                sample_period_s=self._slo_period_s,
+            )

@@ -39,6 +39,7 @@ from repro.communication.model import (
 )
 from repro.environment.registry import AppDescriptor, DeliveryCallback
 from repro.environment.transparency import TransparencyProfile
+from repro.obs.events import KIND_DEADLINE, KIND_SHED
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import Tracer
 from repro.org.policy import INTERACTION_MESSAGE
@@ -177,8 +178,18 @@ class CSCWEnvironment:
                 continue
             self.applications.deliver(app_name, person_id, document, info)
             flushed += 1
-        if expired and self.metrics.enabled:
-            self.metrics.inc("env.shed.expired", expired)
+        if expired:
+            if self.metrics.enabled:
+                self.metrics.inc("env.shed.expired", expired)
+            if self.events.enabled:
+                self.events.record(
+                    now,
+                    KIND_DEADLINE,
+                    env=self.name,
+                    receiver=person_id,
+                    dropped=expired,
+                    at="flush",
+                )
         return flushed
 
     def pending_for(self, person_id: str) -> int:
@@ -306,6 +317,15 @@ class CSCWEnvironment:
         if expires_at is not None and self.world.now >= expires_at:
             if obs.enabled:
                 obs.inc("env.shed.expired")
+            if self.events.enabled:
+                self.events.record(
+                    self.world.now,
+                    KIND_DEADLINE,
+                    trace_id=trace_id,
+                    env=self.name,
+                    receiver=receiver,
+                    deadline=expires_at,
+                )
             return self._fail(
                 REASON_DEADLINE_EXCEEDED,
                 f"exchange deadline {expires_at:.3f} passed at {self.world.now:.3f}",
@@ -399,6 +419,15 @@ class CSCWEnvironment:
             ):
                 if obs.enabled:
                     obs.inc("env.shed.overload")
+                if self.events.enabled:
+                    self.events.record(
+                        self.world.now,
+                        KIND_SHED,
+                        trace_id=trace_id,
+                        env=self.name,
+                        receiver=receiver,
+                        queued=self._shed_limit,
+                    )
                 return self._fail(
                     REASON_OVERLOAD,
                     f"receiver {receiver} has {self._shed_limit} deliveries "
@@ -566,6 +595,16 @@ class CSCWEnvironment:
             obs = self.metrics
             if obs.enabled:
                 obs.inc("env.shed.expired", size)
+            if self.events.enabled:
+                self.events.record(
+                    self.world.now,
+                    KIND_DEADLINE,
+                    trace_id=trace_id,
+                    env=self.name,
+                    receiver=receiver,
+                    deadline=expires_at,
+                    batch=size,
+                )
             return fail_all(
                 REASON_DEADLINE_EXCEEDED,
                 f"exchange deadline {expires_at:.3f} passed at {self.world.now:.3f}",
@@ -761,8 +800,19 @@ class CSCWEnvironment:
         if failed:
             self.exchanges_failed += failed
             world_metrics.increment("env.exchange.failed", failed)
-        if shed and self.metrics.enabled:
-            self.metrics.inc("env.shed.overload", shed)
+        if shed:
+            if self.metrics.enabled:
+                self.metrics.inc("env.shed.overload", shed)
+            if self.events.enabled:
+                self.events.record(
+                    now,
+                    KIND_SHED,
+                    trace_id=trace_id,
+                    env=self.name,
+                    receiver=receiver,
+                    dropped=shed,
+                    batch=True,
+                )
         delivered = sync_count + async_count
         if delivered:
             world_metrics.increment("env.exchange.delivered", delivered)

@@ -32,6 +32,7 @@ from repro.environment.environment import CSCWEnvironment
 from repro.federation.gateway import GATEWAY_PORT, Gateway
 from repro.messaging.mta import MessageTransferAgent
 from repro.messaging.names import OrName
+from repro.obs.events import EventLog
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import Tracer
 from repro.odp.naming import NamingDomain
@@ -58,6 +59,7 @@ class Domain:
         *,
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        events: EventLog | None = None,
         shed_limit: int | None = None,
         default_deadline_s: float | None = None,
     ) -> None:
@@ -70,6 +72,8 @@ class Domain:
             builder = builder.with_metrics(metrics)
         if tracer is not None:
             builder = builder.with_tracer(tracer)
+        if events is not None:
+            builder = builder.with_event_log(events)
         if shed_limit is not None:
             builder = builder.with_shed_limit(shed_limit)
         if default_deadline_s is not None:
@@ -82,6 +86,8 @@ class Domain:
         self.mta = MessageTransferAgent(
             world, self.node, f"mta-{name}", domains=[(MAIL_COUNTRY, MAIL_ADMD, name)]
         )
+        if tracer is not None:
+            self.mta.attach_tracer(tracer)
         #: inbound relay endpoint; the federation installs the handler
         self.gateway_rpc = RequestReply(world.network, self.node, port=GATEWAY_PORT)
         #: outbound gateways, one per peer domain, wired by the federation

@@ -57,8 +57,10 @@ from repro.federation.gateway import (
     DeadLetter,
     Gateway,
 )
+from repro.obs.context import TRACE_KEY, TraceContext
+from repro.obs.events import NULL_EVENTS, EventLog
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
-from repro.obs.tracing import Tracer
+from repro.obs.tracing import NULL_TRACER, Span, Tracer
 from repro.odp.binding import BindingFactory
 from repro.odp.objects import InterfaceRef
 from repro.org.model import Organisation, Person
@@ -73,10 +75,12 @@ from repro.util.errors import ConfigurationError, NameError_, UnknownObjectError
 #: a federated exchange whose relay exhausted its gateway attempts
 REASON_GATEWAY_DEAD_LETTER = "gateway-dead-letter"
 
-#: outcome fields shipped over the gateway (trace ids stay domain-local)
+#: outcome fields shipped over the gateway — trace_id included, so the
+#: origin's reconstructed outcome stays correlated with the trace the
+#: target pipeline actually ran under
 _OUTCOME_FIELDS = (
     "delivered", "mode", "reason", "translated",
-    "fidelity", "handled", "reason_code", "size_bytes",
+    "fidelity", "handled", "reason_code", "size_bytes", "trace_id",
 )
 
 
@@ -129,17 +133,27 @@ class FederatedOutcome:
 
 
 def _outcome_document(outcome: ExchangeOutcome) -> dict[str, Any]:
-    """The gateway wire form of an outcome (hop-local trace id dropped)."""
+    """The gateway wire form of an outcome."""
     document = {name: getattr(outcome, name) for name in _OUTCOME_FIELDS}
     document["handled"] = list(outcome.handled)
     return document
 
 
-def _outcome_from_document(document: dict[str, Any], trace_id: str) -> ExchangeOutcome:
-    """Rebuild an outcome at the origin, under the origin's trace."""
+def _outcome_from_document(
+    document: dict[str, Any], trace_id: str = ""
+) -> ExchangeOutcome:
+    """Rebuild an outcome at the origin.
+
+    The wire document carries the trace id the target pipeline ran
+    under; with trace propagation that *is* the origin's trace.
+    *trace_id* is only a fallback for documents from older/untraced
+    remotes.
+    """
     fields = dict(document)
     fields["handled"] = tuple(fields.get("handled", ()))
-    return ExchangeOutcome(trace_id=trace_id, **fields)
+    if not fields.get("trace_id"):
+        fields["trace_id"] = trace_id
+    return ExchangeOutcome(**fields)
 
 
 class Federation:
@@ -152,6 +166,7 @@ class Federation:
         *,
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        events: EventLog | None = None,
         link: LinkSpec = WAN_LINK,
         gateway_retry_s: float = 0.5,
         gateway_attempts: int = 4,
@@ -168,6 +183,9 @@ class Federation:
         self._metrics = metrics if metrics is not None else NULL_METRICS
         self._env_metrics = metrics
         self._tracer = tracer
+        #: the federation's own span handle (never None; NULL_TRACER no-ops)
+        self._trace: Tracer = tracer if tracer is not None else NULL_TRACER
+        self._events: EventLog = events if events is not None else NULL_EVENTS
         self._link = link
         self._gateway_retry_s = gateway_retry_s
         self._gateway_attempts = gateway_attempts
@@ -225,6 +243,7 @@ class Federation:
             name,
             metrics=self._env_metrics,
             tracer=self._tracer,
+            events=self._events if self._events.enabled else None,
             shed_limit=self._shed_limit,
             default_deadline_s=self._default_deadline_s,
         )
@@ -277,6 +296,8 @@ class Federation:
                 backoff=self._gateway_backoff,
                 metrics=self._env_metrics,
                 breaker=self._make_breaker(f"gw:{source.name}->{target.name}"),
+                tracer=self._tracer,
+                events=self._events if self._events.enabled else None,
             )
             self.shadowing[(source.name, target.name)] = ShadowingAgreement(
                 self.world,
@@ -289,6 +310,7 @@ class Federation:
                 breaker=self._make_breaker(
                     f"shadow:{source.name}<-{target.name}"
                 ),
+                events=self._events if self._events.enabled else None,
             )
             if self._health is not None:
                 self._watch_pair(source, target)
@@ -304,6 +326,7 @@ class Federation:
             failure_threshold=self._breaker_threshold,
             cooldown_s=self._breaker_cooldown_s,
             metrics=self._env_metrics,
+            events=self._events if self._events.enabled else None,
         )
 
     def domain(self, name: str) -> Domain:
@@ -364,7 +387,10 @@ class Federation:
         if self._health is not None:
             return self._health
         self._health = HealthMonitor(
-            self.world.engine, period_s=period_s, metrics=self._env_metrics
+            self.world.engine,
+            period_s=period_s,
+            metrics=self._env_metrics,
+            events=self._events if self._events.enabled else None,
         )
         self._health_timeout_s = timeout_s
         domains = list(self._domains.values())
@@ -584,7 +610,39 @@ class Federation:
         The call is synchronous on simulated time: for cross-domain
         exchanges the engine is stepped until the relay resolves, so the
         returned outcome's latency is the simulated round trip.
+
+        With a tracer attached the whole operation runs under one
+        ``federation.exchange`` root span whose context rides the relay
+        payloads: gateway hops, failover intermediates and the target
+        pipeline all continue the *same* trace, and the returned
+        outcome's ``trace_id`` is that root's trace id.
         """
+        with self._trace.span(
+            "federation.exchange", sender=sender, receiver=receiver
+        ) as span:
+            result = self._federated_exchange(
+                sender, receiver, sender_app, receiver_app, document,
+                activity_id, profile, interaction, deadline,
+            )
+            span.tag(
+                delivered=result.delivered,
+                target=result.target,
+                reason_code=result.reason_code,
+            )
+            return result
+
+    def _federated_exchange(
+        self,
+        sender: str,
+        receiver: str,
+        sender_app: str,
+        receiver_app: str,
+        document: dict[str, Any],
+        activity_id: str,
+        profile: TransparencyProfile | None,
+        interaction: str,
+        deadline: float | None,
+    ) -> FederatedOutcome:
         obs = self._metrics
         if obs.enabled:
             obs.inc("env.federation.exchanges")
@@ -710,6 +768,11 @@ class Federation:
             "origin": origin.name,
             "deadline": deadline,
         }
+        # Ship the origin's open span identity with the payload; every
+        # hop (gateway, forwarder, target pipeline) continues this trace.
+        context = self._trace.current_context()
+        if context is not None:
+            payload[TRACE_KEY] = context.to_document()
         holder: dict[str, Any] = {}
 
         def on_reply(reply: dict[str, Any], attempts: int) -> None:
@@ -806,7 +869,10 @@ class Federation:
                 attempts=attempts,
                 latency_s=now - started,
             )
-        outcome = _outcome_from_document(reply["outcome"], trace_id="")
+        outcome = _outcome_from_document(
+            reply["outcome"],
+            trace_id=context.trace_id if context is not None else "",
+        )
         if obs.enabled:
             obs.observe("env.federation.relay_latency_s", now - started)
             if outcome.delivered:
@@ -871,17 +937,25 @@ class Federation:
         )
         if self._metrics.enabled:
             self._metrics.inc("gateway.inbound")
-        outcome = domain.env.exchange(
-            payload["sender"],
-            payload["receiver"],
-            payload["sender_app"],
-            payload["receiver_app"],
-            payload["document"],
-            payload.get("activity_id", ""),
-            profile,
-            payload.get("interaction", INTERACTION_MESSAGE),
-            deadline=payload.get("deadline"),
-        )
+        # Continue the trace the payload carries: the target pipeline's
+        # env.exchange span nests under this one, so the outcome's
+        # trace_id is the origin's — the receiving half of propagation.
+        with self._trace.span_from_context(
+            "federation.relay",
+            TraceContext.from_document(payload.get(TRACE_KEY)),
+            domain=domain.name,
+        ):
+            outcome = domain.env.exchange(
+                payload["sender"],
+                payload["receiver"],
+                payload["sender_app"],
+                payload["receiver_app"],
+                payload["document"],
+                payload.get("activity_id", ""),
+                profile,
+                payload.get("interaction", INTERACTION_MESSAGE),
+                deadline=payload.get("deadline"),
+            )
         reply = {
             "outcome": _outcome_document(outcome),
             "handled_at": self.world.now,
@@ -906,8 +980,30 @@ class Federation:
             # Cache the in-flight deferred so a duplicate of the inbound
             # leg latches onto the same forwarding, not a second one.
             domain.relay_seen[relay_id] = deferred
+        span: Span | None = None
+        if self._trace.enabled:
+            # A detached span for the forwarding leg: it stays open
+            # across the async relay, and the re-stamped payload parents
+            # the next hop under it — breaker-triggered failover paths
+            # stay inside the origin's trace.
+            span = self._trace.start_span(
+                "federation.forward",
+                context=TraceContext.from_document(payload.get(TRACE_KEY)),
+                via=domain.name,
+                final=final,
+            )
+            payload = dict(payload)
+            payload[TRACE_KEY] = TraceContext(
+                span.trace_id, span.span_id
+            ).to_document()
+
+        def close_span(outcome: str) -> None:
+            if span is not None:
+                span.tag(outcome=outcome)
+                self._trace.finish(span)
 
         def on_reply(reply: Any, attempts: int) -> None:
+            close_span("delivered")
             if isinstance(reply, dict) and "relay_path" in reply:
                 reply = dict(reply)
                 reply["relay_path"] = [
@@ -918,6 +1014,7 @@ class Federation:
             deferred.resolve(reply)
 
         def on_dead_letter(letter: DeadLetter) -> None:
+            close_span(letter.reason)
             code = (
                 REASON_DEADLINE_EXCEEDED
                 if letter.reason == REASON_RELAY_DEADLINE
@@ -944,6 +1041,7 @@ class Federation:
         try:
             gateway = domain.gateway_to(final)
         except KeyError:
+            close_span("no-gateway")
             deferred.fail(f"no gateway from {domain.name} to {final}")
             return deferred
         gateway.relay(

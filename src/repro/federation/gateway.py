@@ -43,7 +43,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.obs.context import TRACE_KEY, TraceContext
+from repro.obs.events import (
+    KIND_DEAD_LETTER,
+    KIND_DEADLINE,
+    KIND_REDRIVE,
+    NULL_EVENTS,
+    EventLog,
+)
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.obs.tracing import NULL_TRACER, Span, Tracer
 from repro.resilience.breaker import CircuitBreaker
 from repro.sim.transport import RequestReply
 from repro.util.errors import ConfigurationError
@@ -89,7 +98,7 @@ class _Relay:
     """Mutable state of one relay: its attempts and its single settlement."""
 
     __slots__ = ("payload", "on_reply", "on_dead_letter", "deadline",
-                 "park_at", "attempts", "settled")
+                 "park_at", "attempts", "settled", "span")
 
     def __init__(
         self,
@@ -105,6 +114,8 @@ class _Relay:
         self.park_at = 0.0
         self.attempts = 0
         self.settled = False
+        #: detached gateway.relay span, open from launch to settlement
+        self.span: Span | None = None
 
 
 class Gateway:
@@ -127,6 +138,8 @@ class Gateway:
         backoff: float = 2.0,
         metrics: MetricsRegistry | None = None,
         breaker: CircuitBreaker | None = None,
+        tracer: Tracer | None = None,
+        events: EventLog | None = None,
     ) -> None:
         if max_attempts < 1:
             raise ConfigurationError("gateway needs max_attempts >= 1")
@@ -141,6 +154,8 @@ class Gateway:
         self._max_attempts = max_attempts
         self._backoff = backoff
         self._obs: MetricsRegistry = metrics if metrics is not None else NULL_METRICS
+        self._tracer: Tracer = tracer if tracer is not None else NULL_TRACER
+        self._events: EventLog = events if events is not None else NULL_EVENTS
         self.breaker = breaker
         self._ids = IdFactory(width=6)
         self.relays = 0
@@ -197,6 +212,20 @@ class Gateway:
             self._obs.inc("gateway.relays")
         payload.setdefault("relay_id", self._ids.next(f"relay:{self.source}>{self.target}"))
         state = _Relay(payload, on_reply, on_dead_letter, deadline)
+        if self._tracer.enabled:
+            # Continue the trace the payload carries (or the caller's open
+            # span) and re-stamp the payload so the receiving side parents
+            # under this hop — the wire half of trace propagation.
+            state.span = self._tracer.start_span(
+                "gateway.relay",
+                context=TraceContext.from_document(payload.get(TRACE_KEY)),
+                source=self.source,
+                target=self.target,
+            )
+            payload[TRACE_KEY] = {
+                "trace_id": state.span.trace_id,
+                "span_id": state.span.span_id,
+            }
         now = self._engine.now
         if deadline is not None and now >= deadline:
             self._settle_expired(state)
@@ -261,6 +290,19 @@ class Gateway:
         if self.breaker is not None:
             self.breaker.record_failure()
 
+    def _close_span(self, state: _Relay, outcome: str) -> None:
+        """Finish the relay's detached span, stamped with how it ended."""
+        if state.span is not None:
+            state.span.tag(outcome=outcome, attempts=state.attempts)
+            self._tracer.finish(state.span)
+
+    def _trace_id(self, state: _Relay) -> str:
+        """The trace a relay ran under, for event correlation."""
+        if state.span is not None:
+            return state.span.trace_id
+        context = TraceContext.from_document(state.payload.get(TRACE_KEY))
+        return context.trace_id if context is not None else ""
+
     def _settle_delivered(self, state: _Relay, reply: Any, sent_at: float) -> None:
         if state.settled:
             self.duplicate_replies += 1
@@ -278,6 +320,7 @@ class Gateway:
                 self._engine.now - sent_at,
                 buckets=LATENCY_BUCKETS,
             )
+        self._close_span(state, "delivered")
         state.on_reply(reply, state.attempts)
 
     def _on_budget_exhausted(self, state: _Relay) -> None:
@@ -295,6 +338,15 @@ class Gateway:
         self.expired += 1
         if self._obs.enabled:
             self._obs.inc("gateway.expired")
+        self._close_span(state, REASON_RELAY_DEADLINE)
+        if self._events.enabled:
+            self._events.record(
+                self._engine.now,
+                KIND_DEADLINE,
+                trace_id=self._trace_id(state),
+                gateway=f"{self.source}->{self.target}",
+                attempts=state.attempts,
+            )
         letter = DeadLetter(
             payload=state.payload,
             target=self.target,
@@ -309,6 +361,16 @@ class Gateway:
 
     def _settle_parked(self, state: _Relay, reason: str) -> None:
         state.settled = True
+        self._close_span(state, reason)
+        if self._events.enabled:
+            self._events.record(
+                self._engine.now,
+                KIND_DEAD_LETTER,
+                trace_id=self._trace_id(state),
+                gateway=f"{self.source}->{self.target}",
+                reason=reason,
+                attempts=state.attempts,
+            )
         letter = DeadLetter(
             payload=state.payload,
             target=self.target,
@@ -336,6 +398,13 @@ class Gateway:
         if self.breaker is not None:
             self.breaker.reset()
         parked = [letter for letter in self.dead_letters if not letter.redriven]
+        if parked and self._events.enabled:
+            self._events.record(
+                self._engine.now,
+                KIND_REDRIVE,
+                gateway=f"{self.source}->{self.target}",
+                letters=len(parked),
+            )
         for letter in parked:
             letter.redriven = True
             on_reply = letter._on_reply or (lambda reply, attempts: None)

@@ -12,6 +12,7 @@ from typing import Any
 
 from repro.messaging.body_parts import BodyPart
 from repro.messaging.names import OrName
+from repro.obs.context import TraceContext
 from repro.util.errors import MessagingError
 
 #: envelope priorities, ordered
@@ -92,6 +93,9 @@ class Envelope:
     trace: list[TraceEntry] = field(default_factory=list)
     #: distribution lists already expanded for this message (loop control)
     expanded_lists: list[str] = field(default_factory=list)
+    #: distributed-tracing context the submitting component stamped, so
+    #: MTAs along the path continue the origin's trace (None = untraced)
+    trace_context: TraceContext | None = None
 
     def __post_init__(self) -> None:
         if not self.recipients:
@@ -129,6 +133,7 @@ class Envelope:
             max_hops=self.max_hops,
             trace=list(self.trace),
             expanded_lists=list(self.expanded_lists),
+            trace_context=self.trace_context,
         )
 
     def to_document(self) -> dict[str, Any]:
@@ -145,6 +150,10 @@ class Envelope:
             "max_hops": self.max_hops,
             "trace": [{"mta": t.mta, "arrival_time": t.arrival_time} for t in self.trace],
             "expanded_lists": list(self.expanded_lists),
+            "trace_context": (
+                None if self.trace_context is None
+                else self.trace_context.to_document()
+            ),
         }
 
     @staticmethod
@@ -164,4 +173,5 @@ class Envelope:
                 TraceEntry(t["mta"], t["arrival_time"]) for t in document.get("trace", [])
             ],
             expanded_lists=list(document.get("expanded_lists", [])),
+            trace_context=TraceContext.from_document(document.get("trace_context")),
         )

@@ -32,7 +32,9 @@ from repro.messaging.reports import (
     NonDeliveryReport,
 )
 from repro.messaging.routing import RoutingTable
+from repro.obs.context import TraceContext
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.obs.tracing import NULL_TRACER, Tracer
 from repro.sim.transport import RequestReply
 from repro.sim.world import World
 from repro.util.errors import MessagingError, NoRouteError
@@ -84,6 +86,7 @@ class MessageTransferAgent:
         self.delivered = 0
         self.reports_issued = 0
         self._obs: MetricsRegistry = NULL_METRICS
+        self._tracer: Tracer = NULL_TRACER
         self.rpc = RequestReply(world.network, node, port=MHS_PORT)
         self.rpc.serve("submit", self._op_submit)
         self.rpc.serve("transfer", self._op_transfer)
@@ -151,6 +154,17 @@ class MessageTransferAgent:
         """
         self._obs = metrics if metrics is not None else NULL_METRICS
 
+    def attach_tracer(self, tracer: Tracer | None) -> None:
+        """Trace envelope handling with *tracer* (``None`` detaches).
+
+        Accepted envelopes without a :class:`TraceContext` are stamped
+        from the caller's open span, and local delivery opens an
+        ``mta.deliver`` span continuing the envelope's context — so a
+        message submitted inside a traced operation stays inside that
+        trace across every MTA hop.
+        """
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+
     def add_delivery_hook(self, hook: DeliveryHook) -> None:
         """Call *hook*(mailbox, stored) on every local delivery."""
         self._delivery_hooks.append(hook)
@@ -207,6 +221,10 @@ class MessageTransferAgent:
         envelope pays a per-hop processing delay determined by its
         priority (urgent mail jumps the queue).
         """
+        if self._tracer.enabled and envelope.trace_context is None:
+            # Stamp the submitter's open span onto the envelope once;
+            # every downstream MTA then continues the same trace.
+            envelope.trace_context = self._tracer.current_context()
         if envelope.deferred_until is not None and envelope.deferred_until > self._world.now:
             delay = envelope.deferred_until - self._world.now
             # Re-enter accept() at release time so the envelope still pays
@@ -265,7 +283,14 @@ class MessageTransferAgent:
         if recipient.mailbox not in self._mailboxes:
             self._non_deliver(envelope, REASON_UNKNOWN_RECIPIENT, recipient.mailbox)
             return
-        stored = self.store.deliver(recipient.mailbox, envelope, self._world.now)
+        with self._tracer.span_from_context(
+            "mta.deliver",
+            envelope.trace_context,
+            mta=self.name,
+            mailbox=recipient.mailbox,
+        ) as span:
+            span.tag(hops=envelope.hop_count())
+            stored = self.store.deliver(recipient.mailbox, envelope, self._world.now)
         self.delivered += 1
         obs = self._obs
         if obs.enabled:
@@ -295,8 +320,26 @@ class MessageTransferAgent:
         self.relayed += 1
         if self._obs.enabled:
             self._obs.inc("mta.relayed")
+        span = None
+        if self._tracer.enabled:
+            # Detached span for the async hop; the envelope is re-stamped
+            # so the receiving MTA parents its work under this transfer.
+            span = self._tracer.start_span(
+                "mta.transfer",
+                context=envelope.trace_context,
+                mta=self.name,
+                peer=node,
+                attempt=attempt,
+            )
+            envelope.trace_context = TraceContext(span.trace_id, span.span_id)
+
+        def close(outcome: str) -> None:
+            if span is not None:
+                span.tag(outcome=outcome)
+                self._tracer.finish(span)
 
         def on_timeout() -> None:
+            close("timeout")
             if attempt >= self._attempts:
                 self._non_deliver(
                     envelope, REASON_TRANSFER_FAILURE, f"{attempt} attempts to {node}"
@@ -312,7 +355,7 @@ class MessageTransferAgent:
             node,
             "transfer",
             envelope.to_document(),
-            on_reply=lambda reply: None,
+            on_reply=lambda reply: close("transferred"),
             timeout_s=self._retry_s,
             on_timeout=on_timeout,
             size_bytes=envelope.size_bytes(),

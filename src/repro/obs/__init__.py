@@ -20,6 +20,22 @@ environment builder::
            .build())
 """
 
+from repro.obs.analyze import TraceAnalyzer
+from repro.obs.context import TRACE_KEY, TraceContext
+from repro.obs.events import (
+    NULL_EVENTS,
+    Event,
+    EventLog,
+    NullEventLog,
+)
+from repro.obs.export import (
+    chrome_trace_json,
+    export_chrome_trace,
+    export_jsonl,
+    export_metrics,
+    to_chrome_trace,
+    to_jsonl,
+)
 from repro.obs.instrument import (
     BYTES_BUCKETS,
     COUNT_BUCKETS,
@@ -39,27 +55,42 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NullMetricsRegistry,
 )
+from repro.obs.slo import SLOEngine
 from repro.obs.tracing import NULL_SPAN, NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
     "BYTES_BUCKETS",
     "COUNT_BUCKETS",
     "DEFAULT_BUCKETS",
+    "NULL_EVENTS",
     "NULL_METRICS",
     "NULL_SPAN",
     "NULL_TRACER",
+    "TRACE_KEY",
     "Counter",
+    "Event",
+    "EventLog",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "NullEventLog",
     "NullMetricsRegistry",
     "NullTracer",
     "Observability",
+    "SLOEngine",
     "Span",
+    "TraceAnalyzer",
+    "TraceContext",
     "Tracer",
+    "chrome_trace_json",
+    "export_chrome_trace",
+    "export_jsonl",
+    "export_metrics",
     "instrument_engine",
     "instrument_event_bus",
     "instrument_environment",
     "instrument_mta",
     "instrument_trader",
+    "to_chrome_trace",
+    "to_jsonl",
 ]

@@ -1,0 +1,60 @@
+"""Trace context: the (trace_id, span_id) pair that crosses boundaries.
+
+Distributed tracing works by shipping a tiny, serializable *context*
+along with every payload that leaves the current component — a gateway
+relay document, a failover forward, an X.400 envelope — so the far side
+can open spans that *continue* the origin's trace instead of starting a
+fresh one.  A :class:`TraceContext` is exactly that pair: the trace the
+operation belongs to and the span the next hop should parent under.
+
+The context is deliberately dumb: two strings and dict/JSON round-trip
+helpers.  All behaviour (opening child spans, stack management) lives in
+:class:`~repro.obs.tracing.Tracer`, which produces contexts via
+``current_context()`` and consumes them via ``span_from_context()`` /
+``start_span(context=...)``.
+
+>>> ctx = TraceContext("trace-0001", "span-0004")
+>>> TraceContext.from_document(ctx.to_document()) == ctx
+True
+>>> TraceContext.from_document(None) is None
+True
+"""
+
+from __future__ import annotations
+
+from typing import Any, NamedTuple
+
+#: the payload key trace contexts travel under in relay/forward documents
+TRACE_KEY = "trace"
+
+
+class TraceContext(NamedTuple):
+    """An extracted span identity, safe to serialize across a boundary.
+
+    A ``NamedTuple`` rather than a frozen dataclass: contexts are built
+    on every traced hop, and tuple construction skips the
+    ``object.__setattr__`` toll frozen dataclasses pay per field.
+    """
+
+    trace_id: str
+    span_id: str
+
+    def to_document(self) -> dict[str, str]:
+        """The wire form carried inside relay payloads and envelopes."""
+        return {"trace_id": self.trace_id, "span_id": self.span_id}
+
+    @staticmethod
+    def from_document(document: dict[str, Any] | None) -> "TraceContext | None":
+        """Rebuild a context from its wire form (``None`` passes through).
+
+        Tolerant of payloads produced before tracing was enabled: a
+        document missing either id yields ``None`` rather than a context
+        that would fabricate correlation.
+        """
+        if not document:
+            return None
+        trace_id = document.get("trace_id", "")
+        span_id = document.get("span_id", "")
+        if not trace_id:
+            return None
+        return TraceContext(trace_id=trace_id, span_id=span_id)

@@ -1,0 +1,138 @@
+"""Deterministic exporters: Chrome trace viewer, JSONL spans, metrics.
+
+Three zero-dependency export formats for seeded runs:
+
+* :func:`to_chrome_trace` — the Chrome trace-viewer / Perfetto JSON
+  format (``chrome://tracing``, https://ui.perfetto.dev): one complete
+  ("ph": "X") event per finished span, microsecond timestamps on the
+  span's own clock, one pid per trace so multi-trace dumps render as
+  separate process lanes,
+* :func:`to_jsonl` — one JSON object per span per line, the shape log
+  pipelines ingest,
+* :func:`export_metrics` — a :class:`~repro.obs.metrics.MetricsRegistry`
+  snapshot as pretty-printed JSON.
+
+Everything is sorted and derived from span content only — no wall
+clock, no randomness — so a seeded run exports byte-identical files.
+
+>>> from repro.obs.tracing import Tracer
+>>> tracer = Tracer()
+>>> with tracer.span("outer"):
+...     with tracer.span("inner"):
+...         pass
+>>> blob = to_chrome_trace(tracer.finished())
+>>> [e["name"] for e in blob["traceEvents"] if e["ph"] == "X"]
+['outer', 'inner']
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+#: sim seconds -> chrome trace microseconds
+_MICROS = 1_000_000.0
+
+
+def _as_dict(span: Any) -> dict[str, Any]:
+    """Normalise a Span object or an already-exported dict."""
+    return span.to_dict() if hasattr(span, "to_dict") else dict(span)
+
+
+def to_chrome_trace(spans: Iterable[Any]) -> dict[str, Any]:
+    """Spans as a Chrome trace-viewer / Perfetto JSON document.
+
+    Each finished span becomes one complete event; traces map to pids in
+    first-appearance order (with a ``process_name`` metadata record each,
+    so the viewer labels the lane with the trace id).  Timestamps are
+    non-negative microseconds on the span's recorded clock; events are
+    emitted in (ts, pid) order so the document is stable for diffing.
+    """
+    records = [_as_dict(span) for span in spans]
+    pids: dict[str, int] = {}
+    for record in records:
+        pids.setdefault(record["trace_id"], len(pids) + 1)
+    events: list[dict[str, Any]] = []
+    for trace_id, pid in pids.items():
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": trace_id},
+            }
+        )
+    complete = []
+    for record in records:
+        if record["end"] is None:
+            continue  # an open span has no duration yet
+        start_us = max(record["start"], 0.0) * _MICROS
+        complete.append(
+            {
+                "name": record["name"],
+                "cat": record["clock"],
+                "ph": "X",
+                "ts": start_us,
+                "dur": max(record["duration"], 0.0) * _MICROS,
+                "pid": pids[record["trace_id"]],
+                "tid": 0,
+                "args": {
+                    "span_id": record["span_id"],
+                    "parent_id": record["parent_id"],
+                    **record["tags"],
+                },
+            }
+        )
+    # Longer events first at equal (ts, pid): enclosing spans precede
+    # their children, and span_id settles exact ties deterministically.
+    complete.sort(
+        key=lambda event: (
+            event["ts"],
+            event["pid"],
+            -event["dur"],
+            event["args"]["span_id"],
+        )
+    )
+    events.extend(complete)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def chrome_trace_json(spans: Iterable[Any]) -> str:
+    """The Chrome trace document as a JSON string (sorted keys)."""
+    return json.dumps(to_chrome_trace(spans), sort_keys=True, indent=2)
+
+
+def export_chrome_trace(spans: Iterable[Any], path: str) -> str:
+    """Write the Chrome trace JSON to *path*; returns *path*."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(chrome_trace_json(spans) + "\n")
+    return path
+
+
+def to_jsonl(spans: Iterable[Any]) -> str:
+    """Spans as JSONL: one sorted-key JSON object per line."""
+    return "\n".join(
+        json.dumps(_as_dict(span), sort_keys=True) for span in spans
+    )
+
+
+def export_jsonl(spans: Iterable[Any], path: str) -> str:
+    """Write span JSONL to *path*; returns *path*."""
+    content = to_jsonl(spans)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(content + ("\n" if content else ""))
+    return path
+
+
+def export_metrics(registry: Any, path: str) -> str:
+    """Write a metrics registry snapshot as JSON to *path*; returns *path*.
+
+    Accepts anything with a ``snapshot()`` (a
+    :class:`~repro.obs.metrics.MetricsRegistry`) or a pre-taken snapshot
+    dict.
+    """
+    snapshot = registry.snapshot() if hasattr(registry, "snapshot") else registry
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(snapshot, sort_keys=True, indent=2) + "\n")
+    return path

@@ -104,11 +104,16 @@ def instrument_trader(trader: Any, metrics: MetricsRegistry) -> Any:
     return trader
 
 
-def instrument_mta(mta: Any, metrics: MetricsRegistry) -> Any:
-    """Attach *metrics* to a :class:`repro.messaging.mta.MessageTransferAgent`."""
+def instrument_mta(
+    mta: Any, metrics: MetricsRegistry, tracer: Tracer | None = None
+) -> Any:
+    """Attach *metrics* (and optionally *tracer*) to a
+    :class:`repro.messaging.mta.MessageTransferAgent`."""
     if metrics.enabled:
         metrics.histogram("mta.hops", buckets=COUNT_BUCKETS)
     mta.attach_metrics(metrics)
+    if tracer is not None:
+        mta.attach_tracer(tracer)
     return mta
 
 

@@ -1,0 +1,310 @@
+"""Service-level objectives over sliding sim-time windows.
+
+An SLO turns the metrics the library already collects into a judgement:
+*"≥ 99% of federated exchanges delivered over the last 60 simulated
+seconds"* or *"p99 exchange latency under 2 s"*.  The
+:class:`SLOEngine` samples the backing counters/histograms on a
+periodic sim-time tick, differences the samples to obtain per-window
+values (counters are cumulative; the window is the delta), and raises
+**burn-rate alerts** as ``slo-burn`` events when the error budget is
+being consumed faster than the configured multiple.
+
+Two objective shapes cover the acceptance experiments:
+
+* :meth:`SLOEngine.add_ratio` — good/total counter pair (delivered
+  ratio, policy acceptance, ...); burn rate is the window's error ratio
+  divided by the budget ``1 - target``,
+* :meth:`SLOEngine.add_latency` — a histogram quantile against a
+  threshold (p99 exchange latency); the quantile is interpolated from
+  the windowed bucket deltas, and the burn rate is the fraction of
+  observations over the threshold divided by ``1 - quantile``.
+
+Everything runs on the simulated clock via
+:class:`~repro.sim.engine.PeriodicTask`; like health checks and
+shadowing, a started engine keeps the event queue non-empty, so prefer
+``world.run_for`` over ``world.run`` while it is live.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.obs.events import KIND_SLO_BURN, NULL_EVENTS, EventLog
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.util.errors import ConfigurationError
+
+if TYPE_CHECKING:  # imported lazily at runtime: sim.engine imports obs
+    from repro.sim.engine import Engine, PeriodicTask
+
+
+@dataclass
+class _Objective:
+    """Shared bookkeeping for one objective: samples and alert state."""
+
+    name: str
+    window_s: float
+    burn_threshold: float
+    #: (sample_time, payload) — payload shape depends on the subtype
+    samples: list = field(default_factory=list)
+    #: currently in a burn-alert episode (edge-triggered events)
+    alerting: bool = False
+    alerts: int = 0
+
+    def prune(self, now: float) -> None:
+        """Drop samples that can no longer serve as the window baseline.
+
+        The newest sample older than the window is kept: it is the
+        baseline a full window differences against.
+        """
+        cutoff = now - self.window_s
+        samples = self.samples
+        while len(samples) >= 2 and samples[1][0] <= cutoff:
+            samples.pop(0)
+
+    def baseline(self) -> Any:
+        """The payload to difference the live value against (None = empty)."""
+        return self.samples[0][1] if self.samples else None
+
+
+@dataclass
+class _RatioObjective(_Objective):
+    good: str = ""
+    total: str = ""
+    target: float = 0.0
+
+
+@dataclass
+class _LatencyObjective(_Objective):
+    histogram: str = ""
+    quantile: float = 0.99
+    threshold_s: float = 0.0
+
+
+class SLOEngine:
+    """Evaluates objectives over sliding windows; alerts on budget burn."""
+
+    def __init__(
+        self,
+        engine: "Engine",
+        metrics: MetricsRegistry,
+        events: EventLog | None = None,
+        sample_period_s: float = 1.0,
+    ) -> None:
+        if sample_period_s <= 0:
+            raise ConfigurationError("SLO sample_period_s must be > 0")
+        self._engine = engine
+        self._metrics = metrics
+        self._events: EventLog = events if events is not None else NULL_EVENTS
+        self._period_s = sample_period_s
+        self._objectives: dict[str, _Objective] = {}
+        self._task: "PeriodicTask | None" = None
+
+    # -- objective declaration ---------------------------------------------
+    def add_ratio(
+        self,
+        name: str,
+        good: str,
+        total: str,
+        target: float = 0.99,
+        window_s: float = 60.0,
+        burn_threshold: float = 2.0,
+    ) -> "SLOEngine":
+        """Require counter *good* / counter *total* >= *target* per window.
+
+        *burn_threshold* is the alerting multiple: an alert fires when
+        the window's error ratio exceeds ``burn_threshold * (1 - target)``
+        — budget burning at that many times the sustainable rate.
+        """
+        if not 0.0 < target <= 1.0:
+            raise ConfigurationError("ratio target must be in (0, 1]")
+        self._add(
+            _RatioObjective(
+                name=name,
+                window_s=window_s,
+                burn_threshold=burn_threshold,
+                good=good,
+                total=total,
+                target=target,
+            )
+        )
+        return self
+
+    def add_latency(
+        self,
+        name: str,
+        histogram: str,
+        threshold_s: float,
+        quantile: float = 0.99,
+        window_s: float = 60.0,
+        burn_threshold: float = 2.0,
+    ) -> "SLOEngine":
+        """Require the histogram's windowed *quantile* <= *threshold_s*."""
+        if not 0.0 < quantile < 1.0:
+            raise ConfigurationError("latency quantile must be in (0, 1)")
+        if threshold_s <= 0:
+            raise ConfigurationError("latency threshold_s must be > 0")
+        self._add(
+            _LatencyObjective(
+                name=name,
+                window_s=window_s,
+                burn_threshold=burn_threshold,
+                histogram=histogram,
+                quantile=quantile,
+                threshold_s=threshold_s,
+            )
+        )
+        return self
+
+    def _add(self, objective: _Objective) -> None:
+        if objective.name in self._objectives:
+            raise ConfigurationError(f"objective {objective.name!r} already declared")
+        if objective.window_s <= 0:
+            raise ConfigurationError("objective window_s must be > 0")
+        self._objectives[objective.name] = objective
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> "SLOEngine":
+        """Arm periodic sampling (idempotent); returns self."""
+        from repro.sim.engine import PeriodicTask
+
+        if self._task is None:
+            self._task = PeriodicTask(
+                self._engine, self._period_s, self._sample, label="slo-sample"
+            ).start()
+        return self
+
+    def stop(self) -> None:
+        """Stop sampling (retained samples keep answering evaluate())."""
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+
+    # -- sampling ----------------------------------------------------------
+    def _read(self, objective: _Objective) -> Any:
+        if isinstance(objective, _RatioObjective):
+            return (
+                self._metrics.counter(objective.good).value,
+                self._metrics.counter(objective.total).value,
+            )
+        assert isinstance(objective, _LatencyObjective)
+        histogram = self._metrics.histogram(objective.histogram)
+        return (list(histogram.bucket_counts), histogram.maximum)
+
+    def _sample(self) -> None:
+        now = self._engine.now
+        for objective in self._objectives.values():
+            live = self._read(objective)
+            objective.samples.append((now, live))
+            objective.prune(now)
+            status = self._status(objective, live=live)
+            burning = (
+                status["burn_rate"] >= objective.burn_threshold
+                and status["observations"] > 0
+            )
+            if burning and not objective.alerting:
+                objective.alerts += 1
+                self._events.record(
+                    now,
+                    KIND_SLO_BURN,
+                    objective=objective.name,
+                    burn_rate=round(status["burn_rate"], 4),
+                    value=status["value"],
+                )
+            objective.alerting = burning
+
+    # -- evaluation --------------------------------------------------------
+    def _status(self, objective: _Objective, live: Any = None) -> dict[str, Any]:
+        if live is None:  # the sampler passes its fresh read to avoid a reread
+            live = self._read(objective)
+        base = objective.baseline()
+        if isinstance(objective, _RatioObjective):
+            good0, total0 = base if base is not None else (0, 0)
+            good1, total1 = live
+            good = good1 - good0
+            total = total1 - total0
+            ratio = good / total if total else 1.0
+            budget = 1.0 - objective.target
+            burn = ((1.0 - ratio) / budget) if budget > 0 else (
+                0.0 if ratio >= 1.0 else float("inf")
+            )
+            return {
+                "type": "ratio",
+                "target": objective.target,
+                "value": round(ratio, 6),
+                "met": ratio >= objective.target,
+                "burn_rate": burn,
+                "observations": total,
+            }
+        assert isinstance(objective, _LatencyObjective)
+        histogram = self._metrics.histogram(objective.histogram)
+        counts0 = base[0] if base is not None else [0] * len(histogram.bucket_counts)
+        counts1, maximum = live
+        deltas = [c1 - c0 for c1, c0 in zip(counts1, counts0)]
+        total = sum(deltas)
+        value = self._bucket_quantile(
+            histogram, deltas, total, objective.quantile, maximum
+        )
+        over = self._over_threshold(histogram, deltas, objective.threshold_s)
+        budget = 1.0 - objective.quantile
+        burn = (over / total / budget) if total else 0.0
+        return {
+            "type": "latency",
+            "quantile": objective.quantile,
+            "threshold_s": objective.threshold_s,
+            "value": round(value, 6),
+            "met": value <= objective.threshold_s,
+            "burn_rate": burn,
+            "observations": total,
+        }
+
+    @staticmethod
+    def _bucket_quantile(
+        histogram: Histogram,
+        deltas: list[int],
+        total: int,
+        quantile: float,
+        maximum: float,
+    ) -> float:
+        """The windowed quantile, read off the bucket upper bounds.
+
+        The estimate is the upper bound of the bucket where the
+        cumulative count crosses the quantile — conservative (never
+        under-reports) and exact when observations sit on bounds.  The
+        overflow bucket reports the histogram's running maximum.
+        """
+        if total <= 0:
+            return 0.0
+        rank = quantile * total
+        cumulative = 0
+        for bound, delta in zip(histogram.bounds, deltas):
+            cumulative += delta
+            if cumulative >= rank:
+                return bound
+        return maximum if maximum > float("-inf") else histogram.bounds[-1]
+
+    @staticmethod
+    def _over_threshold(
+        histogram: Histogram, deltas: list[int], threshold_s: float
+    ) -> int:
+        """Windowed observations in buckets entirely above the threshold."""
+        over = 0
+        for bound, delta in zip(histogram.bounds, deltas):
+            if bound > threshold_s:
+                over += delta
+        return over + deltas[-1]  # the +inf overflow bucket
+
+    def evaluate(self) -> dict[str, dict[str, Any]]:
+        """Current per-objective status over each sliding window."""
+        results = {}
+        for name, objective in sorted(self._objectives.items()):
+            status = self._status(objective)
+            status["window_s"] = objective.window_s
+            status["alerts"] = objective.alerts
+            status["alerting"] = objective.alerting
+            results[name] = status
+        return results
+
+    def healthy(self) -> bool:
+        """True when every objective is currently met."""
+        return all(status["met"] for status in self.evaluate().values())

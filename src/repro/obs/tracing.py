@@ -29,6 +29,13 @@ import itertools
 import time
 from typing import Any, Callable
 
+from repro.obs.context import TraceContext
+
+
+def _zero_clock() -> float:
+    """The unbound default: every reading is 0.0 until a clock is bound."""
+    return 0.0
+
 
 class Span:
     """One traced operation: a name, tags, and start/end clock readings.
@@ -38,7 +45,10 @@ class Span:
     mode (``clock`` records which).
     """
 
-    __slots__ = ("name", "trace_id", "span_id", "parent_id", "tags", "start", "end", "clock")
+    __slots__ = (
+        "name", "trace_id", "span_id", "parent_id", "tags", "start", "end",
+        "clock", "_tracer",
+    )
 
     def __init__(
         self,
@@ -48,15 +58,36 @@ class Span:
         parent_id: str = "",
         tags: dict[str, Any] | None = None,
         clock: str = "sim",
+        tracer: "Tracer | None" = None,
     ) -> None:
         self.name = name
         self.trace_id = trace_id
         self.span_id = span_id
         self.parent_id = parent_id
-        self.tags = dict(tags or {})
+        # the span takes ownership of *tags* (tracers pass a fresh
+        # kwargs dict; copying it again would double the per-span cost)
+        self.tags = tags if tags is not None else {}
         self.start = 0.0
         self.end: float | None = None
         self.clock = clock
+        self._tracer = tracer
+
+    # The span is its own context manager (one allocation per traced
+    # operation; a separate guard object would double it on a hot path).
+    def __enter__(self) -> "Span":
+        tracer = self._tracer
+        self.start = tracer._clock()
+        tracer._stack.append(self)
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        tracer = self._tracer
+        self.end = tracer._clock()
+        if exc is not None:
+            self.tags["error"] = repr(exc)
+        tracer._stack.pop()
+        tracer._finished.append(self)
+        return False
 
     @property
     def finished(self) -> bool:
@@ -88,31 +119,6 @@ class Span:
         }
 
 
-class _ActiveSpan:
-    """Context manager that opens *span* on enter and closes it on exit."""
-
-    __slots__ = ("_tracer", "_span")
-
-    def __init__(self, tracer: "Tracer", span: Span) -> None:
-        self._tracer = tracer
-        self._span = span
-
-    def __enter__(self) -> Span:
-        span = self._span
-        span.start = self._tracer._read_clock()
-        self._tracer._stack.append(span)
-        return span
-
-    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
-        span = self._span
-        span.end = self._tracer._read_clock()
-        if exc is not None:
-            span.tag(error=repr(exc))
-        self._tracer._stack.pop()
-        self._tracer._finished.append(span)
-        return False
-
-
 class Tracer:
     """Produces nested spans timed on a pluggable clock.
 
@@ -130,10 +136,13 @@ class Tracer:
 
     def __init__(self, clock: Callable[[], float] | None = None, wall: bool = False) -> None:
         self.wall = wall
+        # the clock is never None so the hot enter/exit path can call it
+        # without a guard (the unbound default pins every reading to 0.0)
         if wall:
-            self._clock: Callable[[], float] | None = time.perf_counter
+            self._clock: Callable[[], float] = time.perf_counter
         else:
-            self._clock = clock
+            self._clock = clock if clock is not None else _zero_clock
+        self._mode = "wall" if wall else "sim"
         self._stack: list[Span] = []
         self._finished: list[Span] = []
         self._trace_ids = itertools.count(1)
@@ -142,7 +151,7 @@ class Tracer:
     @property
     def mode(self) -> str:
         """``"wall"`` for perf_counter tracers, ``"sim"`` otherwise."""
-        return "wall" if self.wall else "sim"
+        return self._mode
 
     @property
     def depth(self) -> int:
@@ -158,11 +167,7 @@ class Tracer:
         """Bind the simulated clock of *engine* (anything with ``.now``)."""
         self.bind_clock(lambda: engine.now)
 
-    def _read_clock(self) -> float:
-        clock = self._clock
-        return clock() if clock is not None else 0.0
-
-    def span(self, name: str, **tags: Any) -> _ActiveSpan:
+    def span(self, name: str, **tags: Any) -> Span:
         """Open a span as a context manager yielding the :class:`Span`.
 
         Nested calls inherit the enclosing span's ``trace_id`` and point
@@ -175,15 +180,92 @@ class Tracer:
         else:
             trace_id = parent.trace_id
             parent_id = parent.span_id
+        return Span(
+            name,
+            trace_id=trace_id,
+            span_id=f"span-{next(self._span_ids):04d}",
+            parent_id=parent_id,
+            tags=tags,
+            clock=self._mode,
+            tracer=self,
+        )
+
+    def span_from_context(
+        self, name: str, context: TraceContext | None, **tags: Any
+    ) -> Span:
+        """Open a span continuing a trace shipped from another component.
+
+        The span joins *context*'s trace with its ``parent_id`` pointing
+        at the remote span — the receiving half of trace propagation: a
+        gateway relay handler (or MTA) opens its work under the origin's
+        trace instead of starting a fresh one.  Spans nested inside
+        inherit normally.  A ``None`` context degrades to :meth:`span`
+        (the sender had no tracing on).
+        """
+        if context is None:
+            return self.span(name, **tags)
+        return Span(
+            name,
+            trace_id=context.trace_id,
+            span_id=f"span-{next(self._span_ids):04d}",
+            parent_id=context.span_id,
+            tags=tags,
+            clock=self._mode,
+            tracer=self,
+        )
+
+    def current_context(self) -> TraceContext | None:
+        """The innermost open span's identity, ready to serialize.
+
+        ``None`` when no span is open — callers ship it as-is and the
+        receiving side degrades gracefully (see :meth:`span_from_context`).
+        """
+        if not self._stack:
+            return None
+        top = self._stack[-1]
+        return TraceContext(trace_id=top.trace_id, span_id=top.span_id)
+
+    def start_span(
+        self,
+        name: str,
+        context: TraceContext | None = None,
+        **tags: Any,
+    ) -> Span:
+        """Start a *detached* span: clocked now, finished by :meth:`finish`.
+
+        Detached spans never touch the nesting stack, so they are the
+        right shape for asynchronous operations — a gateway relay or MTA
+        transfer whose completion callback fires many events later, with
+        unrelated spans opening and closing in between.  With *context*
+        the span continues that trace; without, it parents under the
+        currently open span (or roots a fresh trace).
+        """
+        if context is None:
+            context = self.current_context()
+        if context is None:
+            trace_id = f"trace-{next(self._trace_ids):04d}"
+            parent_id = ""
+        else:
+            trace_id = context.trace_id
+            parent_id = context.span_id
         span = Span(
             name,
             trace_id=trace_id,
             span_id=f"span-{next(self._span_ids):04d}",
             parent_id=parent_id,
             tags=tags,
-            clock=self.mode,
+            clock=self._mode,
+            tracer=self,
         )
-        return _ActiveSpan(self, span)
+        span.start = self._clock()
+        return span
+
+    def finish(self, span: Span) -> Span:
+        """Close a detached span from :meth:`start_span` (idempotent)."""
+        if span.end is None:
+            span.end = self._clock()
+            self._finished.append(span)
+        return span
 
     def finished(self) -> list[Span]:
         """All closed spans, in completion order."""
@@ -193,9 +275,19 @@ class Tracer:
         """All closed spans as JSON-able dicts."""
         return [span.to_dict() for span in self._finished]
 
-    def reset(self) -> None:
-        """Forget finished spans (open spans are unaffected)."""
+    def reset(self, ids: bool = False) -> None:
+        """Forget finished spans (open spans are unaffected).
+
+        By default the trace/span id counters keep running, so ids stay
+        unique across resets within one run.  ``reset(ids=True)``
+        restarts them too — required for determinism when a reseeded run
+        reuses the tracer: a reset-with-ids tracer emits exactly the ids
+        a fresh one would.
+        """
         self._finished.clear()
+        if ids:
+            self._trace_ids = itertools.count(1)
+            self._span_ids = itertools.count(1)
 
 
 class _NullSpanContext:
@@ -219,6 +311,12 @@ class _NullSpan(Span):
         """Discard the tags."""
         return self
 
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        return False
+
 
 class NullTracer(Tracer):
     """The default, disabled tracer: ``span()`` costs one attribute load.
@@ -234,9 +332,32 @@ class NullTracer(Tracer):
         super().__init__()
         self._null_context = _NullSpanContext()
 
-    def span(self, name: str, **tags: Any) -> _ActiveSpan:
+    def span(self, name: str, **tags: Any) -> Span:
         """Return the shared no-op context manager."""
         return self._null_context  # type: ignore[return-value]
+
+    def span_from_context(
+        self, name: str, context: TraceContext | None, **tags: Any
+    ) -> Span:
+        """Return the shared no-op context manager (context discarded)."""
+        return self._null_context  # type: ignore[return-value]
+
+    def current_context(self) -> TraceContext | None:
+        """A disabled tracer has no trace to propagate."""
+        return None
+
+    def start_span(
+        self,
+        name: str,
+        context: TraceContext | None = None,
+        **tags: Any,
+    ) -> Span:
+        """The shared inert span; :meth:`finish` on it is a no-op."""
+        return NULL_SPAN
+
+    def finish(self, span: Span) -> Span:
+        """Discard the finish (the null span is shared and never ends)."""
+        return span
 
     def bind_clock(self, clock: Callable[[], float]) -> None:
         """Ignore the clock; a disabled tracer never reads it."""

@@ -29,6 +29,13 @@ from __future__ import annotations
 
 from typing import Any, Protocol
 
+from repro.obs.events import (
+    KIND_BREAKER_CLOSE,
+    KIND_BREAKER_HALF_OPEN,
+    KIND_BREAKER_OPEN,
+    NULL_EVENTS,
+    EventLog,
+)
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.util.errors import ConfigurationError
 
@@ -53,6 +60,7 @@ class CircuitBreaker:
         failure_threshold: int = 4,
         cooldown_s: float = 30.0,
         metrics: MetricsRegistry | None = None,
+        events: EventLog | None = None,
     ) -> None:
         if failure_threshold < 1:
             raise ConfigurationError("breaker needs failure_threshold >= 1")
@@ -63,6 +71,7 @@ class CircuitBreaker:
         self._threshold = failure_threshold
         self._cooldown_s = cooldown_s
         self._obs: MetricsRegistry = metrics if metrics is not None else NULL_METRICS
+        self._events: EventLog = events if events is not None else NULL_EVENTS
         self._state = STATE_CLOSED
         self._streak = 0
         self._opened_at = 0.0
@@ -119,6 +128,10 @@ class CircuitBreaker:
             self._trial_pending = True
             if self._obs.enabled:
                 self._obs.inc("resilience.breaker.trials")
+            if self._events.enabled:
+                self._events.record(
+                    self._clock.now, KIND_BREAKER_HALF_OPEN, name=self.name
+                )
             return True
         self.fast_failures += 1
         if self._obs.enabled:
@@ -134,6 +147,10 @@ class CircuitBreaker:
             self.reclosed += 1
             if self._obs.enabled:
                 self._obs.inc("resilience.breaker.reclosed")
+            if self._events.enabled:
+                self._events.record(
+                    self._clock.now, KIND_BREAKER_CLOSE, name=self.name
+                )
 
     def record_failure(self) -> None:
         """Note a failed call or probe; may trip the breaker."""
@@ -147,6 +164,10 @@ class CircuitBreaker:
             self._opened_at = self._clock.now
             if self._obs.enabled:
                 self._obs.inc("resilience.breaker.reopened")
+            if self._events.enabled:
+                self._events.record(
+                    self._clock.now, KIND_BREAKER_OPEN, name=self.name, reopened=True
+                )
             return
         if self._state == STATE_CLOSED and self._streak >= self._threshold:
             self._trip()
@@ -157,6 +178,13 @@ class CircuitBreaker:
         self.opened += 1
         if self._obs.enabled:
             self._obs.inc("resilience.breaker.opened")
+        if self._events.enabled:
+            self._events.record(
+                self._clock.now,
+                KIND_BREAKER_OPEN,
+                name=self.name,
+                streak=self._streak,
+            )
 
     # -- operator controls -------------------------------------------------
     def force_open(self) -> None:

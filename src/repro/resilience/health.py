@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from repro.obs.events import KIND_HEALTH_TRANSITION, NULL_EVENTS, EventLog
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.resilience.breaker import CircuitBreaker
 from repro.sim.engine import Engine, PeriodicTask
@@ -47,6 +48,7 @@ class HealthMonitor:
         period_s: float = 5.0,
         default_healthy: bool = True,
         metrics: MetricsRegistry | None = None,
+        events: EventLog | None = None,
     ) -> None:
         if period_s <= 0:
             raise ConfigurationError("health probe period_s must be > 0")
@@ -54,6 +56,7 @@ class HealthMonitor:
         self._period_s = period_s
         self._default = default_healthy
         self._obs: MetricsRegistry = metrics if metrics is not None else NULL_METRICS
+        self._events: EventLog = events if events is not None else NULL_EVENTS
         self._watches: dict[str, _Watch] = {}
 
     def watch(
@@ -98,6 +101,11 @@ class HealthMonitor:
         watch = self._watches.get(key)
         if watch is None:
             return
+        if healthy != watch.healthy and self._events.enabled:
+            # Edge-triggered: one event per flip, not one per probe.
+            self._events.record(
+                self._engine.now, KIND_HEALTH_TRANSITION, key=key, healthy=healthy
+            )
         watch.healthy = healthy
         if healthy:
             if watch.breaker is not None:

@@ -9,6 +9,7 @@ wraps :class:`random.Random` and adds the distributions the simulator needs.
 from __future__ import annotations
 
 import random
+import zlib
 from typing import Sequence, TypeVar
 
 T = TypeVar("T")
@@ -36,10 +37,14 @@ class SeededRng:
         """Return an independent child stream.
 
         The child's seed mixes the parent seed, a fork counter, and the
-        label, so distinct labels give distinct streams.
+        label, so distinct labels give distinct streams.  The mix uses
+        ``zlib.crc32``, not the builtin ``hash()``: string hashing is
+        randomized per process (PYTHONHASHSEED), which would make forked
+        streams — and every "seeded" run using them — irreproducible.
         """
         self._forks += 1
-        child_seed = hash((self._seed, self._forks, label)) & 0x7FFFFFFF
+        material = f"{self._seed}:{self._forks}:{label}".encode()
+        child_seed = zlib.crc32(material) & 0x7FFFFFFF
         return SeededRng(child_seed)
 
     def uniform(self, low: float, high: float) -> float:

@@ -1,0 +1,110 @@
+"""Tests for repro.obs.analyze: span-tree reassembly and critical paths."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.analyze import TraceAnalyzer
+from repro.obs.tracing import Tracer
+from repro.util.errors import ConfigurationError
+
+
+def span_dict(name, trace_id, span_id, parent_id, start, end, **tags):
+    return {
+        "name": name,
+        "trace_id": trace_id,
+        "span_id": span_id,
+        "parent_id": parent_id,
+        "tags": tags,
+        "start": start,
+        "end": end,
+        "duration": end - start,
+        "clock": "sim",
+    }
+
+
+def relay_trace():
+    """One trace shaped like a federated exchange with a forward hop."""
+    return [
+        span_dict("exchange", "t1", "s1", "", 0.0, 10.0),
+        span_dict("gateway.relay", "t1", "s2", "s1", 0.5, 4.0),
+        span_dict("forward", "t1", "s3", "s2", 4.0, 9.5),
+        span_dict("deliver", "t1", "s4", "s3", 5.0, 9.0),
+    ]
+
+
+class TestAssembly:
+    def test_groups_spans_by_trace_across_tracers(self):
+        home, away = Tracer(), Tracer()
+        with home.span("local"):
+            pass
+        with away.span("remote"):
+            pass
+        analyzer = TraceAnalyzer.from_tracers(home, away)
+        # both tracers allocate trace-0001 independently; the ids
+        # collide by construction, so the analyzer sees one trace id
+        assert analyzer.trace_ids() == ["trace-0001"]
+        assert len(analyzer.spans("trace-0001")) == 2
+
+    def test_skips_open_spans(self):
+        tracer = Tracer()
+        open_span = tracer.start_span("pending")
+        analyzer = TraceAnalyzer([open_span])
+        assert analyzer.trace_ids() == []
+
+    def test_unknown_trace_raises(self):
+        with pytest.raises(ConfigurationError):
+            TraceAnalyzer().spans("missing")
+
+    def test_connected_single_root(self):
+        analyzer = TraceAnalyzer(relay_trace())
+        assert analyzer.is_connected("t1")
+        assert analyzer.roots("t1")[0]["name"] == "exchange"
+
+    def test_orphan_parent_makes_extra_root(self):
+        spans = relay_trace() + [
+            span_dict("stray", "t1", "s9", "missing-parent", 0.0, 1.0)
+        ]
+        analyzer = TraceAnalyzer(spans)
+        assert not analyzer.is_connected("t1")
+        assert len(analyzer.roots("t1")) == 2
+
+
+class TestCriticalPath:
+    def test_follows_latest_finishing_children(self):
+        analyzer = TraceAnalyzer(relay_trace())
+        assert [span["name"] for span in analyzer.critical_path("t1")] == [
+            "exchange", "gateway.relay", "forward", "deliver",
+        ]
+
+    def test_coverage_is_path_share_of_root_duration(self):
+        analyzer = TraceAnalyzer(relay_trace())
+        # children cover [0.5, 9.5] of the root's [0, 10]: 90%
+        assert analyzer.critical_path_coverage("t1") == pytest.approx(0.9)
+
+    def test_leaf_only_trace_covers_fully(self):
+        analyzer = TraceAnalyzer([span_dict("solo", "t1", "s1", "", 0.0, 2.0)])
+        assert analyzer.critical_path_coverage("t1") == 1.0
+
+    def test_hop_latency_reports_exclusive_time(self):
+        analyzer = TraceAnalyzer(relay_trace())
+        hops = {hop["name"]: hop for hop in analyzer.hop_latency("t1")}
+        assert hops["gateway.relay"]["duration"] == pytest.approx(3.5)
+        # forward spends 5.5s total but 4.0s is the nested deliver
+        assert hops["forward"]["exclusive"] == pytest.approx(1.5)
+
+    def test_duration_and_top_slowest(self):
+        spans = relay_trace() + [
+            span_dict("quick", "t2", "s1", "", 0.0, 1.0),
+            span_dict("slow", "t3", "s1", "", 0.0, 20.0),
+        ]
+        analyzer = TraceAnalyzer(spans)
+        assert analyzer.duration("t2") == pytest.approx(1.0)
+        top = analyzer.top_slowest(2)
+        assert [entry["trace_id"] for entry in top] == ["t3", "t1"]
+
+    def test_summary_shape(self):
+        summary = TraceAnalyzer(relay_trace()).summary()
+        assert summary["traces"] == 1
+        assert summary["spans"] == 1 * 4
+        assert summary["connected"] == 1

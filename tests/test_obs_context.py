@@ -1,0 +1,76 @@
+"""Tests for repro.obs.context: the wire form of trace propagation."""
+
+from __future__ import annotations
+
+from repro.obs.context import TRACE_KEY, TraceContext
+from repro.obs.tracing import Tracer
+
+
+class TestTraceContext:
+    def test_round_trips_through_documents(self):
+        context = TraceContext("trace-0007", "span-0042")
+        document = context.to_document()
+        assert document == {"trace_id": "trace-0007", "span_id": "span-0042"}
+        assert TraceContext.from_document(document) == context
+
+    def test_from_document_rejects_missing_or_empty(self):
+        assert TraceContext.from_document(None) is None
+        assert TraceContext.from_document({}) is None
+        assert TraceContext.from_document({"trace_id": "", "span_id": "x"}) is None
+
+    def test_is_frozen_and_hashable(self):
+        context = TraceContext("t", "s")
+        assert context == TraceContext("t", "s")
+        assert len({context, TraceContext("t", "s")}) == 1
+
+    def test_trace_key_is_the_payload_slot(self):
+        # The constant is the contract between relay producers and
+        # consumers; a payload stamped under it parses back.
+        payload = {"doc": {"title": "minutes"}}
+        payload[TRACE_KEY] = TraceContext("t1", "s1").to_document()
+        assert TraceContext.from_document(payload.get(TRACE_KEY)) == (
+            TraceContext("t1", "s1")
+        )
+
+
+class TestTracerContextBridge:
+    def test_current_context_tracks_the_stack(self):
+        tracer = Tracer()
+        assert tracer.current_context() is None
+        with tracer.span("outer") as outer:
+            context = tracer.current_context()
+            assert context == TraceContext(outer.trace_id, outer.span_id)
+            with tracer.span("inner") as inner:
+                assert tracer.current_context().span_id == inner.span_id
+            assert tracer.current_context().span_id == outer.span_id
+        assert tracer.current_context() is None
+
+    def test_span_from_context_continues_a_remote_trace(self):
+        origin = Tracer()
+        with origin.span("origin") as root:
+            wire = TraceContext(root.trace_id, root.span_id).to_document()
+        remote = Tracer()
+        with remote.span_from_context(
+            "remote", TraceContext.from_document(wire)
+        ) as span:
+            assert span.trace_id == root.trace_id
+            assert span.parent_id == root.span_id
+
+    def test_span_from_context_none_falls_back_to_local_root(self):
+        tracer = Tracer()
+        with tracer.span_from_context("solo", None) as span:
+            assert span.parent_id == ""
+        assert span.trace_id  # a fresh local trace was allocated
+
+    def test_start_span_detached_respects_context_and_stays_off_stack(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            detached = tracer.start_span("relay", attempt=1)
+            # detached spans must not change what current_context() reports
+            assert tracer.current_context().span_id == root.span_id
+            assert detached.trace_id == root.trace_id
+            assert detached.parent_id == root.span_id
+        tracer.finish(detached)
+        tracer.finish(detached)  # idempotent
+        names = [span.name for span in tracer.finished()]
+        assert names.count("relay") == 1

@@ -1,0 +1,156 @@
+"""Tests for repro.obs.slo: sliding-window objectives and burn alerts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.events import KIND_SLO_BURN, EventLog
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import SLOEngine
+from repro.sim.world import World
+from repro.util.errors import ConfigurationError
+
+LATENCY_BUCKETS = (0.1, 0.5, 1.0, 2.0, 5.0)
+
+
+@pytest.fixture
+def metrics() -> MetricsRegistry:
+    return MetricsRegistry()
+
+
+def make_engine(world, metrics, events=None, period_s=1.0) -> SLOEngine:
+    return SLOEngine(
+        world.engine, metrics, events=events, sample_period_s=period_s
+    )
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self, world, metrics):
+        with pytest.raises(ConfigurationError):
+            SLOEngine(world.engine, metrics, sample_period_s=0.0)
+        slo = make_engine(world, metrics)
+        with pytest.raises(ConfigurationError):
+            slo.add_ratio("r", "good", "total", target=1.5)
+        with pytest.raises(ConfigurationError):
+            slo.add_ratio("r", "good", "total", window_s=0.0)
+        with pytest.raises(ConfigurationError):
+            slo.add_latency("l", "h", threshold_s=0.0)
+        with pytest.raises(ConfigurationError):
+            slo.add_latency("l", "h", threshold_s=1.0, quantile=1.0)
+        slo.add_ratio("r", "good", "total")
+        with pytest.raises(ConfigurationError):
+            slo.add_ratio("r", "good", "total")
+
+
+class TestRatioObjective:
+    def test_healthy_while_ratio_meets_target(self, world, metrics):
+        slo = make_engine(world, metrics).add_ratio(
+            "delivered", "env.delivered", "env.total", target=0.9, window_s=10.0
+        )
+        slo.start()
+        for _ in range(20):
+            metrics.inc("env.delivered")
+            metrics.inc("env.total")
+            world.run_for(0.5)
+        status = slo.evaluate()["delivered"]
+        assert status["met"] and status["value"] == 1.0
+        assert slo.healthy()
+
+    def test_window_forgets_an_old_bad_patch(self, world, metrics):
+        slo = make_engine(world, metrics).add_ratio(
+            "delivered", "env.delivered", "env.total", target=0.9, window_s=5.0
+        )
+        slo.start()
+        # a bad patch: everything fails for 5 simulated seconds
+        for _ in range(5):
+            metrics.inc("env.total")
+            world.run_for(1.0)
+        assert not slo.evaluate()["delivered"]["met"]
+        # then a clean stretch longer than the window
+        for _ in range(10):
+            metrics.inc("env.delivered")
+            metrics.inc("env.total")
+            world.run_for(1.0)
+        status = slo.evaluate()["delivered"]
+        assert status["met"], f"old failures leaked into the window: {status}"
+
+    def test_burn_alert_is_edge_triggered(self, world, metrics):
+        events = EventLog()
+        slo = make_engine(world, metrics, events=events).add_ratio(
+            "delivered",
+            "env.delivered",
+            "env.total",
+            target=0.9,
+            window_s=10.0,
+            burn_threshold=2.0,
+        )
+        slo.start()
+        for _ in range(6):
+            metrics.inc("env.total")  # 100% errors: burn rate 10x budget
+            world.run_for(1.0)
+        burns = events.events(kind=KIND_SLO_BURN)
+        assert len(burns) == 1, "burn alert must fire once per episode"
+        assert burns[0].attrs["objective"] == "delivered"
+        assert slo.evaluate()["delivered"]["alerts"] == 1
+
+    def test_empty_window_is_vacuously_met(self, world, metrics):
+        slo = make_engine(world, metrics).add_ratio(
+            "delivered", "env.delivered", "env.total"
+        )
+        slo.start()
+        world.run_for(3.0)
+        status = slo.evaluate()["delivered"]
+        assert status["met"] and status["observations"] == 0
+
+
+class TestLatencyObjective:
+    def test_quantile_under_threshold_is_met(self, world, metrics):
+        metrics.histogram("env.latency", LATENCY_BUCKETS)
+        slo = make_engine(world, metrics).add_latency(
+            "p99", "env.latency", threshold_s=2.0, quantile=0.99, window_s=10.0
+        )
+        slo.start()
+        for _ in range(10):
+            metrics.observe("env.latency", 0.3)
+            world.run_for(0.5)
+        status = slo.evaluate()["p99"]
+        assert status["met"]
+        assert status["value"] == pytest.approx(0.5)  # bucket upper bound
+
+    def test_slow_tail_breaches_and_burns(self, world, metrics):
+        events = EventLog()
+        metrics.histogram("env.latency", LATENCY_BUCKETS)
+        slo = make_engine(world, metrics, events=events).add_latency(
+            "p99",
+            "env.latency",
+            threshold_s=1.0,
+            quantile=0.9,
+            window_s=20.0,
+            burn_threshold=2.0,
+        )
+        slo.start()
+        for index in range(10):
+            # every other observation blows the threshold: 50% > budget 10%
+            metrics.observe("env.latency", 4.0 if index % 2 else 0.2)
+            world.run_for(1.0)
+        status = slo.evaluate()["p99"]
+        assert not status["met"]
+        assert status["value"] > 1.0
+        assert len(events.events(kind=KIND_SLO_BURN)) == 1
+        assert not slo.healthy()
+
+
+class TestLifecycle:
+    def test_stop_freezes_sampling(self, world, metrics):
+        slo = make_engine(world, metrics).add_ratio(
+            "delivered", "env.delivered", "env.total", window_s=5.0
+        )
+        slo.start()
+        slo.start()  # idempotent
+        metrics.inc("env.delivered")
+        metrics.inc("env.total")
+        world.run_for(2.0)
+        slo.stop()
+        before = slo.evaluate()["delivered"]
+        world.run_for(10.0)  # no task: nothing else sampled
+        assert slo.evaluate()["delivered"]["observations"] == before["observations"]

@@ -88,6 +88,32 @@ class TestSimClockSpans:
         tracer.reset()
         assert tracer.finished() == []
 
+    def test_reset_keeps_id_counters_by_default(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        tracer.reset()
+        with tracer.span("b") as span:
+            pass
+        # ids keep running: no collision with spans recorded pre-reset
+        assert (span.trace_id, span.span_id) == ("trace-0002", "span-0002")
+
+    def test_reset_with_ids_restores_fresh_tracer_determinism(self):
+        """reset(ids=True) makes a reused tracer emit exactly the ids a
+        fresh one would — required when a reseeded run reuses it."""
+
+        def run(tracer):
+            with tracer.span("exchange"):
+                with tracer.span("relay"):
+                    pass
+            return [(s.trace_id, s.span_id, s.parent_id) for s in tracer.finished()]
+
+        tracer = Tracer()
+        first = run(tracer)
+        tracer.reset(ids=True)
+        second = run(tracer)
+        assert first == second == run(Tracer())
+
 
 class TestWallClockMode:
     def test_wall_mode_reads_a_real_monotonic_clock(self):
@@ -128,3 +154,45 @@ class TestNullTracer:
         env = CSCWEnvironment(world)
         assert env.tracer.enabled is False
         assert env.metrics.enabled is False
+
+    def test_exception_escapes_null_span_without_corruption(self):
+        """An exception through a null span must leave the shared context
+        manager reusable — the null tracer keeps no per-entry state."""
+        tracer = NullTracer()
+        for _ in range(2):
+            try:
+                with tracer.span("boom"):
+                    raise RuntimeError("bad")
+            except RuntimeError:
+                pass
+        with tracer.span("after") as span:
+            assert span is NULL_SPAN
+        assert tracer.finished() == []
+
+    def test_nested_null_spans_with_exception_stay_inert(self):
+        tracer = NullTracer()
+        try:
+            with tracer.span("outer"):
+                with tracer.span_from_context("inner", None):
+                    detached = tracer.start_span("detached")
+                    raise RuntimeError("bad")
+        except RuntimeError:
+            pass
+        tracer.finish(detached)
+        assert tracer.current_context() is None
+        assert tracer.finished() == []
+
+    def test_null_span_exception_does_not_leak_into_a_real_tracer(self):
+        """Regression guard: code that raised inside NULL_TRACER spans must
+        not leave residue that corrupts a later-enabled real tracer."""
+        try:
+            with NULL_TRACER.span("boom"):
+                raise RuntimeError("bad")
+        except RuntimeError:
+            pass
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+        assert tracer.depth == 0
+        assert [s.name for s in tracer.finished()] == ["inner", "outer"]
