@@ -185,4 +185,56 @@ EOF
 echo "== bench_e10 observability (quick) =="
 python benchmarks/bench_e10_observability.py --quick
 
+echo "== control smoke (one burn -> one action -> one reversal) =="
+python - <<'EOF'
+# Deterministic closed loop: starve an SLO until it burns (one edge),
+# watch the control plane tighten the shed limit once, then feed it a
+# clean window and watch the single reversal restore the exact limit.
+from repro.control import ControlPlane, ControlPolicy
+from repro.obs import EventLog, MetricsRegistry, RatioSLO, SLOEngine
+from repro.obs.events import KIND_CONTROL_ACTION, KIND_CONTROL_REVERT
+from repro.obs.tracing import Tracer
+from repro.sim.world import World
+
+
+class Shedder:
+    shed_limit = 10
+    def set_shed_limit(self, limit):
+        self.shed_limit = limit
+
+
+world = World(seed=7)
+metrics, events = MetricsRegistry(), EventLog()
+slo = SLOEngine(world.engine, metrics, events=events, sample_period_s=0.5).declare(
+    RatioSLO("delivery", "good", "total", target=0.9, window_s=4.0)
+)
+slo.start()
+shedder = Shedder()
+plane = ControlPlane(
+    world.engine,
+    policy=ControlPolicy(tick_s=0.25, cooldown_s=1.0),
+    metrics=metrics, events=events, tracer=Tracer(),
+).watch_slo(slo)
+plane.manage_environment("env", shedder)
+plane.start()
+for _ in range(4):  # burn: a window of pure errors
+    metrics.inc("total")
+    world.run_for(0.5)
+assert plane.burning == {"delivery"} and shedder.shed_limit == 5, plane.describe()
+for _ in range(12):  # recovery: a clean stretch longer than the window
+    metrics.inc("good"); metrics.inc("total")
+    world.run_for(0.5)
+assert plane.burning == set() and shedder.shed_limit == 10, plane.describe()
+assert plane.actions_applied == 1 and plane.actions_reverted == 1, plane.describe()
+assert plane.fully_reverted()
+[apply_event] = events.events(kind=KIND_CONTROL_ACTION)
+[revert_event] = events.events(kind=KIND_CONTROL_REVERT)
+assert apply_event.trace_id and revert_event.trace_id
+print(f"control loop ok: burn at t={apply_event.time:.2f}s applied "
+      f"{apply_event.attrs['action']}, reverted at t={revert_event.time:.2f}s")
+EOF
+
+echo "== bench_e11 control (quick) =="
+python benchmarks/bench_e11_control.py --quick
+
 echo "== all checks passed =="

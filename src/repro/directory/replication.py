@@ -31,6 +31,7 @@ from repro.odp.objects import InterfaceRef
 from repro.resilience.breaker import CircuitBreaker
 from repro.sim.engine import EventHandle
 from repro.sim.world import World
+from repro.util.errors import ConfigurationError
 
 
 class ShadowingAgreement:
@@ -97,6 +98,25 @@ class ShadowingAgreement:
     def fail_streak(self) -> int:
         """Consecutive failed pulls since the last success."""
         return self._fail_streak
+
+    @property
+    def period_s(self) -> float:
+        """The configured base pull period (before failure backoff)."""
+        return self._period_s
+
+    def set_period(self, period_s: float) -> None:
+        """Re-balance the base pull cadence at runtime.
+
+        The adaptive control plane slows shadowing down while the
+        federation is shedding load (background replication should not
+        compete with foreground exchanges) and restores the configured
+        cadence after recovery.  A pull already armed keeps its old
+        delay; the new period takes effect from the next re-arm.
+        """
+        if period_s <= 0:
+            raise ConfigurationError("shadowing period_s must be > 0")
+        self._period_s = period_s
+        self._max_backoff_s = max(self._max_backoff_s, period_s)
 
     def attach_metrics(self, metrics: MetricsRegistry | None) -> None:
         """Report pull activity to *metrics* (``None`` detaches).

@@ -38,13 +38,13 @@ from repro.communication.model import (
     Exchange,
 )
 from repro.environment.registry import AppDescriptor, DeliveryCallback
-from repro.environment.transparency import TransparencyProfile
+from repro.environment.transparency import CSCW_DIMENSIONS, TransparencyProfile
 from repro.obs.events import KIND_DEADLINE, KIND_SHED
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import Tracer
 from repro.org.policy import INTERACTION_MESSAGE
 from repro.sim.world import World
-from repro.util.errors import InteropError, UnknownObjectError
+from repro.util.errors import ConfigurationError, InteropError, UnknownObjectError
 from repro.util.serialization import document_size
 
 if TYPE_CHECKING:
@@ -93,10 +93,20 @@ class ExchangeOutcome:
 
 @dataclass(frozen=True)
 class ExchangeRequest:
-    """One exchange in a batch submitted to :meth:`CSCWEnvironment.exchange_many`.
+    """The single currency of the exchange call surface.
 
-    Field-for-field the arguments of :meth:`CSCWEnvironment.exchange`;
-    a batch is simply a sequence of these.
+    Every exchange entry point — :meth:`CSCWEnvironment.exchange`,
+    :meth:`CSCWEnvironment.exchange_many`, the remote
+    :class:`~repro.environment.server.EnvironmentClient` and
+    :meth:`~repro.federation.federation.Federation.federated_exchange` —
+    accepts one of these (the legacy keyword form is a thin shim over
+    :meth:`from_kwargs`, so the two call styles cannot drift apart).
+
+    Beyond the routing fields, a request carries the annotations the
+    adaptive control plane acts on: ``priority`` (positive priorities
+    bypass queue-depth load shedding), ``shed_class`` (a free-form label
+    recorded with shed events so operators can see *what* was dropped)
+    and the absolute simulated-time ``deadline``.
     """
 
     sender: str
@@ -109,6 +119,88 @@ class ExchangeRequest:
     interaction: str = INTERACTION_MESSAGE
     #: absolute simulated-time delivery deadline (None = no deadline)
     deadline: float | None = None
+    #: requests with priority > 0 are exempt from load shedding
+    priority: int = 0
+    #: free-form shed classification, recorded with shed events
+    shed_class: str = ""
+
+    @classmethod
+    def from_kwargs(
+        cls,
+        sender: str,
+        receiver: str,
+        sender_app: str,
+        receiver_app: str,
+        document: dict[str, Any],
+        activity_id: str = "",
+        profile: TransparencyProfile | None = None,
+        interaction: str = INTERACTION_MESSAGE,
+        deadline: float | None = None,
+        priority: int = 0,
+        shed_class: str = "",
+    ) -> "ExchangeRequest":
+        """Build a request from the legacy positional/keyword arguments.
+
+        This is the one place the keyword call shape is defined; the
+        ``exchange`` shims of the environment, the environment server
+        client and the federation all route through it.
+        """
+        return cls(
+            sender=sender,
+            receiver=receiver,
+            sender_app=sender_app,
+            receiver_app=receiver_app,
+            document=document,
+            activity_id=activity_id,
+            profile=profile,
+            interaction=interaction,
+            deadline=deadline,
+            priority=priority,
+            shed_class=shed_class,
+        )
+
+    def to_document(self) -> dict[str, Any]:
+        """The wire form of the request (profile flattened to a dict).
+
+        Used by the environment server channel and the federation's
+        gateway relays; :meth:`from_document` is the inverse.
+        """
+        return {
+            "sender": self.sender,
+            "receiver": self.receiver,
+            "sender_app": self.sender_app,
+            "receiver_app": self.receiver_app,
+            "document": self.document,
+            "activity_id": self.activity_id,
+            "profile": None if self.profile is None else {
+                dim: getattr(self.profile, dim) for dim in CSCW_DIMENSIONS
+            },
+            "interaction": self.interaction,
+            "deadline": self.deadline,
+            "priority": self.priority,
+            "shed_class": self.shed_class,
+        }
+
+    @classmethod
+    def from_document(cls, document: dict[str, Any]) -> "ExchangeRequest":
+        """Rebuild a request from its wire form (tolerant of old senders
+        that omit the newer annotation fields)."""
+        profile_fields = document.get("profile")
+        return cls(
+            sender=document["sender"],
+            receiver=document["receiver"],
+            sender_app=document["sender_app"],
+            receiver_app=document["receiver_app"],
+            document=document["document"],
+            activity_id=document.get("activity_id", ""),
+            profile=None if profile_fields is None else TransparencyProfile(
+                **{dim: bool(profile_fields.get(dim, True)) for dim in CSCW_DIMENSIONS}
+            ),
+            interaction=document.get("interaction", INTERACTION_MESSAGE),
+            deadline=document.get("deadline"),
+            priority=document.get("priority", 0),
+            shed_class=document.get("shed_class", ""),
+        )
 
 
 class CSCWEnvironment:
@@ -238,50 +330,49 @@ class CSCWEnvironment:
         return activity
 
     # -- the exchange primitive -----------------------------------------------------
-    def exchange(
-        self,
-        sender: str,
-        receiver: str,
-        sender_app: str,
-        receiver_app: str,
-        document: dict[str, Any],
-        activity_id: str = "",
-        profile: TransparencyProfile | None = None,
-        interaction: str = INTERACTION_MESSAGE,
-        deadline: float | None = None,
-    ) -> ExchangeOutcome:
-        """Deliver *document* from one application's user to another's.
+    def exchange(self, request=None, /, *args: Any, **kwargs: Any) -> ExchangeOutcome:
+        """Deliver one :class:`ExchangeRequest` (or legacy keyword form).
+
+        The canonical call passes a single request object::
+
+            env.exchange(ExchangeRequest(sender, receiver, ..., document))
+
+        The legacy positional/keyword form (``exchange(sender, receiver,
+        sender_app, receiver_app, document, ...)``) remains supported as
+        a thin shim over :meth:`ExchangeRequest.from_kwargs` and produces
+        identical outcomes.
 
         The environment applies each enabled transparency; a disabled
         transparency whose dimension the exchange actually crosses makes
         the exchange fail — quantifying exactly what each transparency
         buys (experiment E4).
 
-        *deadline* is an absolute simulated time: an exchange arriving
-        past it fails with :data:`REASON_DEADLINE_EXCEEDED`, and a
-        store-and-forward delivery still queued at the deadline is
+        ``request.deadline`` is an absolute simulated time: an exchange
+        arriving past it fails with :data:`REASON_DEADLINE_EXCEEDED`, and
+        a store-and-forward delivery still queued at the deadline is
         dropped instead of flushed (the builder's ``with_default_deadline``
-        supplies a relative default).  When the builder's
-        ``with_shed_limit`` is set, asynchronous deliveries beyond that
-        per-receiver queue depth are shed with :data:`REASON_OVERLOAD`.
+        supplies a relative default).  When a shed limit is set
+        (``with_shed_limit`` or the runtime :meth:`set_shed_limit`),
+        asynchronous deliveries beyond that per-receiver queue depth are
+        shed with :data:`REASON_OVERLOAD` — unless the request carries a
+        positive ``priority``, which bypasses shedding.
 
         When a tracer is attached, the whole exchange runs inside an
         ``env.exchange`` span whose trace id the returned outcome
         carries; when a metrics registry is attached, outcomes are
         counted by reason code and transparency dimension.
         """
+        if not isinstance(request, ExchangeRequest):
+            positional = () if request is None else (request,)
+            request = ExchangeRequest.from_kwargs(*positional, *args, **kwargs)
         with self.tracer.span(
             "env.exchange",
-            sender=sender,
-            receiver=receiver,
-            sender_app=sender_app,
-            receiver_app=receiver_app,
+            sender=request.sender,
+            receiver=request.receiver,
+            sender_app=request.sender_app,
+            receiver_app=request.receiver_app,
         ) as span:
-            outcome = self._exchange(
-                sender, receiver, sender_app, receiver_app, document,
-                activity_id, profile, interaction, span.trace_id,
-                deadline=deadline,
-            )
+            outcome = self._exchange(request, span.trace_id)
             span.tag(
                 delivered=outcome.delivered,
                 mode=outcome.mode,
@@ -291,29 +382,27 @@ class CSCWEnvironment:
 
     def _exchange(
         self,
-        sender: str,
-        receiver: str,
-        sender_app: str,
-        receiver_app: str,
-        document: dict[str, Any],
-        activity_id: str,
-        profile: TransparencyProfile | None,
-        interaction: str,
+        request: ExchangeRequest,
         trace_id: str,
         obs: MetricsRegistry | None = None,
-        deadline: float | None = None,
     ) -> ExchangeOutcome:
+        sender = request.sender
+        receiver = request.receiver
+        sender_app = request.sender_app
+        receiver_app = request.receiver_app
+        activity_id = request.activity_id
+        interaction = request.interaction
         self.exchanges_attempted += 1
         if obs is None:
             obs = self.metrics
         if obs.enabled:
             obs.inc("env.exchange.attempted")
-        active = profile if profile is not None else _ALL_ON
+        active = request.profile if request.profile is not None else _ALL_ON
         handled: list[str] = []
 
         # Deadline check runs first: an exchange that arrives expired
         # (e.g. after gateway hops) must not consume pipeline work.
-        expires_at = self.effective_deadline(deadline)
+        expires_at = self.effective_deadline(request.deadline)
         if expires_at is not None and self.world.now >= expires_at:
             if obs.enabled:
                 obs.inc("env.shed.expired")
@@ -371,7 +460,7 @@ class CSCWEnvironment:
         # 2. View (format) dimension (memoised per app pair).
         translated = False
         fidelity = 1.0
-        payload = dict(document)
+        payload = dict(request.document)
         sender_format, receiver_format = self.resolution.formats(sender_app, receiver_app)
         if sender_format != receiver_format:
             if not active.view:
@@ -414,7 +503,8 @@ class CSCWEnvironment:
                     obs,
                 )
             if (
-                self._shed_limit is not None
+                request.priority <= 0
+                and self._shed_limit is not None
                 and len(self._pending_deliveries.get(receiver, ())) >= self._shed_limit
             ):
                 if obs.enabled:
@@ -427,6 +517,7 @@ class CSCWEnvironment:
                         env=self.name,
                         receiver=receiver,
                         queued=self._shed_limit,
+                        shed_class=request.shed_class,
                     )
                 return self._fail(
                     REASON_OVERLOAD,
@@ -535,6 +626,8 @@ class CSCWEnvironment:
                         or nxt.interaction != head.interaction
                         or nxt.profile != head.profile
                         or nxt.deadline != head.deadline
+                        or nxt.priority != head.priority
+                        or nxt.shed_class != head.shed_class
                     ):
                         break
                     stop += 1
@@ -734,7 +827,8 @@ class CSCWEnvironment:
                 # queue depth is re-read per item: each queued delivery
                 # counts against the next one's shed check
                 if (
-                    self._shed_limit is not None
+                    head.priority <= 0
+                    and self._shed_limit is not None
                     and len(pending.get(receiver, ())) >= self._shed_limit
                 ):
                     failed += 1
@@ -812,6 +906,7 @@ class CSCWEnvironment:
                     receiver=receiver,
                     dropped=shed,
                     batch=True,
+                    shed_class=head.shed_class,
                 )
         delivered = sync_count + async_count
         if delivered:
@@ -846,6 +941,40 @@ class CSCWEnvironment:
             obs.inc(f"env.exchange.reason.{code}", count)
         for dimension, count in dimensions.items():
             obs.inc(f"env.exchange.transparency.{dimension}", count)
+
+    # -- runtime overload knobs (driven by the control plane) -------------------
+    @property
+    def shed_limit(self) -> int | None:
+        """Current per-receiver queue-depth shed limit (None = never shed)."""
+        return self._shed_limit
+
+    def set_shed_limit(self, limit: int | None) -> None:
+        """Change the shed limit at runtime (same contract as the builder's
+        ``with_shed_limit``).
+
+        The adaptive control plane tightens this under SLO burn and
+        relaxes it back after recovery; already-queued deliveries are
+        untouched — only admission of *new* asynchronous deliveries is
+        affected.
+        """
+        if limit is not None and limit < 1:
+            raise ConfigurationError("shed limit must be >= 1 (or None)")
+        self._shed_limit = limit
+
+    @property
+    def default_deadline_s(self) -> float | None:
+        """Current relative default deadline in simulated seconds."""
+        return self._default_deadline_s
+
+    def set_default_deadline(self, seconds: float | None) -> None:
+        """Change the default deadline at runtime (same contract as the
+        builder's ``with_default_deadline``); applies to exchanges
+        started after the call."""
+        from repro.util.errors import ConfigurationError
+
+        if seconds is not None and seconds <= 0:
+            raise ConfigurationError("default deadline must be > 0 (or None)")
+        self._default_deadline_s = seconds
 
     def effective_deadline(self, deadline: float | None) -> float | None:
         """Resolve a caller deadline against the configured default.

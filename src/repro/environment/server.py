@@ -17,8 +17,11 @@ from __future__ import annotations
 from dataclasses import asdict
 from typing import Any
 
-from repro.environment.environment import CSCWEnvironment, ExchangeOutcome
-from repro.environment.transparency import CSCW_DIMENSIONS, TransparencyProfile
+from repro.environment.environment import (
+    CSCWEnvironment,
+    ExchangeOutcome,
+    ExchangeRequest,
+)
 from repro.odp.binding import BindingFactory, Channel
 from repro.odp.node_mgmt import Capsule
 from repro.odp.objects import ComputationalObject, InterfaceRef, signature
@@ -33,20 +36,6 @@ ENVIRONMENT_SIGNATURE = signature(
     "person_leaves",
     "pending_for",
 )
-
-
-def _profile_from_document(document: dict[str, Any] | None) -> TransparencyProfile | None:
-    if document is None:
-        return None
-    return TransparencyProfile(
-        **{dim: bool(document.get(dim, True)) for dim in CSCW_DIMENSIONS}
-    )
-
-
-def _profile_to_document(profile: TransparencyProfile | None) -> dict[str, Any] | None:
-    if profile is None:
-        return None
-    return {dim: getattr(profile, dim) for dim in CSCW_DIMENSIONS}
 
 
 class EnvironmentServer:
@@ -81,16 +70,9 @@ class EnvironmentServer:
         return ref
 
     def _op_exchange(self, args: dict[str, Any]) -> dict[str, Any]:
-        outcome = self.environment.exchange(
-            sender=args["sender"],
-            receiver=args["receiver"],
-            sender_app=args["sender_app"],
-            receiver_app=args["receiver_app"],
-            document=args["document"],
-            activity_id=args.get("activity_id", ""),
-            profile=_profile_from_document(args.get("profile")),
-            interaction=args.get("interaction", "message"),
-        )
+        # The wire form *is* the ExchangeRequest document — the same
+        # single call currency as the in-process exchange() surface.
+        outcome = self.environment.exchange(ExchangeRequest.from_document(args))
         return asdict(outcome)
 
     def _op_person_leaves(self, args: dict[str, Any]) -> bool:
@@ -112,29 +94,20 @@ class EnvironmentClient:
         self.channel: Channel = factory.bind(client_node, server_ref)
 
     def exchange(
-        self,
-        sender: str,
-        receiver: str,
-        sender_app: str,
-        receiver_app: str,
-        document: dict[str, Any],
-        activity_id: str = "",
-        profile: TransparencyProfile | None = None,
+        self, request: ExchangeRequest | None = None, /, *args: Any, **kwargs: Any
     ) -> ExchangeOutcome:
-        """Invoke exchange() across the network; returns the outcome."""
-        reply = self.channel.call(
-            self._world,
-            "exchange",
-            {
-                "sender": sender,
-                "receiver": receiver,
-                "sender_app": sender_app,
-                "receiver_app": receiver_app,
-                "document": document,
-                "activity_id": activity_id,
-                "profile": _profile_to_document(profile),
-            },
-        )
+        """Invoke exchange() across the network; returns the outcome.
+
+        Accepts an :class:`ExchangeRequest` — the same single call
+        currency as the in-process surface — whose wire form
+        (:meth:`ExchangeRequest.to_document`) travels the channel.  The
+        legacy keyword form remains a thin shim over
+        :meth:`ExchangeRequest.from_kwargs`.
+        """
+        if not isinstance(request, ExchangeRequest):
+            positional = () if request is None else (request,)
+            request = ExchangeRequest.from_kwargs(*positional, *args, **kwargs)
+        reply = self.channel.call(self._world, "exchange", request.to_document())
         reply["handled"] = tuple(reply.get("handled", ()))
         return ExchangeOutcome(**reply)
 

@@ -35,8 +35,8 @@ outcome carries exactly the reason codes a single-domain
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Any
 
 from repro.communication.model import Communicator
 from repro.environment.environment import (
@@ -47,6 +47,7 @@ from repro.environment.environment import (
     REASON_UNKNOWN_RECEIVER,
     CSCWEnvironment,
     ExchangeOutcome,
+    ExchangeRequest,
 )
 from repro.environment.registry import AppDescriptor, DeliveryCallback
 from repro.environment.transparency import TransparencyProfile
@@ -71,6 +72,10 @@ from repro.sim.network import LinkSpec, WAN_LINK
 from repro.sim.transport import DeferredReply
 from repro.sim.world import World
 from repro.util.errors import ConfigurationError, NameError_, UnknownObjectError
+
+if TYPE_CHECKING:  # imported lazily at runtime to keep layering acyclic
+    from repro.control.plane import ControlPlane, ControlPolicy
+    from repro.obs.slo import SLOEngine
 
 #: a federated exchange whose relay exhausted its gateway attempts
 REASON_GATEWAY_DEAD_LETTER = "gateway-dead-letter"
@@ -208,6 +213,8 @@ class Federation:
         #: (consumer, master) -> shadowing agreement (created unstarted)
         self.shadowing: dict[tuple[str, str], ShadowingAgreement] = {}
         self._shadowing_started = False
+        #: adaptive control plane (attached via :meth:`attach_control`)
+        self.control: "ControlPlane | None" = None
 
     @classmethod
     def partition(
@@ -571,18 +578,15 @@ class Federation:
 
     # -- the federated exchange path ---------------------------------------
     def federated_exchange(
-        self,
-        sender: str,
-        receiver: str,
-        sender_app: str,
-        receiver_app: str,
-        document: dict[str, Any],
-        activity_id: str = "",
-        profile: TransparencyProfile | None = None,
-        interaction: str = INTERACTION_MESSAGE,
-        deadline: float | None = None,
+        self, request: ExchangeRequest | None = None, /, *args: Any, **kwargs: Any
     ) -> FederatedOutcome:
-        """Deliver *document* across the federation.
+        """Deliver one :class:`ExchangeRequest` across the federation.
+
+        The request object is the single call currency shared with
+        :meth:`CSCWEnvironment.exchange`; the legacy keyword form
+        (``federated_exchange(sender, receiver, sender_app, ...)``)
+        remains available as a thin shim over
+        :meth:`ExchangeRequest.from_kwargs`.
 
         Intra-domain exchanges run the home environment's pipeline
         unchanged.  Cross-domain exchanges run the origin-side checks
@@ -617,13 +621,13 @@ class Federation:
         pipeline all continue the *same* trace, and the returned
         outcome's ``trace_id`` is that root's trace id.
         """
+        if not isinstance(request, ExchangeRequest):
+            positional = () if request is None else (request,)
+            request = ExchangeRequest.from_kwargs(*positional, *args, **kwargs)
         with self._trace.span(
-            "federation.exchange", sender=sender, receiver=receiver
+            "federation.exchange", sender=request.sender, receiver=request.receiver
         ) as span:
-            result = self._federated_exchange(
-                sender, receiver, sender_app, receiver_app, document,
-                activity_id, profile, interaction, deadline,
-            )
+            result = self._federated_exchange(request)
             span.tag(
                 delivered=result.delivered,
                 target=result.target,
@@ -631,23 +635,70 @@ class Federation:
             )
             return result
 
-    def _federated_exchange(
-        self,
-        sender: str,
-        receiver: str,
-        sender_app: str,
-        receiver_app: str,
-        document: dict[str, Any],
-        activity_id: str,
-        profile: TransparencyProfile | None,
-        interaction: str,
-        deadline: float | None,
-    ) -> FederatedOutcome:
+    def federated_exchange_many(
+        self, requests: list[ExchangeRequest]
+    ) -> list[FederatedOutcome]:
+        """Deliver a batch of requests; outcomes in request order.
+
+        The federated mirror of :meth:`CSCWEnvironment.exchange_many`:
+        consecutive requests that resolve to the same (origin, target)
+        domain pair form a *run*.  Intra-domain runs go through the
+        home environment's batched fast path in one call; cross-domain
+        runs ship as **one** gateway relay carrying the whole run (one
+        payload, one round trip, one dedup id), and the target unpacks
+        it into its own ``exchange_many``.  Mixed batches degrade
+        gracefully — a run of one is exactly ``federated_exchange``.
+        """
+        outcomes: list[FederatedOutcome] = []
+        if not requests:
+            return outcomes
+        with self._trace.span(
+            "federation.exchange_many", batch=len(requests)
+        ):
+            run: list[ExchangeRequest] = []
+            run_route: tuple[str, str] | None = None
+            for request in requests:
+                route = self._route_of(request)
+                if run and route != run_route:
+                    outcomes.extend(self._exchange_run(run_route, run))
+                    run = []
+                run_route = route
+                run.append(request)
+            if run:
+                outcomes.extend(self._exchange_run(run_route, run))
+        return outcomes
+
+    def _route_of(self, request: ExchangeRequest) -> tuple[str, str] | None:
+        """(origin, target) for a request, or None when unresolvable
+        (the per-request path then reports the precise failure)."""
+        try:
+            return (self.home_of(request.sender), self.home_of(request.receiver))
+        except UnknownObjectError:
+            return None
+
+    def _exchange_run(
+        self, route: tuple[str, str] | None, run: list[ExchangeRequest]
+    ) -> list[FederatedOutcome]:
+        """Deliver one same-route run (batched where the route allows)."""
+        if route is None or route[0] == route[1] or len(run) == 1:
+            # Unresolvable or intra-domain runs reuse the single-request
+            # path: the home env's exchange_many would bypass the
+            # federation's own accounting and hop metadata.
+            return [self._federated_exchange(request) for request in run]
+        origin = self.domain(route[0])
+        target = self.domain(route[1])
+        if self._metrics.enabled:
+            self._metrics.inc("env.federation.exchanges", len(run))
+            self._metrics.inc("env.federation.remote", len(run))
+        return self._relay_exchange_group(origin, target, run)
+
+    def _federated_exchange(self, request: ExchangeRequest) -> FederatedOutcome:
         obs = self._metrics
         if obs.enabled:
             obs.inc("env.federation.exchanges")
-        origin = self.domain(self.home_of(sender))
-        expires_at = origin.env.effective_deadline(deadline)
+        origin = self.domain(self.home_of(request.sender))
+        sender, receiver = request.sender, request.receiver
+        expires_at = origin.env.effective_deadline(request.deadline)
         if expires_at is not None and self.world.now >= expires_at:
             if obs.enabled:
                 obs.inc("env.federation.expired")
@@ -681,10 +732,7 @@ class Federation:
             if obs.enabled:
                 obs.inc("env.federation.local")
             started = self.world.now
-            outcome = origin.env.exchange(
-                sender, receiver, sender_app, receiver_app, document,
-                activity_id, profile, interaction, deadline=expires_at,
-            )
+            outcome = origin.env.exchange(replace(request, deadline=expires_at))
             return FederatedOutcome(
                 outcome=outcome,
                 origin=origin.name,
@@ -695,23 +743,95 @@ class Federation:
         if obs.enabled:
             obs.inc("env.federation.remote")
         target = self.domain(target_name)
-        return self._relay_exchange(
-            origin, target, sender, receiver, sender_app, receiver_app,
-            document, activity_id, profile, interaction, expires_at,
+        return self._relay_exchange(origin, target, request, expires_at)
+
+    def _origin_checks(
+        self, origin: Domain, request: ExchangeRequest
+    ) -> tuple[str, str] | None:
+        """Origin-side checks, mirroring ``CSCWEnvironment._exchange``.
+
+        Returns ``(reason_code, reason)`` on failure, ``None`` when the
+        request may be relayed — same checks, same order, same reason
+        codes as a single-domain run.
+        """
+        sender, receiver = request.sender, request.receiver
+        active = (
+            request.profile
+            if request.profile is not None
+            else TransparencyProfile.all_on()
         )
+        if request.activity_id:
+            activity = origin.env.activities.get(request.activity_id)
+            for person in (sender, receiver):
+                if not activity.is_member(person):
+                    return (
+                        REASON_MEMBERSHIP,
+                        f"{person} is not a member of {request.activity_id}",
+                    )
+        verdict = origin.env.resolution.route(sender, receiver, request.interaction)
+        if verdict.cross_org:
+            if not active.organisation:
+                return (
+                    REASON_ORGANISATION_OPAQUE,
+                    f"cross-organisation exchange ({verdict.sender_org} -> "
+                    f"{verdict.receiver_org}) with organisation transparency off",
+                )
+            if not verdict.policy_ok:
+                return (
+                    REASON_POLICY,
+                    f"no compatible policy between {verdict.sender_org} and "
+                    f"{verdict.receiver_org} for {request.interaction}",
+                )
+        return None
+
+    def _stamp_payload(
+        self, payload: dict[str, Any], origin: Domain
+    ) -> TraceContext | None:
+        """Stamp a relay payload with its origin and the open trace.
+
+        The origin's span identity rides the payload; every hop
+        (gateway, forwarder, target pipeline) continues this trace.
+        Returns the captured context for outcome correlation.
+        """
+        payload["origin"] = origin.name
+        context = self._trace.current_context()
+        if context is not None:
+            payload[TRACE_KEY] = context.to_document()
+        return context
+
+    def _choose_gateway(
+        self, origin: Domain, target: Domain, payload: dict[str, Any]
+    ) -> Gateway:
+        """The direct gateway, or a failover intermediate's when the
+        direct one is not ready (breaker open or control-plane drain)."""
+        gateway = origin.gateway_to(target.name)
+        if self._resilience and not gateway.ready():
+            # Route via a healthy intermediate, whose inbound relay
+            # handler forwards the payload onward to the final target.
+            via = self._pick_intermediate(origin, target)
+            if via is not None:
+                if self._metrics.enabled:
+                    self._metrics.inc("env.federation.failover")
+                gateway = origin.gateway_to(via.name)
+                payload["final_target"] = target.name
+        return gateway
+
+    def _await_relay(
+        self, origin: Domain, target: Domain, holder: dict[str, Any]
+    ) -> None:
+        """Step the engine until the relay settles (reply or dead letter)."""
+        engine = self.world.engine
+        while "reply" not in holder and "dead_letter" not in holder:
+            if not engine.step():  # pragma: no cover - timeouts guarantee progress
+                raise ConfigurationError(
+                    f"relay {origin.name}->{target.name} neither replied nor timed out"
+                )
 
     def _relay_exchange(
         self,
         origin: Domain,
         target: Domain,
-        sender: str,
-        receiver: str,
-        sender_app: str,
-        receiver_app: str,
-        document: dict[str, Any],
-        activity_id: str,
-        profile: TransparencyProfile | None,
-        interaction: str,
+        request: ExchangeRequest,
         deadline: float | None = None,
     ) -> FederatedOutcome:
         obs = self._metrics
@@ -726,53 +846,14 @@ class Federation:
                 hops=(origin_hop,),
             )
 
-        # Origin-side checks, mirroring CSCWEnvironment._exchange so the
-        # reason codes (and order) are identical to a single-domain run.
-        active = profile if profile is not None else TransparencyProfile.all_on()
-        if activity_id:
-            activity = origin.env.activities.get(activity_id)
-            for person in (sender, receiver):
-                if not activity.is_member(person):
-                    return fail(
-                        REASON_MEMBERSHIP, f"{person} is not a member of {activity_id}"
-                    )
-        verdict = origin.env.resolution.route(sender, receiver, interaction)
-        if verdict.cross_org:
-            if not active.organisation:
-                return fail(
-                    REASON_ORGANISATION_OPAQUE,
-                    f"cross-organisation exchange ({verdict.sender_org} -> "
-                    f"{verdict.receiver_org}) with organisation transparency off",
-                )
-            if not verdict.policy_ok:
-                return fail(
-                    REASON_POLICY,
-                    f"no compatible policy between {verdict.sender_org} and "
-                    f"{verdict.receiver_org} for {interaction}",
-                )
+        failure = self._origin_checks(origin, request)
+        if failure is not None:
+            return fail(*failure)
 
-        payload = {
-            "sender": sender,
-            "receiver": receiver,
-            "sender_app": sender_app,
-            "receiver_app": receiver_app,
-            "document": dict(document),
-            "activity_id": activity_id,
-            "interaction": interaction,
-            "profile": None if profile is None else {
-                "organisation": profile.organisation,
-                "time": profile.time,
-                "view": profile.view,
-                "activity": profile.activity,
-            },
-            "origin": origin.name,
-            "deadline": deadline,
-        }
-        # Ship the origin's open span identity with the payload; every
-        # hop (gateway, forwarder, target pipeline) continues this trace.
-        context = self._trace.current_context()
-        if context is not None:
-            payload[TRACE_KEY] = context.to_document()
+        payload = request.to_document()
+        payload["document"] = dict(request.document)
+        payload["deadline"] = deadline
+        context = self._stamp_payload(payload, origin)
         holder: dict[str, Any] = {}
 
         def on_reply(reply: dict[str, Any], attempts: int) -> None:
@@ -782,23 +863,9 @@ class Federation:
         def on_dead_letter(letter: DeadLetter) -> None:
             holder["dead_letter"] = letter
 
-        gateway = origin.gateway_to(target.name)
-        if self._resilience and not gateway.ready():
-            # The direct link's breaker is open: route via a healthy
-            # intermediate, whose relay handler forwards to the target.
-            via = self._pick_intermediate(origin, target)
-            if via is not None:
-                if obs.enabled:
-                    obs.inc("env.federation.failover")
-                gateway = origin.gateway_to(via.name)
-                payload["final_target"] = target.name
+        gateway = self._choose_gateway(origin, target, payload)
         gateway.relay(payload, on_reply, on_dead_letter, deadline=deadline)
-        engine = self.world.engine
-        while "reply" not in holder and "dead_letter" not in holder:
-            if not engine.step():  # pragma: no cover - timeouts guarantee progress
-                raise ConfigurationError(
-                    f"relay {origin.name}->{target.name} neither replied nor timed out"
-                )
+        self._await_relay(origin, target, holder)
         now = self.world.now
         if "dead_letter" in holder:
             letter: DeadLetter = holder["dead_letter"]
@@ -891,6 +958,156 @@ class Federation:
             latency_s=now - started,
         )
 
+    def _relay_exchange_group(
+        self, origin: Domain, target: Domain, run: list[ExchangeRequest]
+    ) -> list[FederatedOutcome]:
+        """Relay one same-route run as a single gateway round trip.
+
+        Origin-side checks and already-expired deadlines are decided
+        per request before shipping; the survivors travel as one
+        ``requests`` payload that the target's relay handler feeds into
+        its environment's ``exchange_many``.  One relay id covers the
+        run, so retries deduplicate the whole batch at once.
+        """
+        obs = self._metrics
+        started = self.world.now
+        origin_hop = Hop(origin.name, "origin", started)
+        results: list[FederatedOutcome | None] = [None] * len(run)
+
+        def local_fail(index: int, code: str, reason: str) -> None:
+            if obs.enabled and code == REASON_DEADLINE_EXCEEDED:
+                obs.inc("env.federation.expired")
+            results[index] = FederatedOutcome(
+                outcome=origin.env._fail(code, reason),
+                origin=origin.name,
+                target=target.name,
+                hops=(origin_hop,),
+            )
+
+        shipped: list[tuple[int, ExchangeRequest, float | None]] = []
+        for index, request in enumerate(run):
+            expires_at = origin.env.effective_deadline(request.deadline)
+            if expires_at is not None and started >= expires_at:
+                local_fail(
+                    index,
+                    REASON_DEADLINE_EXCEEDED,
+                    f"federated exchange deadline {expires_at:.3f} already "
+                    f"passed at {started:.3f}",
+                )
+                continue
+            failure = self._origin_checks(origin, request)
+            if failure is not None:
+                local_fail(index, *failure)
+                continue
+            shipped.append((index, request, expires_at))
+        if not shipped:
+            return [result for result in results if result is not None]
+
+        documents = []
+        for _, request, expires_at in shipped:
+            document = request.to_document()
+            document["document"] = dict(request.document)
+            document["deadline"] = expires_at
+            documents.append(document)
+        # The gateway-level deadline only applies when every shipped
+        # request carries one (the loosest wins; per-request deadlines
+        # are still enforced by the target pipeline).
+        expiries = [expires for _, _, expires in shipped]
+        group_deadline = max(expiries) if all(e is not None for e in expiries) else None
+        payload: dict[str, Any] = {"requests": documents}
+        context = self._stamp_payload(payload, origin)
+        holder: dict[str, Any] = {}
+
+        def on_reply(reply: dict[str, Any], attempts: int) -> None:
+            holder["reply"] = reply
+            holder["attempts"] = attempts
+
+        def on_dead_letter(letter: DeadLetter) -> None:
+            holder["dead_letter"] = letter
+
+        gateway = self._choose_gateway(origin, target, payload)
+        gateway.relay(payload, on_reply, on_dead_letter, deadline=group_deadline)
+        self._await_relay(origin, target, holder)
+        now = self.world.now
+
+        def ship_fail(code: str, reason: str, attempts: int, hops: tuple) -> None:
+            for index, _, _ in shipped:
+                if obs.enabled:
+                    obs.inc(
+                        "env.federation.expired"
+                        if code == REASON_DEADLINE_EXCEEDED
+                        else "env.federation.dead_letters"
+                    )
+                results[index] = FederatedOutcome(
+                    outcome=origin.env._fail(code, reason),
+                    origin=origin.name,
+                    target=target.name,
+                    hops=hops,
+                    attempts=attempts,
+                    latency_s=now - started,
+                )
+
+        if "dead_letter" in holder:
+            letter: DeadLetter = holder["dead_letter"]
+            code = (
+                REASON_DEADLINE_EXCEEDED
+                if letter.reason == REASON_RELAY_DEADLINE
+                else REASON_GATEWAY_DEAD_LETTER
+            )
+            ship_fail(
+                code,
+                f"gateway {origin.name}->{target.name} batch relay failed "
+                f"({letter.reason}) after {letter.attempts} attempts",
+                letter.attempts,
+                (origin_hop,),
+            )
+            return [result for result in results if result is not None]
+        reply = holder["reply"]
+        relay_path = reply.get("relay_path", ()) if isinstance(reply, dict) else ()
+        relay_hops = tuple(Hop(h["domain"], "relay", h["at"]) for h in relay_path)
+        attempts = holder["attempts"] + sum(h.get("attempts", 0) for h in relay_path)
+        if isinstance(reply, dict) and "error" in reply:
+            ship_fail(
+                REASON_GATEWAY_DEAD_LETTER,
+                f"batch relay {origin.name}->{target.name} failed remotely: "
+                f"{reply['error']}",
+                attempts,
+                (origin_hop, *relay_hops),
+            )
+            return [result for result in results if result is not None]
+        if isinstance(reply, dict) and "failed" in reply:
+            ship_fail(
+                reply["failed"],
+                reply.get("detail", "forwarded batch relay failed"),
+                attempts,
+                (origin_hop, *relay_hops),
+            )
+            return [result for result in results if result is not None]
+        hops = (
+            origin_hop,
+            *relay_hops,
+            Hop(target.name, "deliver", reply["handled_at"]),
+            Hop(origin.name, "reply", now),
+        )
+        for (index, _, _), outcome_document in zip(shipped, reply["outcomes"]):
+            outcome = _outcome_from_document(
+                outcome_document,
+                trace_id=context.trace_id if context is not None else "",
+            )
+            if obs.enabled and outcome.delivered:
+                obs.inc("env.federation.delivered")
+            results[index] = FederatedOutcome(
+                outcome=outcome,
+                origin=origin.name,
+                target=target.name,
+                hops=hops,
+                attempts=attempts,
+                latency_s=now - started,
+            )
+        if obs.enabled:
+            obs.observe("env.federation.relay_latency_s", now - started)
+        return [result for result in results if result is not None]
+
     def _pick_intermediate(self, origin: Domain, target: Domain) -> Domain | None:
         """The first domain (creation order) with both legs healthy.
 
@@ -931,10 +1148,33 @@ class Federation:
         final = payload.get("final_target")
         if final is not None and final != domain.name:
             return self._forward_relay(domain, payload, final)
-        profile_fields = payload.get("profile")
-        profile = (
-            None if profile_fields is None else TransparencyProfile(**profile_fields)
-        )
+        if "requests" in payload:
+            # A batched run from federated_exchange_many: unpack into
+            # this environment's own batched fast path, one reply for
+            # the whole run.
+            requests = [
+                ExchangeRequest.from_document(document)
+                for document in payload["requests"]
+            ]
+            if self._metrics.enabled:
+                self._metrics.inc("gateway.inbound", len(requests))
+            with self._trace.span_from_context(
+                "federation.relay",
+                TraceContext.from_document(payload.get(TRACE_KEY)),
+                domain=domain.name,
+                batch=len(requests),
+            ):
+                outcomes = domain.env.exchange_many(requests)
+            reply = {
+                "outcomes": [_outcome_document(outcome) for outcome in outcomes],
+                "handled_at": self.world.now,
+                "domain": domain.name,
+                "relay_path": [],
+            }
+            if relay_id is not None:
+                domain.relay_seen[relay_id] = reply
+            return reply
+        request = ExchangeRequest.from_document(payload)
         if self._metrics.enabled:
             self._metrics.inc("gateway.inbound")
         # Continue the trace the payload carries: the target pipeline's
@@ -945,17 +1185,7 @@ class Federation:
             TraceContext.from_document(payload.get(TRACE_KEY)),
             domain=domain.name,
         ):
-            outcome = domain.env.exchange(
-                payload["sender"],
-                payload["receiver"],
-                payload["sender_app"],
-                payload["receiver_app"],
-                payload["document"],
-                payload.get("activity_id", ""),
-                profile,
-                payload.get("interaction", INTERACTION_MESSAGE),
-                deadline=payload.get("deadline"),
-            )
+            outcome = domain.env.exchange(request)
         reply = {
             "outcome": _outcome_document(outcome),
             "handled_at": self.world.now,
@@ -1048,6 +1278,47 @@ class Federation:
             dict(payload), on_reply, on_dead_letter, deadline=payload.get("deadline")
         )
         return deferred
+
+    # -- adaptive control ----------------------------------------------------
+    def attach_control(
+        self,
+        policy: "ControlPolicy | None" = None,
+        slo: "SLOEngine | None" = None,
+    ) -> "ControlPlane":
+        """Wire an adaptive :class:`~repro.control.plane.ControlPlane`
+        over the whole federation (call after the topology is built).
+
+        Every directed gateway is managed (pre-emptive drain on health
+        trend / retry surge, attempt-budget boost under SLO burn), every
+        shadowing agreement gets burn-time re-balancing, and every
+        domain environment gets burn-time shed tightening.  *slo* (when
+        given) feeds its burn alerts into the plane; health trends come
+        from :meth:`start_health_checks` when probes are running.  The
+        plane is exposed as :attr:`control` and returned unstarted —
+        call ``.start()`` to arm the loop.
+        """
+        from repro.control.plane import ControlPlane
+
+        plane = ControlPlane(
+            self.world.engine,
+            policy=policy,
+            metrics=self._env_metrics,
+            events=self._events if self._events.enabled else None,
+            tracer=self._tracer,
+        )
+        if slo is not None:
+            plane.watch_slo(slo)
+        for source in self._domains.values():
+            for peer, gateway in sorted(source.gateways.items()):
+                plane.manage_gateway(
+                    f"{source.name}->{peer}", gateway, health=self._health
+                )
+        for (consumer, master), agreement in sorted(self.shadowing.items()):
+            plane.manage_shadowing(f"shadow:{consumer}<-{master}", agreement)
+        for domain in self._domains.values():
+            plane.manage_environment(domain.name, domain.env)
+        self.control = plane
+        return plane
 
     # -- trading across domains --------------------------------------------
     def import_service(

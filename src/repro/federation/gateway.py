@@ -165,6 +165,10 @@ class Gateway:
         self.expired = 0
         self.fast_failed = 0
         self.dead_letters: list[DeadLetter] = []
+        #: relays launched but not yet settled (queue-depth signal)
+        self.in_flight = 0
+        #: soft-drained by the control plane: routing avoids this gateway
+        self.drained = False
 
     def attach_metrics(self, metrics: MetricsRegistry | None) -> None:
         """Report relay activity to *metrics* (``None`` detaches).
@@ -177,12 +181,49 @@ class Gateway:
         self._obs = metrics if metrics is not None else NULL_METRICS
 
     def ready(self) -> bool:
-        """Whether a relay would currently be admitted (breaker view).
+        """Whether routing should currently prefer this gateway.
 
         Side-effect free; the federation's failover routing consults
-        this before choosing a path.
+        this before choosing a path.  False while the breaker is open
+        *or* while the control plane has soft-drained the gateway —
+        draining steers new relays onto an intermediate route without
+        refusing admission (a drained gateway with no alternative path
+        still relays).
         """
+        if self.drained:
+            return False
         return self.breaker is None or self.breaker.ready()
+
+    def drain(self) -> None:
+        """Soft-drain: make :meth:`ready` report False (idempotent).
+
+        Used by the adaptive control plane to steer traffic away from a
+        degrading link *before* its breaker trips.  Unlike an open
+        breaker, a drained gateway still admits relays when the caller
+        has no alternative route.
+        """
+        self.drained = True
+
+    def undrain(self) -> None:
+        """Lift a soft drain (idempotent)."""
+        self.drained = False
+
+    def set_attempt_budget(self, max_attempts: int) -> None:
+        """Change the per-relay attempt budget at runtime.
+
+        Applies to relays launched after the call; in-flight relays
+        keep the budget they were admitted with.  The control plane
+        uses this to open extra relay capacity under burn and restore
+        the configured budget after recovery.
+        """
+        if max_attempts < 1:
+            raise ConfigurationError("gateway needs max_attempts >= 1")
+        self._max_attempts = max_attempts
+
+    @property
+    def max_attempts(self) -> int:
+        """The current per-relay attempt budget."""
+        return self._max_attempts
 
     def _budget_s(self) -> float:
         """Total simulated seconds one relay may spend before parking."""
@@ -208,6 +249,7 @@ class Gateway:
         :data:`REASON_RELAY_DEADLINE` without being parked.
         """
         self.relays += 1
+        self.in_flight += 1
         if self._obs.enabled:
             self._obs.inc("gateway.relays")
         payload.setdefault("relay_id", self._ids.next(f"relay:{self.source}>{self.target}"))
@@ -310,6 +352,7 @@ class Gateway:
                 self._obs.inc("gateway.duplicate_replies")
             return
         state.settled = True
+        self.in_flight -= 1
         self.delivered += 1
         if self.breaker is not None:
             self.breaker.record_success()
@@ -335,6 +378,7 @@ class Gateway:
     def _settle_expired(self, state: _Relay) -> None:
         """Deadline hit: fail the relay without parking it."""
         state.settled = True
+        self.in_flight -= 1
         self.expired += 1
         if self._obs.enabled:
             self._obs.inc("gateway.expired")
@@ -361,6 +405,7 @@ class Gateway:
 
     def _settle_parked(self, state: _Relay, reason: str) -> None:
         state.settled = True
+        self.in_flight -= 1
         self._close_span(state, reason)
         if self._events.enabled:
             self._events.record(

@@ -55,7 +55,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NullMetricsRegistry,
 )
-from repro.obs.slo import SLOEngine
+from repro.obs.slo import LatencySLO, RatioSLO, SLOEngine
 from repro.obs.tracing import NULL_SPAN, NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
@@ -72,11 +72,13 @@ __all__ = [
     "EventLog",
     "Gauge",
     "Histogram",
+    "LatencySLO",
     "MetricsRegistry",
     "NullEventLog",
     "NullMetricsRegistry",
     "NullTracer",
     "Observability",
+    "RatioSLO",
     "SLOEngine",
     "Span",
     "TraceAnalyzer",

@@ -24,6 +24,10 @@ kind                        emitted by
 ``slo-burn``                :class:`~repro.obs.slo.SLOEngine` burn-rate alert
 ``health-transition``       :class:`~repro.resilience.health.HealthMonitor`
                             key flipping healthy/unhealthy
+``control-action``          :class:`~repro.control.plane.ControlPlane`
+                            applying a reconfiguration action
+``control-revert``          control plane reversing an applied action
+                            after recovery
 ==========================  ==================================================
 
 Like metrics and tracing, event logging is opt-in: components default to
@@ -60,6 +64,8 @@ KIND_DEADLINE = "deadline-exceeded"
 KIND_SHADOW_PULL_FAILED = "shadow-pull-failed"
 KIND_SLO_BURN = "slo-burn"
 KIND_HEALTH_TRANSITION = "health-transition"
+KIND_CONTROL_ACTION = "control-action"
+KIND_CONTROL_REVERT = "control-revert"
 
 
 @dataclass(frozen=True)

@@ -28,7 +28,7 @@ shadowing, a started engine keeps the event queue non-empty, so prefer
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.obs.events import KIND_SLO_BURN, NULL_EVENTS, EventLog
 from repro.obs.metrics import Histogram, MetricsRegistry
@@ -36,6 +36,62 @@ from repro.util.errors import ConfigurationError
 
 if TYPE_CHECKING:  # imported lazily at runtime: sim.engine imports obs
     from repro.sim.engine import Engine, PeriodicTask
+
+#: a burn listener receives ``(objective_name, burning, status)`` on each
+#: burn-alert edge — ``burning=True`` when an episode starts, ``False``
+#: when it clears
+BurnListener = Callable[[str, bool, dict[str, Any]], None]
+
+
+@dataclass(frozen=True)
+class RatioSLO:
+    """Declarative form of :meth:`SLOEngine.add_ratio`.
+
+    Lets objectives be stated at build time
+    (``builder.with_slo(objectives=[RatioSLO(...)])``) instead of
+    attached post-hoc to the wired engine.
+    """
+
+    name: str
+    good: str
+    total: str
+    target: float = 0.99
+    window_s: float = 60.0
+    burn_threshold: float = 2.0
+
+    def declare(self, engine: "SLOEngine") -> None:
+        """Install this objective on *engine*."""
+        engine.add_ratio(
+            self.name,
+            good=self.good,
+            total=self.total,
+            target=self.target,
+            window_s=self.window_s,
+            burn_threshold=self.burn_threshold,
+        )
+
+
+@dataclass(frozen=True)
+class LatencySLO:
+    """Declarative form of :meth:`SLOEngine.add_latency`."""
+
+    name: str
+    histogram: str
+    threshold_s: float
+    quantile: float = 0.99
+    window_s: float = 60.0
+    burn_threshold: float = 2.0
+
+    def declare(self, engine: "SLOEngine") -> None:
+        """Install this objective on *engine*."""
+        engine.add_latency(
+            self.name,
+            histogram=self.histogram,
+            threshold_s=self.threshold_s,
+            quantile=self.quantile,
+            window_s=self.window_s,
+            burn_threshold=self.burn_threshold,
+        )
 
 
 @dataclass
@@ -99,6 +155,7 @@ class SLOEngine:
         self._period_s = sample_period_s
         self._objectives: dict[str, _Objective] = {}
         self._task: "PeriodicTask | None" = None
+        self._burn_listeners: list[BurnListener] = []
 
     # -- objective declaration ---------------------------------------------
     def add_ratio(
@@ -156,6 +213,28 @@ class SLOEngine:
         )
         return self
 
+    def declare(self, *objectives: "RatioSLO | LatencySLO") -> "SLOEngine":
+        """Install declarative objective specs (build-time declaration).
+
+        Accepts the frozen :class:`RatioSLO` / :class:`LatencySLO`
+        shapes the builder's ``with_slo(objectives=...)`` collects, so
+        an environment can come up with its SLOs already armed.
+        """
+        for spec in objectives:
+            spec.declare(self)
+        return self
+
+    def add_burn_listener(self, callback: BurnListener) -> "SLOEngine":
+        """Call *callback*(name, burning, status) on every burn edge.
+
+        Edge-triggered like the ``slo-burn`` events: once when an
+        episode starts (``burning=True``) and once when it clears
+        (``burning=False``).  The adaptive control plane subscribes
+        here to drive remediation.
+        """
+        self._burn_listeners.append(callback)
+        return self
+
     def _add(self, objective: _Objective) -> None:
         if objective.name in self._objectives:
             raise ConfigurationError(f"objective {objective.name!r} already declared")
@@ -211,7 +290,11 @@ class SLOEngine:
                     burn_rate=round(status["burn_rate"], 4),
                     value=status["value"],
                 )
+            edge = burning != objective.alerting
             objective.alerting = burning
+            if edge:
+                for listener in self._burn_listeners:
+                    listener(objective.name, burning, status)
 
     # -- evaluation --------------------------------------------------------
     def _status(self, objective: _Objective, live: Any = None) -> dict[str, Any]:

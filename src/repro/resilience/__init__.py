@@ -22,12 +22,13 @@ from repro.resilience.breaker import (
     CircuitBreaker,
 )
 from repro.resilience.chaos import ChaosRunner
-from repro.resilience.health import HealthMonitor
+from repro.resilience.health import HealthMonitor, HealthTrend
 
 __all__ = [
     "ChaosRunner",
     "CircuitBreaker",
     "HealthMonitor",
+    "HealthTrend",
     "STATE_CLOSED",
     "STATE_HALF_OPEN",
     "STATE_OPEN",

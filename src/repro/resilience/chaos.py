@@ -7,6 +7,10 @@ the two runs see *exactly* the same faults:
 
 * :meth:`flap_link` — a link repeatedly goes dark (loss forced to 1.0)
   and comes back, modelling an unstable inter-domain line,
+* :meth:`degrade_link` — a *brownout*: the link stays up but drops a
+  fraction of packets, the regime a consecutive-failure circuit breaker
+  cannot see (successes keep resetting its streak) and the one the
+  control plane's health-trend drain is built for,
 * :meth:`rolling_partitions` — partition windows that sweep through a
   sequence of cut patterns, one after another,
 * :meth:`crash_storm` — staggered crash/recover cycles across a set of
@@ -84,6 +88,54 @@ class ChaosRunner:
                 "link_down", at, link=f"{node_a}<->{node_b}", until=at + down_s
             )
             at += down_s + up_s
+
+    def degrade_link(
+        self,
+        node_a: str,
+        node_b: str,
+        start: float,
+        degraded_s: float,
+        loss: float,
+    ) -> None:
+        """Brown out the a<->b link: drop a *loss* fraction of packets
+        for *degraded_s* seconds, then restore the healthy spec.
+
+        Unlike :meth:`flap_link` the link keeps carrying traffic, so
+        enough attempts still succeed to keep a consecutive-failure
+        circuit breaker closed — degradation only a windowed signal
+        (health trend, retry surge) can act on.
+        """
+        if not 0.0 < loss < 1.0:
+            raise ConfigurationError(
+                "degrade_link needs 0 < loss < 1 (use flap_link for an outage)"
+            )
+        if degraded_s <= 0:
+            raise ConfigurationError("degrade_link needs degraded_s > 0")
+        network = self._world.network
+        healthy = network.link_between(node_a, node_b)
+        lossy = LinkSpec(
+            latency_s=healthy.latency_s,
+            bandwidth_bps=healthy.bandwidth_bps,
+            loss=loss,
+            jitter_s=healthy.jitter_s,
+        )
+        self._engine.schedule_at(
+            start,
+            lambda: network.set_link(node_a, node_b, lossy),
+            label=f"chaos:degrade:{node_a}<->{node_b}",
+        )
+        self._engine.schedule_at(
+            start + degraded_s,
+            lambda: network.set_link(node_a, node_b, healthy),
+            label=f"chaos:degrade-heal:{node_a}<->{node_b}",
+        )
+        self._record(
+            "link_degraded",
+            start,
+            link=f"{node_a}<->{node_b}",
+            loss=loss,
+            until=start + degraded_s,
+        )
 
     def rolling_partitions(
         self,

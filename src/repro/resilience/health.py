@@ -11,12 +11,16 @@ demonstrably works), a failed probe counts towards tripping it.
 Health is therefore *eventual* knowledge: between probes the monitor
 answers with the last observation, and a key never probed reports the
 ``default`` verdict (healthy unless configured otherwise).  Probe
-outcomes are exported as ``resilience.health.*`` counters.
+outcomes are exported as ``resilience.health.*`` counters, and a
+bounded per-key history backs :meth:`HealthMonitor.trend` — the
+windowed success ratio plus probe-latency slope the adaptive control
+plane reads to act on *degrading* links before their breaker trips.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections import deque
+from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.obs.events import KIND_HEALTH_TRANSITION, NULL_EVENTS, EventLog
@@ -28,6 +32,26 @@ from repro.util.errors import ConfigurationError
 #: a probe receives ``report`` and must eventually call it with True/False
 Probe = Callable[[Callable[[bool], None]], None]
 
+#: probe observations retained per key for trend computation
+HISTORY_LIMIT = 256
+
+
+@dataclass(frozen=True)
+class HealthTrend:
+    """A bounded window over one key's probe history.
+
+    ``success_ratio`` is the fraction of in-window probes that reported
+    healthy (1.0 for an empty window — absence of evidence is not
+    degradation).  ``latency_slope`` is the least-squares slope of probe
+    round-trip latency over sim-time (s/s): positive means the link is
+    getting slower.  ``samples`` is the number of observations the
+    window held.
+    """
+
+    success_ratio: float
+    latency_slope: float
+    samples: int
+
 
 @dataclass
 class _Watch:
@@ -37,6 +61,10 @@ class _Watch:
     healthy: bool
     probes: int = 0
     failures: int = 0
+    #: (report_time, healthy, probe_latency_s), bounded ring
+    history: deque = field(default_factory=lambda: deque(maxlen=HISTORY_LIMIT))
+    #: issue times of probes whose report is still outstanding (FIFO)
+    pending: deque = field(default_factory=deque)
 
 
 class HealthMonitor:
@@ -93,6 +121,7 @@ class HealthMonitor:
         if watch is None:
             return
         watch.probes += 1
+        watch.pending.append(self._engine.now)
         if self._obs.enabled:
             self._obs.inc("resilience.health.probes")
         watch.probe(lambda healthy: self._report(key, healthy))
@@ -101,6 +130,9 @@ class HealthMonitor:
         watch = self._watches.get(key)
         if watch is None:
             return
+        now = self._engine.now
+        issued = watch.pending.popleft() if watch.pending else now
+        watch.history.append((now, healthy, now - issued))
         if healthy != watch.healthy and self._events.enabled:
             # Edge-triggered: one event per flip, not one per probe.
             self._events.record(
@@ -121,6 +153,53 @@ class HealthMonitor:
         """Last observed health for *key* (``default`` when never probed)."""
         watch = self._watches.get(key)
         return self._default if watch is None else watch.healthy
+
+    def trend(self, key: str, window_s: float = 10.0) -> HealthTrend:
+        """Success ratio and latency slope for *key* over the last window.
+
+        Reads the bounded probe history (sim-time stamped), so the view
+        is exactly as fresh as the probe cadence.  Also exports the
+        window as ``resilience.health.trend.*`` gauges keyed by name —
+        the signal surface the adaptive control plane polls.
+        """
+        if window_s <= 0:
+            raise ConfigurationError("trend window_s must be > 0")
+        watch = self._watches.get(key)
+        cutoff = self._engine.now - window_s
+        rows = (
+            [row for row in watch.history if row[0] >= cutoff]
+            if watch is not None
+            else []
+        )
+        if not rows:
+            trend = HealthTrend(success_ratio=1.0, latency_slope=0.0, samples=0)
+        else:
+            good = sum(1 for _, ok, _ in rows if ok)
+            slope = self._latency_slope(rows)
+            trend = HealthTrend(
+                success_ratio=good / len(rows),
+                latency_slope=slope,
+                samples=len(rows),
+            )
+        if self._obs.enabled:
+            self._obs.set_gauge(
+                f"resilience.health.trend.success_ratio:{key}", trend.success_ratio
+            )
+            self._obs.set_gauge(
+                f"resilience.health.trend.latency_slope:{key}", trend.latency_slope
+            )
+        return trend
+
+    @staticmethod
+    def _latency_slope(rows: list[tuple[float, bool, float]]) -> float:
+        """Least-squares slope of probe latency over sim-time (s/s)."""
+        if len(rows) < 2:
+            return 0.0
+        mean_t = sum(t for t, _, _ in rows) / len(rows)
+        mean_l = sum(lat for _, _, lat in rows) / len(rows)
+        num = sum((t - mean_t) * (lat - mean_l) for t, _, lat in rows)
+        den = sum((t - mean_t) ** 2 for t, _, _ in rows)
+        return num / den if den else 0.0
 
     def stats(self) -> dict[str, dict[str, Any]]:
         """Per-key probe/failure counts and current verdicts."""

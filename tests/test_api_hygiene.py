@@ -31,6 +31,9 @@ PACKAGES = [
     "repro.apps",
     "repro.baselines",
     "repro.analysis",
+    "repro.resilience",
+    "repro.federation",
+    "repro.control",
 ]
 
 
@@ -96,3 +99,49 @@ def test_package_all_resolves(package_name):
 
 def test_top_level_version():
     assert repro.__version__
+
+
+class TestExchangeCallSurface:
+    """The unified ExchangeRequest currency must not drift.
+
+    Every exchange entry point — in-process, client stub, federation —
+    takes a positional-only request plus the keyword shim, so the three
+    surfaces stay interchangeable and a positional-argument caller can
+    never silently bind to the wrong parameter.
+    """
+
+    SHIM_SHAPE = ("self", "request", "args", "kwargs")
+
+    def _assert_shim(self, func, owner: str) -> None:
+        parameters = list(inspect.signature(func).parameters.values())
+        names = tuple(p.name for p in parameters)
+        assert names == self.SHIM_SHAPE, (
+            f"{owner} drifted from the unified surface: {names}"
+        )
+        request, var_args, var_kwargs = parameters[1:]
+        assert request.kind is inspect.Parameter.POSITIONAL_ONLY, (
+            f"{owner}: request must stay positional-only"
+        )
+        assert request.default is None
+        assert var_args.kind is inspect.Parameter.VAR_POSITIONAL
+        assert var_kwargs.kind is inspect.Parameter.VAR_KEYWORD
+
+    def test_all_exchange_surfaces_share_one_shape(self):
+        from repro.environment.environment import CSCWEnvironment
+        from repro.environment.server import EnvironmentClient
+        from repro.federation.federation import Federation
+
+        self._assert_shim(CSCWEnvironment.exchange, "CSCWEnvironment.exchange")
+        self._assert_shim(EnvironmentClient.exchange, "EnvironmentClient.exchange")
+        self._assert_shim(
+            Federation.federated_exchange, "Federation.federated_exchange"
+        )
+
+    def test_request_wire_form_round_trips(self):
+        from repro.environment.environment import ExchangeRequest
+
+        request = ExchangeRequest.from_kwargs(
+            "ana", "joan", "app0", "app1", {"k": "v"},
+            deadline=4.5, priority=2, shed_class="bulk",
+        )
+        assert ExchangeRequest.from_document(request.to_document()) == request

@@ -396,3 +396,82 @@ class TestFederationMetrics:
         assert counters["env.federation.dead_letters"] == 1
         assert counters["gateway.dead_letters"] == 1
         assert counters["gateway.retries"] == 3
+
+
+class TestUnifiedCallSurface:
+    """ExchangeRequest is the single exchange currency, shims included."""
+
+    def test_keyword_shim_matches_request_form(self):
+        from repro.environment.environment import ExchangeRequest
+
+        results = []
+        for style in ("kwargs", "request"):
+            world = World(seed=77)
+            federation, _ = make_federation(world)
+            if style == "kwargs":
+                outcome = federation.federated_exchange(
+                    "ana", "bob", "app0", "app1", DOC
+                )
+            else:
+                outcome = federation.federated_exchange(
+                    ExchangeRequest(
+                        sender="ana",
+                        receiver="bob",
+                        sender_app="app0",
+                        receiver_app="app1",
+                        document=DOC,
+                    )
+                )
+            results.append(
+                (
+                    outcome_fields(outcome.outcome),
+                    outcome.origin,
+                    outcome.target,
+                    outcome.attempts,
+                    outcome.latency_s,
+                )
+            )
+        assert results[0] == results[1], (
+            "keyword shim and request form must produce identical outcomes"
+        )
+
+    def test_exchange_many_preserves_order_and_batches_runs(self, world):
+        from repro.environment.environment import ExchangeRequest
+
+        registry = MetricsRegistry()
+        federation, inboxes = make_federation(world, metrics=registry)
+        federation.add_person("carol", "upc", name="Carol Diaz")
+
+        def request(sender, receiver, n):
+            return ExchangeRequest(
+                sender=sender,
+                receiver=receiver,
+                sender_app="app0",
+                receiver_app="app1",
+                document={"fmt0-title": f"m{n}", "fmt0-body": "b"},
+            )
+
+        assert federation.federated_exchange_many([]) == []
+        outcomes = federation.federated_exchange_many(
+            [
+                request("ana", "bob", 0),   # upc->gmd ┐ one consecutive run,
+                request("ana", "bob", 1),   # upc->gmd ┘ shipped as ONE relay
+                request("ana", "carol", 2), # intra-domain fast path
+                request("bob", "ana", 3),   # gmd->upc, its own relay
+            ]
+        )
+        assert [o.delivered for o in outcomes] == [True] * 4
+        # Outcomes come back in request order with correct routing.
+        assert [(o.origin, o.target) for o in outcomes] == [
+            ("upc", "gmd"), ("upc", "gmd"), ("upc", "upc"), ("gmd", "upc"),
+        ]
+        # The consecutive same-route pair crossed the wire as one relay.
+        assert federation.domain("upc").gateway_to("gmd").relays == 1
+        assert federation.domain("gmd").gateway_to("upc").relays == 1
+        # Every document arrived, translated, exactly once.
+        titles = sorted(doc["fmt1-title"] for _, doc in inboxes["app1"])
+        assert titles == ["m0", "m1", "m2", "m3"]
+        counters = registry.snapshot()["counters"]
+        assert counters["env.federation.exchanges"] == 4
+        assert counters["env.federation.remote"] == 3
+        assert counters["env.federation.local"] == 1

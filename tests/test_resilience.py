@@ -392,9 +392,9 @@ class TestDeadlinePropagation:
         seen: dict = {}
         original = gmd_env.exchange
 
-        def spy(*args, **kwargs):
-            seen["deadline"] = kwargs.get("deadline")
-            return original(*args, **kwargs)
+        def spy(request, *args, **kwargs):
+            seen["deadline"] = request.deadline
+            return original(request, *args, **kwargs)
 
         gmd_env.exchange = spy
         federation.federated_exchange(
