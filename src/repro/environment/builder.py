@@ -83,6 +83,8 @@ class EnvironmentBuilder:
         self._resolution_cache = True
         self._shed_limit: int | None = None
         self._default_deadline_s: float | None = None
+        self._shards: int | None = None
+        self._shard_country = "ES"
 
     # -- knobs -------------------------------------------------------------
     def with_world(self, world: World) -> "EnvironmentBuilder":
@@ -195,6 +197,25 @@ class EnvironmentBuilder:
         self._default_deadline_s = seconds
         return self
 
+    def with_sharding(self, n_shards: int, country: str = "ES") -> "EnvironmentBuilder":
+        """Shard the org/people KB and white pages across *n_shards* DSAs.
+
+        The environment's knowledge base becomes a
+        :class:`~repro.sharding.kb.ShardedKnowledgeBase`: person lookups
+        go through an O(1) person -> org index instead of the base
+        class's linear scan, and every organisation's DIT subtree
+        (``o=<org_id>,c=<country>``) lives on exactly one
+        consistent-hash-assigned shard, exposed as
+        ``env.knowledge_base.directory``.  Required for populations past
+        a few thousand registered users; a no-op for correctness
+        otherwise (same KB contract, same keyed change notifications).
+        """
+        if n_shards < 1:
+            raise ConfigurationError("with_sharding needs n_shards >= 1")
+        self._shards = n_shards
+        self._shard_country = country
+        return self
+
     def with_trader_policy(self, hook: TraderPolicy) -> "EnvironmentBuilder":
         """Install an extra trading-policy predicate on the trader.
 
@@ -228,7 +249,14 @@ class EnvironmentBuilder:
         # Satellite fix: events published through the environment carry
         # the simulated time of publication.
         env.bus.bind_clock(lambda: world.engine.now)
-        env.knowledge_base = OrganisationalKnowledgeBase()
+        if self._shards is not None:
+            from repro.sharding.kb import ShardedKnowledgeBase
+
+            env.knowledge_base = ShardedKnowledgeBase(
+                n_shards=self._shards, country=self._shard_country
+            )
+        else:
+            env.knowledge_base = OrganisationalKnowledgeBase()
         env.trader = Trader(f"{env.name}-trader", rng=world.rng.fork("trader"))
         # Section 6.1: the org KB dictates the trading policy.
         env.trader.add_policy_hook(env.knowledge_base.trader_policy_hook())

@@ -602,10 +602,13 @@ class CSCWEnvironment:
         one translation and one size computation (converters are
         shape-deterministic, see :class:`~repro.information.interchange`).
 
-        The once-per-run resolution is the documented contract: a
-        delivery callback that mutates the knowledge base mid-batch
-        affects the *next* run, not the remaining items of the current
-        one (presence changes are still seen item-by-item).
+        Hoisting never serves stale state: the run watches the
+        resolution cache's ``generation`` token, so a delivery callback
+        that mutates the knowledge base mid-batch (a revoked policy, a
+        moved person) forces the remaining items of the current run to
+        re-resolve — they fail or deliver exactly as per-item
+        :meth:`exchange` calls would (presence changes are likewise seen
+        item-by-item).
         """
         with self.tracer.span("env.exchange_many", batch=len(requests)) as span:
             trace_id = span.trace_id
@@ -778,7 +781,79 @@ class CSCWEnvironment:
         shed = 0
         sync_count = 0
         async_count = 0
+        resolution = self.resolution
+        generation = resolution.generation
+        #: set when a mid-run KB mutation turned the route bad: every
+        #: remaining item fails with this (code, reason) until the next
+        #: mutation (if any) re-resolves the route as good again
+        stale_failure: "tuple[str, str] | None" = None
         for request in group:
+            if resolution.generation != generation:
+                # A delivery callback mutated the KB mid-run; the hoisted
+                # verdict may be stale.  Re-resolve before serving more
+                # items, mirroring _exchange's checks and reason strings.
+                generation = resolution.generation
+                stale_failure = None
+                handled = []
+                verdict = resolution.route(sender, receiver, head.interaction)
+                if verdict.cross_org:
+                    if not active.organisation:
+                        stale_failure = (
+                            REASON_ORGANISATION_OPAQUE,
+                            f"cross-organisation exchange ({verdict.sender_org} -> "
+                            f"{verdict.receiver_org}) with organisation transparency off",
+                        )
+                    elif not verdict.policy_ok:
+                        stale_failure = (
+                            REASON_POLICY,
+                            f"no compatible policy between {verdict.sender_org} and "
+                            f"{verdict.receiver_org} for {head.interaction}",
+                        )
+                    else:
+                        handled.append("organisation")
+                if stale_failure is None:
+                    sender_format, receiver_format = resolution.formats(
+                        sender_app, receiver_app
+                    )
+                    needs_translation = sender_format != receiver_format
+                    if needs_translation:
+                        if not active.view:
+                            stale_failure = (
+                                REASON_VIEW_OPAQUE,
+                                f"format mismatch ({sender_format} -> {receiver_format}) "
+                                "with view transparency off",
+                            )
+                        else:
+                            handled.append("view")
+                if stale_failure is None:
+                    if active.activity and activity_id:
+                        handled.append("activity")
+                    handled_tuple = tuple(handled)
+                    time_index = len(handled_tuple) - (
+                        1 if handled_tuple[-1:] == ("activity",) else 0
+                    )
+                    handled_async = (
+                        handled_tuple[:time_index] + ("time",) + handled_tuple[time_index:]
+                    )
+                    context = CommunicationContext(
+                        activity=activity_id,
+                        from_org=verdict.sender_org,
+                        to_org=verdict.receiver_org,
+                    )
+                    prepared.clear()
+                    made.clear()
+            if stale_failure is not None:
+                failed += 1
+                outcomes.append(
+                    ExchangeOutcome(
+                        delivered=False,
+                        mode="failed",
+                        reason=stale_failure[1],
+                        reason_code=stale_failure[0],
+                        trace_id=trace_id,
+                    )
+                )
+                continue
             document = request.document
             doc_key = id(document)
             entry = prepared.get(doc_key)

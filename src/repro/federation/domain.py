@@ -62,12 +62,17 @@ class Domain:
         events: EventLog | None = None,
         shed_limit: int | None = None,
         default_deadline_s: float | None = None,
+        shards: int | None = None,
     ) -> None:
         self.world = world
         self.name = name
         self.node = f"gw-{name}"
         world.network.add_node(self.node, site=name)
         builder = CSCWEnvironment.builder().with_world(world).with_name(name)
+        if shards is not None:
+            # large-population domains shard their KB/white pages across
+            # N DSAs; home resolution then reads one owning shard only
+            builder = builder.with_sharding(shards)
         if metrics is not None:
             builder = builder.with_metrics(metrics)
         if tracer is not None:

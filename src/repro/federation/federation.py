@@ -182,6 +182,7 @@ class Federation:
         breaker_cooldown_s: float = 30.0,
         shed_limit: int | None = None,
         default_deadline_s: float | None = None,
+        shards: int | None = None,
     ) -> None:
         self.world = world
         self.name = name
@@ -203,6 +204,7 @@ class Federation:
         self._breaker_cooldown_s = breaker_cooldown_s
         self._shed_limit = shed_limit
         self._default_deadline_s = default_deadline_s
+        self._shards = shards
         self._health: HealthMonitor | None = None
         self._health_timeout_s = 1.0
         self._domains: dict[str, Domain] = {}
@@ -253,6 +255,7 @@ class Federation:
             events=self._events if self._events.enabled else None,
             shed_limit=self._shed_limit,
             default_deadline_s=self._default_deadline_s,
+            shards=self._shards,
         )
         domain.gateway_rpc.serve(
             "relay", lambda payload, d=domain: self._handle_relay(d, payload)

@@ -34,32 +34,41 @@ class OrganisationalKnowledgeBase:
         self.relations = RelationStore()
         self.rules = RuleEngine(self.relations)
         self.policies = PolicyRegistry()
-        self._listeners: list[Callable[[str], None]] = []
+        self._listeners: list[Callable[[str, str, str], None]] = []
         self.policies.add_listener(self._policies_changed)
 
     # -- change notification -----------------------------------------------
-    def add_listener(self, listener: Callable[[str], None]) -> None:
-        """Call *listener*(kind) after KB mutations.
+    def add_listener(self, listener: Callable[[str, str, str], None]) -> None:
+        """Call *listener*(kind, entity_id, org) after KB mutations.
 
-        *kind* is ``"organisation"``, ``"person"`` or ``"policy"``.  The
-        environment's exchange resolution cache subscribes here so that
-        memoised org/policy verdicts never outlive the facts they were
-        derived from.
+        *kind* is ``"organisation"``, ``"person"`` or ``"policy"``; the
+        other two arguments scope the mutation so listeners can evict by
+        key instead of flushing wholesale:
+
+        * ``"person"`` — *entity_id* is the person id, *org* the
+          organisation they now (or last) belonged to;
+        * ``"organisation"`` — both are the organisation id;
+        * ``"policy"`` — *entity_id*/*org* are the two organisation ids
+          of the mutated policy pair.
+
+        The environment's exchange resolution cache subscribes here so
+        that memoised org/policy verdicts never outlive the facts they
+        were derived from.
         """
         self._listeners.append(listener)
 
-    def _notify(self, kind: str) -> None:
+    def _notify(self, kind: str, entity_id: str = "", org: str = "") -> None:
         for listener in self._listeners:
-            listener(kind)
+            listener(kind, entity_id, org)
 
-    def _policies_changed(self) -> None:
-        self._notify("policy")
+    def _policies_changed(self, from_org: str, to_org: str) -> None:
+        self._notify("policy", from_org, to_org)
 
     # -- organisations -----------------------------------------------------
     def add_organisation(self, organisation: Organisation) -> Organisation:
         """Register an organisation."""
         self._organisations[organisation.org_id] = organisation
-        self._notify("organisation")
+        self._notify("organisation", organisation.org_id, organisation.org_id)
         return organisation
 
     def organisation(self, org_id: str) -> Organisation:
@@ -94,7 +103,19 @@ class OrganisationalKnowledgeBase:
         invalidated.
         """
         self.organisation(person.organisation).add_person(person)
-        self._notify("person")
+        self._notify("person", person.person_id, person.organisation)
+        return person
+
+    def remove_person(self, person_id: str) -> Person:
+        """Deregister a person from the knowledge base entirely.
+
+        The inverse of :meth:`add_person`: the person leaves their
+        organisation and listeners fire so memoised routes touching them
+        are evicted.  Returns the removed :class:`Person` record.
+        """
+        person = self.find_person(person_id)
+        self.organisation(person.organisation).remove_person(person_id)
+        self._notify("person", person_id, person.organisation)
         return person
 
     def move_person(self, person_id: str, to_org: str) -> Person:
@@ -109,7 +130,7 @@ class OrganisationalKnowledgeBase:
         self.organisation(person.organisation).remove_person(person_id)
         moved = replace(person, organisation=to_org)
         destination.add_person(moved)
-        self._notify("person")
+        self._notify("person", person_id, to_org)
         return moved
 
     # -- trader integration (paper section 6.1) ------------------------------

@@ -60,19 +60,23 @@ class PolicyRegistry:
         self._policies: dict[tuple[str, str], InterOrgPolicy] = {}
         self.checks = 0
         self.denials = 0
-        self._listeners: list[Callable[[], None]] = []
+        self._listeners: list[Callable[[str, str], None]] = []
 
-    def add_listener(self, listener: Callable[[], None]) -> None:
-        """Call *listener*() after every policy mutation (declare/revoke).
+    def add_listener(self, listener: Callable[[str, str], None]) -> None:
+        """Call *listener*(from_org, to_org) after every policy mutation.
 
         Consumers that memoise compatibility verdicts (the environment's
-        exchange resolution cache) subscribe here to invalidate.
+        exchange resolution cache) subscribe here to invalidate.  The org
+        pair scopes the mutation: only verdicts touching *both*
+        organisations can have changed, so listeners may evict by key
+        instead of flushing wholesale.  A ``symmetric`` declare or revoke
+        fires once — the unordered pair is the same.
         """
         self._listeners.append(listener)
 
-    def _notify(self) -> None:
+    def _notify(self, from_org: str, to_org: str) -> None:
         for listener in self._listeners:
-            listener()
+            listener(from_org, to_org)
 
     def declare(
         self,
@@ -90,7 +94,7 @@ class PolicyRegistry:
             self._policies[(to_org, from_org)] = InterOrgPolicy(
                 to_org, from_org, frozenset(allowed), cost
             )
-        self._notify()
+        self._notify(from_org, to_org)
 
     def revoke(self, from_org: str, to_org: str, symmetric: bool = False) -> int:
         """Remove a declared policy; returns how many directions existed.
@@ -104,7 +108,7 @@ class PolicyRegistry:
         if symmetric and self._policies.pop((to_org, from_org), None) is not None:
             removed += 1
         if removed:
-            self._notify()
+            self._notify(from_org, to_org)
         return removed
 
     def policy_between(self, from_org: str, to_org: str) -> InterOrgPolicy | None:

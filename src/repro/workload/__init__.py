@@ -1,0 +1,22 @@
+"""Synthetic workload generation (population, traffic) for scale benches.
+
+The ROADMAP's million-user north star needs populations far past what the
+hand-written bench scripts register.  :mod:`repro.workload.population`
+provides a seeded generator that installs 10^3–10^6 synthetic users
+across many organisations into an environment — deterministic for a given
+spec, fast enough to sweep, and shard-aware (it reports per-DSA balance
+when the environment's KB is a
+:class:`~repro.sharding.kb.ShardedKnowledgeBase`).
+"""
+
+from repro.workload.population import (
+    PopulationGenerator,
+    PopulationReport,
+    PopulationSpec,
+)
+
+__all__ = [
+    "PopulationGenerator",
+    "PopulationReport",
+    "PopulationSpec",
+]
