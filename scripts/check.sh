@@ -284,4 +284,77 @@ EOF
 echo "== bench_e12 shard scale (quick) =="
 python benchmarks/bench_e12_shard.py --quick
 
+echo "== mediation smoke (multi-hop plan + negotiated downgrade) =="
+python - <<'EOF'
+# The PR 8 tentpole, end to end: four apps on a mediated environment,
+# a mediator-only format reaching the message system through a
+# synthesized multi-hop plan, and a fidelity floor either accepting a
+# negotiated downgrade or failing with the structured reason code.
+from repro.apps.document import DocumentProcessor
+from repro.apps.message_system import MessageSystem
+from repro.communication.model import Communicator
+from repro.environment.environment import REASON_FIDELITY, CSCWEnvironment
+from repro.environment.registry import AppDescriptor, Q_DIFFERENT_TIME_DIFFERENT_PLACE
+from repro.mediation import KIND_PARTIAL, direct_capability
+from repro.org.model import Organisation, Person
+from repro.sim.world import World
+from repro.util.errors import FidelityError
+
+world = World(seed=8)
+env = CSCWEnvironment.builder().with_world(world).with_mediation().build()
+org = Organisation("upc", "UPC")
+org.add_person(Person("ana", "Ana", "upc"))
+org.add_person(Person("bob", "Bob", "upc"))
+env.knowledge_base.add_organisation(org)
+world.add_site("bcn", ["ws-ana", "ws-bob"])
+env.register_person(Communicator("ana", "ws-ana"))
+env.register_person(Communicator("bob", "ws-bob"))
+message_system = MessageSystem()
+message_system.attach(env)
+DocumentProcessor().attach(env)
+QUAD = [Q_DIFFERENT_TIME_DIFFERENT_PLACE]
+env.register_application(
+    AppDescriptor(name="faxline", quadrants=QUAD, native_format="fax",
+                  capabilities=[direct_capability(
+                      "fax", "scan",
+                      lambda d: {"scan-title": d.get("fax-title", ""),
+                                 "scan-body": d.get("fax-body", "")},
+                      fidelity=0.95, kind=KIND_PARTIAL, exporter="faxline")]),
+    lambda person, doc, info: None,
+)
+env.register_application(
+    AppDescriptor(name="scanstore", quadrants=QUAD, native_format="scan",
+                  capabilities=[direct_capability(
+                      "scan", "document",
+                      lambda d: {"title": d.get("scan-title", ""),
+                                 "paragraphs": [d.get("scan-body", "")]},
+                      fidelity=0.9, kind=KIND_PARTIAL, exporter="scanstore")]),
+    lambda person, doc, info: None,
+)
+plan = env.mediator.plan("fax", "memo")
+assert plan.hops >= 3, plan
+downgraded = env.mediator.negotiate("fax", "memo", min_fidelity=0.8)
+assert downgraded.fidelity < 1.0
+try:
+    env.mediator.negotiate("fax", "memo", min_fidelity=0.9)
+    raise AssertionError("floor 0.9 must reject the 0.855 plan")
+except FidelityError:
+    pass
+doc = {"fax-title": "offer", "fax-body": "sign here"}
+delivered = env.exchange("ana", "bob", "faxline", "message-system", doc,
+                         min_fidelity=0.8)
+assert delivered.delivered, delivered
+assert message_system.inbox("bob")[-1].document["subject"] == "offer"
+refused = env.exchange("ana", "bob", "faxline", "message-system", doc,
+                       min_fidelity=0.99)
+assert not refused.delivered and refused.reason_code == REASON_FIDELITY, refused
+assert env.mediator.stats()["whole_cache_invalidations"] == 0
+print(f"mediated {' -> '.join(plan.path)} ({plan.hops} hops, "
+      f"fidelity {plan.fidelity:.3f}); downgrade accepted at floor 0.8, "
+      "rejected at 0.9; zero whole-cache invalidations")
+EOF
+
+echo "== bench_e13 mediation (quick) =="
+python benchmarks/bench_e13_mediation.py --quick
+
 echo "== all checks passed =="

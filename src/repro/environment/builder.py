@@ -85,6 +85,7 @@ class EnvironmentBuilder:
         self._default_deadline_s: float | None = None
         self._shards: int | None = None
         self._shard_country = "ES"
+        self._mediation = False
 
     # -- knobs -------------------------------------------------------------
     def with_world(self, world: World) -> "EnvironmentBuilder":
@@ -216,6 +217,20 @@ class EnvironmentBuilder:
         self._shard_country = country
         return self
 
+    def with_mediation(self, enabled: bool = True) -> "EnvironmentBuilder":
+        """Wire a :class:`~repro.mediation.mediator.Mediator` as ``env.mediator``.
+
+        Application registrations then also publish their converters'
+        conversion capabilities as ``format-converter`` offers on the
+        environment's trader (plus any direct/partial capabilities the
+        descriptor declares), and ``exchange()`` falls back from the
+        static interchange hub to mediated multi-hop plans — for formats
+        the hub has never seen, and for ``min_fidelity`` floors the hub
+        plan cannot meet.  Off by default (``env.mediator`` is ``None``).
+        """
+        self._mediation = enabled
+        return self
+
     def with_trader_policy(self, hook: TraderPolicy) -> "EnvironmentBuilder":
         """Install an extra trading-policy predicate on the trader.
 
@@ -264,6 +279,12 @@ class EnvironmentBuilder:
             env.trader.add_policy_hook(hook)
         env.interchange = InterchangeService()
         env.applications = ApplicationRegistry(env.interchange, env.trader)
+        env.mediator = None
+        if self._mediation:
+            from repro.mediation import Mediator
+
+            env.mediator = Mediator(env.trader, node=f"{env.name}-mediator")
+            env.applications.set_mediator(env.mediator)
         # The exchange fast path: memoised org/policy/format resolution,
         # invalidated by KB and app-registry mutations.
         env.resolution = ResolutionCache(env.knowledge_base, env.applications)

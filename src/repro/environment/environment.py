@@ -44,7 +44,12 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import Tracer
 from repro.org.policy import INTERACTION_MESSAGE
 from repro.sim.world import World
-from repro.util.errors import ConfigurationError, InteropError, UnknownObjectError
+from repro.util.errors import (
+    ConfigurationError,
+    FidelityError,
+    InteropError,
+    UnknownObjectError,
+)
 from repro.util.serialization import document_size
 
 if TYPE_CHECKING:
@@ -57,6 +62,7 @@ REASON_ORGANISATION_OPAQUE = "organisation-opaque"
 REASON_POLICY = "policy"
 REASON_VIEW_OPAQUE = "view-opaque"
 REASON_TRANSLATION = "translation"
+REASON_FIDELITY = "fidelity"
 REASON_TIME_OPAQUE = "time-opaque"
 REASON_UNKNOWN_RECEIVER = "unknown-receiver"
 REASON_DEADLINE_EXCEEDED = "deadline-exceeded"
@@ -123,6 +129,10 @@ class ExchangeRequest:
     priority: int = 0
     #: free-form shed classification, recorded with shed events
     shed_class: str = ""
+    #: minimum acceptable translation fidelity in [0, 1]; a lossier plan
+    #: is rejected with ``REASON_FIDELITY`` instead of delivered (0.0,
+    #: the default, accepts any plan — the pre-mediation behaviour)
+    min_fidelity: float = 0.0
 
     @classmethod
     def from_kwargs(
@@ -138,6 +148,7 @@ class ExchangeRequest:
         deadline: float | None = None,
         priority: int = 0,
         shed_class: str = "",
+        min_fidelity: float = 0.0,
     ) -> "ExchangeRequest":
         """Build a request from the legacy positional/keyword arguments.
 
@@ -157,6 +168,7 @@ class ExchangeRequest:
             deadline=deadline,
             priority=priority,
             shed_class=shed_class,
+            min_fidelity=min_fidelity,
         )
 
     def to_document(self) -> dict[str, Any]:
@@ -179,6 +191,7 @@ class ExchangeRequest:
             "deadline": self.deadline,
             "priority": self.priority,
             "shed_class": self.shed_class,
+            "min_fidelity": self.min_fidelity,
         }
 
     @classmethod
@@ -200,6 +213,7 @@ class ExchangeRequest:
             deadline=document.get("deadline"),
             priority=document.get("priority", 0),
             shed_class=document.get("shed_class", ""),
+            min_fidelity=document.get("min_fidelity", 0.0),
         )
 
 
@@ -380,6 +394,64 @@ class CSCWEnvironment:
             )
             return outcome
 
+    def _translate_payload(
+        self,
+        source_format: str,
+        target_format: str,
+        payload: "dict[str, Any]",
+        min_fidelity: float,
+    ):
+        """Translate via the static hub, falling back to the mediator.
+
+        The :class:`InterchangeService` serves the classic
+        both-formats-registered case; the mediator (when wired via
+        ``with_mediation()``) takes over when the hub cannot — a format
+        it has never seen, or a hub plan too lossy for the caller's
+        ``min_fidelity`` floor (the mediator may know a direct or
+        partial route with better fidelity).  Raises
+        :class:`~repro.util.errors.InteropError` when no route exists
+        and :class:`~repro.util.errors.FidelityError` when routes exist
+        but none meets the floor.
+        """
+        interchange = self.interchange
+        mediator = self.mediator
+        if mediator is None:
+            result = interchange.translate(source_format, target_format, payload)
+            if result.fidelity < min_fidelity:
+                raise FidelityError(
+                    f"hub plan {source_format!r} -> {target_format!r} keeps "
+                    f"fidelity {result.fidelity:.3f}, below the requested "
+                    f"floor {min_fidelity:.3f}",
+                    best_fidelity=result.fidelity,
+                    min_fidelity=min_fidelity,
+                )
+            return result
+        if interchange.is_registered(source_format) and interchange.is_registered(
+            target_format
+        ):
+            result = interchange.translate(source_format, target_format, payload)
+            if result.fidelity >= min_fidelity:
+                return result
+            try:
+                return mediator.translate(
+                    source_format, target_format, payload, min_fidelity=min_fidelity
+                )
+            except FidelityError:
+                raise
+            except InteropError:
+                # no mediated route either — report the hub's best offer
+                raise FidelityError(
+                    f"hub plan {source_format!r} -> {target_format!r} keeps "
+                    f"fidelity {result.fidelity:.3f}, below the requested "
+                    f"floor {min_fidelity:.3f}, and no mediated plan improves "
+                    "on it",
+                    best_fidelity=result.fidelity,
+                    min_fidelity=min_fidelity,
+                ) from None
+        return mediator.translate(
+            source_format, target_format, payload, min_fidelity=min_fidelity
+        )
+
     def _exchange(
         self,
         request: ExchangeRequest,
@@ -472,7 +544,11 @@ class CSCWEnvironment:
                     obs,
                 )
             try:
-                result = self.interchange.translate(sender_format, receiver_format, payload)
+                result = self._translate_payload(
+                    sender_format, receiver_format, payload, request.min_fidelity
+                )
+            except FidelityError as exc:
+                return self._fail(REASON_FIDELITY, str(exc), trace_id, obs)
             except InteropError as exc:
                 return self._fail(REASON_TRANSLATION, str(exc), trace_id, obs)
             payload = result.document
@@ -631,6 +707,7 @@ class CSCWEnvironment:
                         or nxt.deadline != head.deadline
                         or nxt.priority != head.priority
                         or nxt.shed_class != head.shed_class
+                        or nxt.min_fidelity != head.min_fidelity
                     ):
                         break
                     stop += 1
@@ -760,7 +837,7 @@ class CSCWEnvironment:
         time_index = len(handled_tuple) - (1 if handled_tuple[-1:] == ("activity",) else 0)
         handled_async = handled_tuple[:time_index] + ("time",) + handled_tuple[time_index:]
 
-        translate = self.interchange.translate
+        translate = self._translate_payload
         render = self.views.render
         deliver = self.applications.deliver
         pending = self._pending_deliveries
@@ -862,7 +939,9 @@ class CSCWEnvironment:
                 fidelity = 1.0
                 if needs_translation:
                     try:
-                        result = translate(sender_format, receiver_format, payload)
+                        result = translate(
+                            sender_format, receiver_format, payload, head.min_fidelity
+                        )
                     except InteropError as exc:
                         failed += 1
                         outcomes.append(
@@ -870,7 +949,9 @@ class CSCWEnvironment:
                                 delivered=False,
                                 mode="failed",
                                 reason=str(exc),
-                                reason_code=REASON_TRANSLATION,
+                                reason_code=REASON_FIDELITY
+                                if isinstance(exc, FidelityError)
+                                else REASON_TRANSLATION,
                                 trace_id=trace_id,
                             )
                         )

@@ -48,6 +48,14 @@ class AppDescriptor:
     #: environment in a cooperative context (paper section 6.2's document
     #: processing example)?
     is_cscw: bool = True
+    #: conversion capabilities (direct/partial converters beyond the
+    #: common-form bridge) published to the environment's mediator;
+    #: requires an environment built ``with_mediation()``
+    capabilities: list = field(default_factory=list)
+    #: native format for converter-less apps whose conversions are
+    #: mediator-only (published via *capabilities*); ignored when a
+    #: converter is present
+    native_format: str = ""
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -60,8 +68,11 @@ class AppDescriptor:
 
     @property
     def format_name(self) -> str:
-        """The app's native format name ('' when it has no converter)."""
-        return self.converter.format_name if self.converter is not None else ""
+        """The app's native format name ('' when it declares neither a
+        converter nor a mediator-only ``native_format``)."""
+        if self.converter is not None:
+            return self.converter.format_name
+        return self.native_format
 
 
 class ApplicationRegistry:
@@ -70,9 +81,19 @@ class ApplicationRegistry:
     def __init__(self, interchange: InterchangeService, trader: Trader) -> None:
         self._interchange = interchange
         self._trader = trader
+        self._mediator: Any = None
         self._descriptors: dict[str, AppDescriptor] = {}
         self._callbacks: dict[str, DeliveryCallback] = {}
         self._listeners: list[Callable[[str], None]] = []
+
+    def set_mediator(self, mediator: Any) -> None:
+        """Publish registered converters to *mediator* from now on.
+
+        Installed by ``with_mediation()``; each registration then also
+        publishes the converter's to/from-common capabilities (and any
+        descriptor-declared direct/partial capabilities) on the trader.
+        """
+        self._mediator = mediator
 
     def add_listener(self, listener: Callable[[str], None]) -> None:
         """Call *listener*(app_name) after every successful registration.
@@ -97,8 +118,20 @@ class ApplicationRegistry:
         """
         if descriptor.name in self._descriptors:
             raise ConfigurationError(f"application {descriptor.name!r} already registered")
+        if descriptor.capabilities and self._mediator is None:
+            raise ConfigurationError(
+                f"application {descriptor.name!r} declares mediated conversion "
+                "capabilities but the environment has no mediator "
+                "(build with with_mediation())"
+            )
         if descriptor.converter is not None:
             self._interchange.register(descriptor.converter)
+            if self._mediator is not None:
+                self._mediator.publish_converter(
+                    descriptor.converter, exporter=descriptor.name
+                )
+        for capability in descriptor.capabilities:
+            self._mediator.publish(capability)
         for service_type, ref in descriptor.exports.items():
             self._trader.export(
                 service_type, ref, {"application": descriptor.name}, exporter=exporter_org

@@ -63,6 +63,7 @@ class Domain:
         shed_limit: int | None = None,
         default_deadline_s: float | None = None,
         shards: int | None = None,
+        mediation: bool = False,
     ) -> None:
         self.world = world
         self.name = name
@@ -73,6 +74,8 @@ class Domain:
             # large-population domains shard their KB/white pages across
             # N DSAs; home resolution then reads one owning shard only
             builder = builder.with_sharding(shards)
+        if mediation:
+            builder = builder.with_mediation()
         if metrics is not None:
             builder = builder.with_metrics(metrics)
         if tracer is not None:

@@ -71,7 +71,13 @@ from repro.resilience.health import HealthMonitor
 from repro.sim.network import LinkSpec, WAN_LINK
 from repro.sim.transport import DeferredReply
 from repro.sim.world import World
-from repro.util.errors import ConfigurationError, NameError_, UnknownObjectError
+from repro.util.errors import (
+    ConfigurationError,
+    InteropError,
+    NameError_,
+    NotRegisteredError,
+    UnknownObjectError,
+)
 
 if TYPE_CHECKING:  # imported lazily at runtime to keep layering acyclic
     from repro.control.plane import ControlPlane, ControlPolicy
@@ -183,6 +189,7 @@ class Federation:
         shed_limit: int | None = None,
         default_deadline_s: float | None = None,
         shards: int | None = None,
+        mediation: bool = False,
     ) -> None:
         self.world = world
         self.name = name
@@ -205,6 +212,9 @@ class Federation:
         self._shed_limit = shed_limit
         self._default_deadline_s = default_deadline_s
         self._shards = shards
+        #: mediation=True builds every domain with_mediation(): relayed
+        #: exchanges then carry the origin's synthesized plan metadata
+        self._mediation = mediation
         self._health: HealthMonitor | None = None
         self._health_timeout_s = 1.0
         self._domains: dict[str, Domain] = {}
@@ -256,6 +266,7 @@ class Federation:
             shed_limit=self._shed_limit,
             default_deadline_s=self._default_deadline_s,
             shards=self._shards,
+            mediation=self._mediation,
         )
         domain.gateway_rpc.serve(
             "relay", lambda payload, d=domain: self._handle_relay(d, payload)
@@ -787,6 +798,39 @@ class Federation:
                 )
         return None
 
+    def _mediation_metadata(
+        self, origin: Domain, request: ExchangeRequest
+    ) -> "dict[str, Any] | None":
+        """The origin mediator's plan for a relayed exchange, as envelope
+        metadata.
+
+        When the origin domain runs mediated (``mediation=True``), the
+        plan the target's pipeline will effectively execute is
+        synthesized here first and stamped on the relay envelope — the
+        receiving side counts it (``mediation.plan.relayed``) and tags
+        its relay span, so operators see mediated routes and expected
+        fidelity on the wire without re-deriving them.  Returns ``None``
+        for unmediated domains, same-format pairs, unknown apps and
+        unplannable routes (the target pipeline remains authoritative
+        and will fail those its own way).
+        """
+        mediator = origin.env.mediator
+        if mediator is None:
+            return None
+        try:
+            source, target = origin.env.resolution.formats(
+                request.sender_app, request.receiver_app
+            )
+        except NotRegisteredError:
+            return None
+        if source == target:
+            return None
+        try:
+            plan = mediator.negotiate(source, target, request.min_fidelity)
+        except InteropError:
+            return None
+        return plan.to_document()
+
     def _stamp_payload(
         self, payload: dict[str, Any], origin: Domain
     ) -> TraceContext | None:
@@ -856,6 +900,9 @@ class Federation:
         payload = request.to_document()
         payload["document"] = dict(request.document)
         payload["deadline"] = deadline
+        mediation = self._mediation_metadata(origin, request)
+        if mediation is not None:
+            payload["mediation"] = mediation
         context = self._stamp_payload(payload, origin)
         holder: dict[str, Any] = {}
 
@@ -1011,6 +1058,9 @@ class Federation:
             document = request.to_document()
             document["document"] = dict(request.document)
             document["deadline"] = expires_at
+            mediation = self._mediation_metadata(origin, request)
+            if mediation is not None:
+                document["mediation"] = mediation
             documents.append(document)
         # The gateway-level deadline only applies when every shipped
         # request carries one (the loosest wins; per-request deadlines
@@ -1161,6 +1211,11 @@ class Federation:
             ]
             if self._metrics.enabled:
                 self._metrics.inc("gateway.inbound", len(requests))
+                mediated = sum(
+                    1 for document in payload["requests"] if "mediation" in document
+                )
+                if mediated:
+                    self._metrics.inc("mediation.plan.relayed", mediated)
             with self._trace.span_from_context(
                 "federation.relay",
                 TraceContext.from_document(payload.get(TRACE_KEY)),
@@ -1178,8 +1233,11 @@ class Federation:
                 domain.relay_seen[relay_id] = reply
             return reply
         request = ExchangeRequest.from_document(payload)
+        mediation = payload.get("mediation")
         if self._metrics.enabled:
             self._metrics.inc("gateway.inbound")
+            if mediation is not None:
+                self._metrics.inc("mediation.plan.relayed")
         # Continue the trace the payload carries: the target pipeline's
         # env.exchange span nests under this one, so the outcome's
         # trace_id is the origin's — the receiving half of propagation.
@@ -1187,7 +1245,12 @@ class Federation:
             "federation.relay",
             TraceContext.from_document(payload.get(TRACE_KEY)),
             domain=domain.name,
-        ):
+        ) as span:
+            if mediation is not None and span is not None:
+                span.tag(
+                    mediated_fidelity=mediation.get("fidelity"),
+                    mediated_hops=mediation.get("hops"),
+                )
             outcome = domain.env.exchange(request)
         reply = {
             "outcome": _outcome_document(outcome),

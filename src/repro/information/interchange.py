@@ -14,6 +14,7 @@ motivates the environment.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 from typing import Any, Callable
 
@@ -76,7 +77,10 @@ class _TranslationPlan:
     validation for the pair; later translations through the same plan
     skip the shape re-check (converters are frozen and assumed
     shape-deterministic — a converter that emits a malformed common form
-    does so on its first use and the plan never validates).
+    does so on its first use and the plan never validates).  Replacing a
+    converter evicts every plan touching its format, so the swapped-in
+    converter's output is re-validated on first use instead of riding a
+    stale ``validated`` flag.
     """
 
     source: FormatConverter
@@ -90,9 +94,11 @@ class InterchangeService:
 
     Repeated same-pair translations run through a memoised
     :class:`_TranslationPlan` (converter lookup, combined fidelity and
-    shape validation amortised to the first call); the plan cache is
-    invalidated whenever a new converter registers.  Attach a metrics
-    registry to export ``interchange.plan.<hit|miss>`` counters.
+    shape validation amortised to the first call); plan invalidation is
+    *keyed*: registering or replacing a converter evicts only the plans
+    whose source or target is that format, never the whole cache.
+    Attach a metrics registry to export ``interchange.plan.<hit|miss>``,
+    ``interchange.plan.evicted`` and ``interchange.identity`` counters.
     """
 
     def __init__(self) -> None:
@@ -103,19 +109,34 @@ class InterchangeService:
         self.failures = 0
         self.plan_hits = 0
         self.plan_misses = 0
+        self.plan_evictions = 0
+        self.identities = 0
 
     def attach_metrics(self, metrics: MetricsRegistry | None) -> None:
         """Report plan-cache activity to *metrics* (``None`` detaches)."""
         self._obs = metrics if metrics is not None else NULL_METRICS
 
-    def register(self, converter: FormatConverter) -> None:
-        """Register an application format (one per format name)."""
-        if converter.format_name in self._converters:
-            raise ConfigurationError(
-                f"format {converter.format_name!r} already registered"
-            )
-        self._converters[converter.format_name] = converter
-        self._plans.clear()
+    def register(self, converter: FormatConverter, replace: bool = False) -> None:
+        """Register an application format (one per format name).
+
+        Pass ``replace=True`` to swap in a new converter for an
+        already-registered format.  Either way invalidation is keyed:
+        only plans whose source or target is this format are evicted
+        (their ``validated`` flag resets with them, so a replacement
+        converter is re-validated on first use); plans between other
+        formats survive untouched.
+        """
+        name = converter.format_name
+        if name in self._converters and not replace:
+            raise ConfigurationError(f"format {name!r} already registered")
+        self._converters[name] = converter
+        affected = [key for key in self._plans if name in key]
+        for key in affected:
+            del self._plans[key]
+        if affected:
+            self.plan_evictions += len(affected)
+            if self._obs.enabled:
+                self._obs.inc("interchange.plan.evicted", len(affected))
 
     def formats(self) -> list[str]:
         """All registered format names, sorted."""
@@ -154,7 +175,14 @@ class InterchangeService:
         """Translate a native document between two registered formats."""
         if source_format == target_format:
             self.translations += 1
-            return TranslationResult(dict(document), source_format, target_format, 1.0, 0)
+            self.identities += 1
+            if self._obs.enabled:
+                self._obs.inc("interchange.identity")
+            # deep copy, like every converting path: the receiver must
+            # never alias (or mutate) the sender's nested structures
+            return TranslationResult(
+                copy.deepcopy(document), source_format, target_format, 1.0, 0
+            )
         plan = self._plans.get((source_format, target_format))
         if plan is None:
             self.plan_misses += 1

@@ -1,0 +1,40 @@
+"""Mediation: trader-published converters and synthesized conversion plans.
+
+The static :class:`~repro.information.interchange.InterchangeService`
+realises the paper's O(N) openness argument with a fixed shape — every
+translation is exactly ``to_common`` -> ``from_common``.  This package
+generalises it in the direction of service-based mediation (MISE 2.0)
+over the ODP trader-as-capability-broker: applications *publish*
+conversion capabilities (including direct and partial converters that
+bypass the common form) as service offers, and a :class:`Mediator`
+assembles them into a conversion graph, synthesizes multi-hop plans and
+negotiates fidelity downgrades against a caller's ``min_fidelity``.
+"""
+
+from repro.mediation.capability import (
+    KIND_DIRECT,
+    KIND_FROM_COMMON,
+    KIND_PARTIAL,
+    KIND_TO_COMMON,
+    SERVICE_TYPE_CONVERTER,
+    ConversionCapability,
+    capabilities_from_converter,
+    direct_capability,
+)
+from repro.mediation.mediator import MediationError, MediationPlan, Mediator
+from repro.util.errors import FidelityError
+
+__all__ = [
+    "ConversionCapability",
+    "FidelityError",
+    "MediationError",
+    "MediationPlan",
+    "Mediator",
+    "SERVICE_TYPE_CONVERTER",
+    "KIND_DIRECT",
+    "KIND_FROM_COMMON",
+    "KIND_PARTIAL",
+    "KIND_TO_COMMON",
+    "capabilities_from_converter",
+    "direct_capability",
+]

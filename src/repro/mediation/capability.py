@@ -1,0 +1,172 @@
+"""Conversion capabilities: what applications publish on the trader.
+
+A :class:`ConversionCapability` is one directed edge of the mediation
+graph — "I can turn *source*-format documents into *target*-format
+documents, keeping *fidelity* of their structure, at *cost*".  The
+implementation callable never travels through the trader (trader
+properties treat callables as ODP *dynamic properties* and evaluate them
+at import time); offers carry only the metadata, and the
+:class:`~repro.mediation.mediator.Mediator` keeps the id -> callable map.
+
+Four capability kinds exist:
+
+* ``to-common`` / ``from-common`` — the two halves of a classic
+  :class:`~repro.information.interchange.FormatConverter` hub bridge,
+  derived by :func:`capabilities_from_converter`;
+* ``direct`` — a bespoke source -> target converter that bypasses the
+  common form (usually higher fidelity or cheaper);
+* ``partial`` — a converter that only gets partway (source -> some
+  intermediate format); the mediator chains partials into multi-hop
+  plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.information.interchange import (
+    COMMON_KEYS,
+    FormatConverter,
+    is_common,
+)
+from repro.util.errors import ConfigurationError, InteropError
+
+#: the trader service type every conversion capability is offered under
+SERVICE_TYPE_CONVERTER = "format-converter"
+
+#: the hub node of the conversion graph (the interchange common form)
+COMMON_FORMAT = "common"
+
+KIND_TO_COMMON = "to-common"
+KIND_FROM_COMMON = "from-common"
+KIND_DIRECT = "direct"
+KIND_PARTIAL = "partial"
+_KINDS = (KIND_TO_COMMON, KIND_FROM_COMMON, KIND_DIRECT, KIND_PARTIAL)
+
+#: a one-step document conversion
+Convert = Callable[[dict[str, Any]], dict[str, Any]]
+
+
+@dataclass(frozen=True)
+class ConversionCapability:
+    """One directed conversion edge an application can perform."""
+
+    capability_id: str
+    source: str
+    target: str
+    convert: Convert = field(hash=False, compare=False)
+    #: how much structure survives this step, in (0, 1]; multiplies
+    #: along a plan
+    fidelity: float = 1.0
+    #: abstract per-step cost, > 0; adds along a plan
+    cost: float = 1.0
+    kind: str = KIND_DIRECT
+    #: the publishing application (rides the offer's ``exporter`` field,
+    #: so trading policy can gate who may use the converter)
+    exporter: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.capability_id:
+            raise ConfigurationError("capability needs an id")
+        if not self.source or not self.target:
+            raise ConfigurationError("capability needs source and target formats")
+        if self.source == self.target:
+            raise ConfigurationError(
+                f"capability {self.capability_id!r}: source and target are "
+                f"both {self.source!r}"
+            )
+        if not 0.0 < self.fidelity <= 1.0:
+            raise ConfigurationError("capability fidelity must be in (0, 1]")
+        if self.cost <= 0.0:
+            raise ConfigurationError("capability cost must be > 0")
+        if self.kind not in _KINDS:
+            raise ConfigurationError(f"unknown capability kind {self.kind!r}")
+
+    def offer_properties(self) -> dict[str, Any]:
+        """The metadata half of the capability, as trader offer properties."""
+        return {
+            "capability": self.capability_id,
+            "source": self.source,
+            "target": self.target,
+            "fidelity": self.fidelity,
+            "cost": self.cost,
+            "kind": self.kind,
+        }
+
+
+def capabilities_from_converter(
+    converter: FormatConverter, cost: float = 1.0, exporter: str = ""
+) -> tuple[ConversionCapability, ConversionCapability]:
+    """Split a hub :class:`FormatConverter` into its two graph edges.
+
+    Both halves carry the converter's declared ``fidelity``: a mediated
+    A -> common -> B plan uses A's *to-common* edge and B's
+    *from-common* edge, so the plan fidelity is ``fid_A * fid_B`` —
+    exactly what :meth:`InterchangeService.translate` reports for the
+    same pair.  The to-common half validates the common shape on every
+    call (the mediator has no one-shot plan validation to lean on).
+    """
+    name = converter.format_name
+
+    def to_common(document: dict[str, Any]) -> dict[str, Any]:
+        common = converter.to_common(document)
+        if not is_common(common):
+            raise InteropError(
+                f"converter {name!r} produced a malformed common document "
+                f"(missing keys from {COMMON_KEYS})"
+            )
+        return common
+
+    def from_common(document: dict[str, Any]) -> dict[str, Any]:
+        if not is_common(document):
+            raise InteropError(
+                f"converter {name!r} given a non-common document to "
+                f"convert from the common form (missing keys from {COMMON_KEYS})"
+            )
+        return converter.from_common(document)
+
+    return (
+        ConversionCapability(
+            capability_id=f"{KIND_TO_COMMON}:{name}",
+            source=name,
+            target=COMMON_FORMAT,
+            convert=to_common,
+            fidelity=converter.fidelity,
+            cost=cost,
+            kind=KIND_TO_COMMON,
+            exporter=exporter,
+        ),
+        ConversionCapability(
+            capability_id=f"{KIND_FROM_COMMON}:{name}",
+            source=COMMON_FORMAT,
+            target=name,
+            convert=from_common,
+            fidelity=converter.fidelity,
+            cost=cost,
+            kind=KIND_FROM_COMMON,
+            exporter=exporter,
+        ),
+    )
+
+
+def direct_capability(
+    source: str,
+    target: str,
+    convert: Convert,
+    fidelity: float = 1.0,
+    cost: float = 1.0,
+    exporter: str = "",
+    kind: str = KIND_DIRECT,
+) -> ConversionCapability:
+    """A direct (or partial) converter that bypasses the common form."""
+    return ConversionCapability(
+        capability_id=f"{kind}:{source}->{target}",
+        source=source,
+        target=target,
+        convert=convert,
+        fidelity=fidelity,
+        cost=cost,
+        kind=kind,
+        exporter=exporter,
+    )

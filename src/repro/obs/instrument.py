@@ -23,7 +23,13 @@ layer                     instruments
 ``environment.resolution``  ``env.cache.route.<hit|miss>``,
                           ``env.cache.formats.<hit|miss>``,
                           ``env.cache.invalidations`` counters
-``information.interchange``  ``interchange.plan.<hit|miss>`` counters
+``information.interchange``  ``interchange.plan.<hit|miss|evicted>`` /
+                          ``interchange.identity`` counters
+``mediation.mediator``    ``mediation.plan.<synthesized|hit|evicted>``,
+                          ``mediation.capability.<published|withdrawn>``,
+                          ``mediation.negotiation.<downgraded|rejected>``
+                          counters, ``mediation.fidelity`` histogram,
+                          ``mediation.translate``/``mediation.hop`` spans
 ========================  =====================================================
 
 Each ``instrument_*`` function is idempotent, returns its target, and is
@@ -55,6 +61,9 @@ COUNT_BUCKETS: tuple[float, ...] = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
 BYTES_BUCKETS: tuple[float, ...] = (
     64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0, 262144.0,
 )
+
+#: histogram bounds for delivered translation fidelity in (0, 1]
+FIDELITY_BUCKETS: tuple[float, ...] = (0.25, 0.5, 0.7, 0.8, 0.9, 0.95, 1.0)
 
 
 @dataclass
@@ -142,10 +151,18 @@ def instrument_environment(
         interchange = getattr(environment, "interchange", None)
         if interchange is not None:
             interchange.attach_metrics(metrics)
+        mediator = getattr(environment, "mediator", None)
+        if mediator is not None:
+            if metrics.enabled:
+                metrics.histogram("mediation.fidelity", buckets=FIDELITY_BUCKETS)
+            mediator.attach_metrics(metrics)
         if metrics.enabled:
             metrics.histogram("env.exchange.document_bytes", buckets=BYTES_BUCKETS)
     if tracer is not None:
         environment.tracer = tracer
         if tracer.enabled and not tracer.wall:
             tracer.bind_engine(environment.world.engine)
+        mediator = getattr(environment, "mediator", None)
+        if mediator is not None:
+            mediator.attach_tracer(tracer)
     return environment

@@ -136,5 +136,21 @@ class InteropError(EnvironmentError_):
     """No interchange path exists between two applications' formats."""
 
 
+class FidelityError(InteropError):
+    """A conversion route exists, but none meets the caller's ``min_fidelity``.
+
+    Carries the negotiation facts so callers can retry with a lower
+    floor: ``best_fidelity`` is the best plan on offer, ``min_fidelity``
+    the floor that rejected it.
+    """
+
+    def __init__(
+        self, message: str, best_fidelity: float = 0.0, min_fidelity: float = 0.0
+    ) -> None:
+        super().__init__(message)
+        self.best_fidelity = best_fidelity
+        self.min_fidelity = min_fidelity
+
+
 class TailoringError(EnvironmentError_):
     """A tailoring operation was rejected (out of bounds, bad scope...)."""

@@ -286,7 +286,9 @@ class TestInterchangePlanCache:
         assert env.interchange.plan_misses == 1
         assert env.interchange.plan_hits == 1
 
-    def test_register_invalidates_plans(self, env):
+    def test_register_unrelated_preserves_plans(self, env):
+        # Keyed invalidation: a registration that no cached plan uses
+        # must not evict anything (PR 7's tag-eviction discipline).
         from repro.information.interchange import FormatConverter, make_common
 
         env.exchange("ana", "wolf", "conferencing", "message-system", DOC)
@@ -298,7 +300,27 @@ class TestInterchangePlanCache:
             )
         )
         env.exchange("ana", "wolf", "conferencing", "message-system", DOC)
+        assert env.interchange.plan_misses == 1
+        assert env.interchange.plan_hits == 1
+        assert env.interchange.plan_evictions == 0
+
+    def test_replace_invalidates_affected_plans(self, env):
+        from repro.information.interchange import FormatConverter, make_common
+
+        env.exchange("ana", "wolf", "conferencing", "message-system", DOC)
+        env.interchange.register(
+            FormatConverter(
+                "conference",
+                lambda d: make_common(
+                    "conference", d.get("topic", ""), d.get("entry", "")
+                ),
+                lambda c: {"topic": c["title"], "entry": c["body"]},
+            ),
+            replace=True,
+        )
+        env.exchange("ana", "wolf", "conferencing", "message-system", DOC)
         assert env.interchange.plan_misses == 2
+        assert env.interchange.plan_evictions >= 1
 
     def test_translation_results_unchanged_by_plan_cache(self, env):
         first = env.interchange.translate("conference", "memo",

@@ -114,6 +114,43 @@ class TestInterchange:
         service.translate("conference", "memo", {"topic": "t", "entry": "e"})
         assert service.translations == 1
 
+    def test_identity_counts_and_does_not_alias(self, service):
+        # Same-format translations must hand back an independent copy:
+        # a receiver mutating its delivery must never corrupt the
+        # sender's document (or a cached plan's input).
+        original = {"subject": "s", "text": "t", "fields": {"budget": 5}}
+        result = service.translate("memo", "memo", original)
+        assert service.identities == 1
+        assert result.document == original
+        assert result.document is not original
+        result.document["fields"]["budget"] = 99
+        assert original["fields"]["budget"] == 5
+
+    def test_replace_revalidates_converter(self, service):
+        # One-shot plan validation must not survive replacement: a
+        # malformed replacement converter has to be caught on the next
+        # translate, not masked by a plan validated against the old one.
+        service.translate("conference", "memo", {"topic": "t", "entry": "e"})
+        service.register(
+            FormatConverter(
+                "conference", to_common=lambda d: {"oops": 1}, from_common=lambda c: {}
+            ),
+            replace=True,
+        )
+        with pytest.raises(InteropError, match="malformed"):
+            service.translate("conference", "memo", {"topic": "t", "entry": "e"})
+
+    def test_replace_evicts_only_affected_plans(self, service):
+        service.translate("conference", "memo", {"topic": "t", "entry": "e"})
+        service.translate("memo", "form", {"subject": "s", "text": "t", "fields": {}})
+        service.register(_conference_converter(), replace=True)
+        # only the plan touching 'conference' went; the memo->form plan
+        # survives and still hits
+        assert service.plan_evictions == 1
+        before = service.plan_hits
+        service.translate("memo", "form", {"subject": "s", "text": "t", "fields": {}})
+        assert service.plan_hits == before + 1
+
 
 @given(st.text(max_size=30), st.text(max_size=100))
 def test_property_conference_memo_round_trip(topic, entry):
