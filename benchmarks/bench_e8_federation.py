@@ -5,37 +5,51 @@ different administrative domains must interoperate through explicit
 boundaries.  This bench measures what that boundary costs.  For each
 domain count (1, 2, 4, 8) it builds a :class:`repro.federation.Federation`
 on one sim engine, homes a small population in every domain, and pushes
-the same document stream two ways:
+the same document stream four ways:
 
-* **intra** — sender and receiver share a home domain: the exchange runs
-  the local pipeline, no gateway involved;
-* **cross** — receiver lives in the next domain over: origin-side checks,
-  gateway relay over a WAN link, the full local pipeline at the target,
-  and the reply hop back.
+* **intra** — sender and receiver share a home domain: per-request
+  ``federated_exchange`` calls running the local pipeline, no gateway;
+* **intra batch** — the same stream through ``federated_exchange_many``
+  (the home env's batched pipeline, one call per run);
+* **cross (per-request)** — receiver lives in the next domain over:
+  origin-side checks, one gateway relay over a WAN link per exchange,
+  the full local pipeline at the target, and the reply hop back;
+* **cross (fast path)** — the same cross-domain stream through
+  ``federated_exchange_many``: consecutive same-route requests ship as
+  **one** batched gateway relay per run.
 
-Reported per sweep: wall-clock throughput for both paths, the cross/intra
-mediation-cost ratio, and the *simulated* per-hop latency split (forward
-relay vs reply) taken from the hop metadata every federated outcome
-carries.  Results land in ``BENCH_federation.json`` (in
-``BENCH_METRICS_DIR`` when set, else the current directory).
+The headline ``cross_over_intra_wall`` compares the batched cross-domain
+fast path against a plain per-request intra-domain call — the "is the
+boundary still a multiple?" question ROADMAP's ≤2x target asks —
+and ``batch_speedup`` compares the fast path against the per-request
+cross path (target ≥3x).  The sweep also asserts the fast path's
+bookkeeping: exactly **2** ``env.federation.home.hit`` lookups per
+batched request (one per endpoint — the redundant re-resolution inside
+``_federated_exchange`` is gone), one batched relay per (pair, run), and
+outcome field parity between the per-request and batched cross paths.
+Results land in ``BENCH_federation.json`` (in ``BENCH_METRICS_DIR`` when
+set, else the current directory).
 
 Run standalone::
 
     PYTHONPATH=src python benchmarks/bench_e8_federation.py [--quick]
 
 ``--quick`` (used by ``scripts/check.sh``; ``--smoke`` is accepted as an
-alias) runs a small workload over 1 and 2 domains only and skips the
-shape assertions that need real iteration counts.
+alias) runs a small workload over 1 and 2 domains only and relaxes the
+wall-clock assertions that need real iteration counts.
 """
 
 from __future__ import annotations
 
+import gc
 import json
 import os
 import sys
 import time
+from dataclasses import fields as dataclass_fields
 
 from bench_common import synthetic_converter
+from repro.environment.environment import ExchangeRequest
 from repro.environment.registry import AppDescriptor, Q_DIFFERENT_TIME_DIFFERENT_PLACE
 from repro.federation import Federation
 from repro.obs import MetricsRegistry
@@ -45,6 +59,15 @@ from repro.sim.world import World
 PEOPLE_PER_DOMAIN = 4
 
 DOCUMENT = {"fmt0-title": "minutes", "fmt0-body": "we met"}
+
+
+def outcome_fields(outcome) -> dict:
+    """An ``ExchangeOutcome``'s fields minus the per-span trace id."""
+    return {
+        f.name: getattr(outcome, f.name)
+        for f in dataclass_fields(outcome)
+        if f.name != "trace_id"
+    }
 
 
 def build_federation(n_domains: int) -> Federation:
@@ -70,10 +93,40 @@ def build_federation(n_domains: int) -> Federation:
 
 
 def run_sweep(n_domains: int, iterations: int) -> dict:
-    """Measure intra- and cross-domain exchange for one domain count."""
+    """Measure intra- and cross-domain exchange, per-request and batched.
+
+    GC is paused across the timed phases (and collected between them):
+    the wall ratios compare path costs, and a collection landing inside
+    one phase but not another would skew them.
+    """
     federation = build_federation(n_domains)
 
-    # -- intra: both parties in domain 0 ----------------------------------
+    def request(sender: str, receiver: str) -> ExchangeRequest:
+        return ExchangeRequest(sender, receiver, "app0", "app1", DOCUMENT)
+
+    def counter(name: str) -> int:
+        return federation._metrics.snapshot()["counters"].get(name, 0)
+
+    def relay_count() -> int:
+        return sum(
+            domain.gateway_to(peer.name).stats()["relays"]
+            for domain in federation.domains()
+            for peer in federation.domains()
+            if peer.name in domain.gateways
+        )
+
+    # warm every path once (route caches, metric handles, allocator)
+    # before anything is timed
+    federation.federated_exchange("d0-p0", "d0-p1", "app0", "app1", DOCUMENT)
+    if n_domains > 1:
+        federation.federated_exchange("d0-p0", "d1-p1", "app0", "app1", DOCUMENT)
+        federation.federated_exchange_many(
+            [request("d0-p0", "d1-p1"), request("d0-p0", "d1-p1")]
+        )
+    gc.collect()
+    gc.disable()
+
+    # -- intra: both parties in domain 0, one call per exchange -----------
     start = time.perf_counter()
     intra_outcomes = [
         federation.federated_exchange(
@@ -84,56 +137,115 @@ def run_sweep(n_domains: int, iterations: int) -> dict:
     intra_s = time.perf_counter() - start
     assert all(outcome.delivered for outcome in intra_outcomes)
 
+    # -- intra, batched: the same stream through one exchange_many call ---
+    intra_requests = [request("d0-p0", "d0-p1") for _ in range(iterations)]
+    gc.collect()
+    start = time.perf_counter()
+    intra_batch = federation.federated_exchange_many(intra_requests)
+    intra_batch_s = time.perf_counter() - start
+    assert all(outcome.delivered for outcome in intra_batch)
+    assert [outcome_fields(o.outcome) for o in intra_batch] == [
+        outcome_fields(o.outcome) for o in intra_outcomes
+    ], "batched intra outcomes drifted from the per-request path"
+
     sweep = {
         "domains": n_domains,
         "iterations": iterations,
         "intra_eps": round(iterations / intra_s, 1),
         "intra_wall_us": round(intra_s / iterations * 1e6, 1),
+        "intra_batch_eps": round(iterations / intra_batch_s, 1),
+        "intra_batch_wall_us": round(intra_batch_s / iterations * 1e6, 1),
     }
     if n_domains == 1:
+        gc.enable()
         return sweep
 
-    # -- cross: sender in domain i, receiver in domain (i+1) % n ----------
+    # -- cross, per-request: sender in domain i, receiver in (i+1) % n ----
     pairs = [
         (f"d{index}-p0", f"d{(index + 1) % n_domains}-p1")
         for index in range(n_domains)
     ]
+    gc.collect()
     start = time.perf_counter()
-    cross_outcomes = [
+    cross_seq_outcomes = [
         federation.federated_exchange(
             *pairs[i % len(pairs)], "app0", "app1", DOCUMENT
         )
         for i in range(iterations)
     ]
-    cross_s = time.perf_counter() - start
-    assert all(outcome.delivered for outcome in cross_outcomes)
-    assert all(outcome.cross_domain for outcome in cross_outcomes)
+    cross_seq_s = time.perf_counter() - start
+    assert all(outcome.delivered for outcome in cross_seq_outcomes)
+    assert all(outcome.cross_domain for outcome in cross_seq_outcomes)
 
     forward_hops = []
     return_hops = []
-    for outcome in cross_outcomes:
+    for outcome in cross_seq_outcomes:
         origin, deliver, reply = outcome.hops
         forward_hops.append(deliver.time - origin.time)
         return_hops.append(reply.time - deliver.time)
-    relays = sum(
-        domain.gateway_to(peer.name).stats()["relays"]
-        for domain in federation.domains()
-        for peer in federation.domains()
-        if peer.name in domain.gateways
+
+    # -- cross, fast path: same-route runs batched into single relays -----
+    per_pair = max(1, iterations // len(pairs))
+    batch_requests = [
+        request(sender, receiver)
+        for sender, receiver in pairs
+        for _ in range(per_pair)
+    ]
+    batch_total = len(batch_requests)
+    relays_before = relay_count()
+    hits_before = counter("env.federation.home.hit")
+    gc.collect()
+    start = time.perf_counter()
+    cross_batch = federation.federated_exchange_many(batch_requests)
+    cross_batch_s = time.perf_counter() - start
+    gc.enable()
+    batch_relays = relay_count() - relays_before
+    batch_hits = counter("env.federation.home.hit") - hits_before
+    assert all(outcome.delivered for outcome in cross_batch)
+    assert all(outcome.cross_domain for outcome in cross_batch)
+    # the fast path's bookkeeping, asserted every run: one batched relay
+    # per (pair, run), and exactly two home lookups per request (one per
+    # endpoint — no re-resolution inside the dispatch path)
+    assert batch_relays == len(pairs), (
+        f"expected {len(pairs)} batched relays, saw {batch_relays}"
     )
+    assert batch_hits == 2 * batch_total, (
+        f"expected {2 * batch_total} home-cache hits for {batch_total} "
+        f"batched requests, saw {batch_hits}"
+    )
+    # field parity: the fast path must decide every exchange exactly as
+    # the per-request path does (same reasons, fidelity, sizes, routing)
+    for j, outcome in enumerate(cross_batch):
+        expected = cross_seq_outcomes[j // per_pair]
+        assert outcome_fields(outcome.outcome) == outcome_fields(expected.outcome)
+        assert (outcome.origin, outcome.target) == (expected.origin, expected.target)
+
     sweep.update(
         {
-            "cross_eps": round(iterations / cross_s, 1),
-            "cross_wall_us": round(cross_s / iterations * 1e6, 1),
+            # headline cross numbers are the batched fast path
+            "cross_eps": round(batch_total / cross_batch_s, 1),
+            "cross_wall_us": round(cross_batch_s / batch_total * 1e6, 1),
+            "cross_seq_eps": round(iterations / cross_seq_s, 1),
+            "cross_seq_wall_us": round(cross_seq_s / iterations * 1e6, 1),
+            # batched cross-domain fast path vs a per-request intra call
             "cross_over_intra_wall": round(
-                (cross_s / iterations) / (intra_s / iterations), 2
+                (cross_batch_s / batch_total) / (intra_s / iterations), 2
+            ),
+            # batched fast path vs the per-request cross path
+            "batch_speedup": round(
+                (cross_seq_s / iterations) / (cross_batch_s / batch_total), 2
             ),
             "cross_sim_latency_s": round(
-                sum(o.latency_s for o in cross_outcomes) / iterations, 4
+                sum(o.latency_s for o in cross_seq_outcomes) / iterations, 4
+            ),
+            "cross_batch_sim_latency_s": round(
+                sum(o.latency_s for o in cross_batch) / batch_total, 4
             ),
             "forward_hop_s": round(sum(forward_hops) / len(forward_hops), 4),
             "return_hop_s": round(sum(return_hops) / len(return_hops), 4),
-            "gateway_relays": relays,
+            "gateway_relays": relay_count(),
+            "cross_batch_relays": batch_relays,
+            "home_hits_per_batch_request": round(batch_hits / batch_total, 2),
         }
     )
     counters = federation._metrics.snapshot()["counters"]
@@ -172,8 +284,10 @@ def report(blob: dict) -> None:
         line = (f"  {sweep['domains']} domain(s): "
                 f"intra {sweep['intra_eps']:>8.1f} ex/s")
         if "cross_eps" in sweep:
-            line += (f"   cross {sweep['cross_eps']:>8.1f} ex/s "
-                     f"({sweep['cross_over_intra_wall']:.2f}x wall cost, "
+            line += (f"   cross {sweep['cross_eps']:>8.1f} ex/s batched "
+                     f"/ {sweep['cross_seq_eps']:>8.1f} seq "
+                     f"({sweep['cross_over_intra_wall']:.2f}x intra wall, "
+                     f"batch {sweep['batch_speedup']:.2f}x seq, "
                      f"sim RTT {sweep['cross_sim_latency_s'] * 1000:.1f} ms = "
                      f"{sweep['forward_hop_s'] * 1000:.1f} fwd + "
                      f"{sweep['return_hop_s'] * 1000:.1f} ret)")
@@ -183,11 +297,32 @@ def report(blob: dict) -> None:
 def main(argv: list[str]) -> int:
     quick = "--quick" in argv or "--smoke" in argv
     domain_counts = [1, 2] if quick else [1, 2, 4, 8]
-    iterations = 24 if quick else 240
+    iterations = 48 if quick else 240
     blob = run_bench(domain_counts, iterations, quick)
     report(blob)
     path = emit(blob)
     print(f"  wrote {path}")
+    # the fast-path guard (run in both modes; scripts/check.sh relies on
+    # it in --quick): the batched cross-domain path must stay within 2x
+    # of a per-request intra call, and well ahead of per-request cross.
+    # Quick mode uses a looser speedup floor against CI timing noise.
+    min_speedup = 2.0 if quick else 3.0
+    for sweep in blob["sweeps"]:
+        if "cross_eps" not in sweep:
+            continue
+        n = sweep["domains"]
+        assert sweep["cross_over_intra_wall"] <= 2.0, (
+            f"{n}-domain batched cross exchange costs "
+            f"{sweep['cross_over_intra_wall']}x a per-request intra "
+            "exchange (fast-path regression: budget is 2.0x)"
+        )
+        assert sweep["batch_speedup"] >= min_speedup, (
+            f"{n}-domain batch speedup {sweep['batch_speedup']}x under "
+            f"the {min_speedup}x floor (fast-path regression)"
+        )
+    print(f"  PASS: batched cross <= 2.0x intra wall, "
+          f">= {min_speedup}x per-request cross, "
+          "one relay per run, 2 home hits per request")
     if not quick:
         two = next(s for s in blob["sweeps"] if s["domains"] == 2)
         eight = next(s for s in blob["sweeps"] if s["domains"] == 8)
@@ -197,9 +332,9 @@ def main(argv: list[str]) -> int:
         )
         # scaling the domain count must not degrade per-exchange cost by
         # more than ~3x (pairwise wiring is O(N^2) in setup, not per-op)
-        assert eight["cross_wall_us"] < two["cross_wall_us"] * 3.0, (
-            f"8-domain cross exchange {eight['cross_wall_us']}us vs "
-            f"2-domain {two['cross_wall_us']}us"
+        assert eight["cross_seq_wall_us"] < two["cross_seq_wall_us"] * 3.0, (
+            f"8-domain cross exchange {eight['cross_seq_wall_us']}us vs "
+            f"2-domain {two['cross_seq_wall_us']}us"
         )
         print("  PASS: relay pays sim latency; per-op cost flat in domain count")
     return 0
@@ -212,8 +347,25 @@ def test_federation_bench_smoke():
     two = blob["sweeps"][1]
     assert two["intra_eps"] > 0 and two["cross_eps"] > 0
     assert two["forward_hop_s"] > 0 and two["return_hop_s"] > 0
-    assert two["gateway_relays"] == 6
-    assert two["federation_counters"]["env.federation.remote"] == 6
+    # 6 per-request relays + one batched relay per pair (2 pairs) + the
+    # 2 warmup relays (one per-request, one batched run of 2)
+    assert two["gateway_relays"] == 10
+    assert two["cross_batch_relays"] == 2
+    # remote = 6 per-request + 6 batched + 3 warmup cross exchanges
+    assert two["federation_counters"]["env.federation.remote"] == 15
+    assert two["home_hits_per_batch_request"] == 2.0
+
+
+def test_federation_bench_rerun_determinism():
+    """Same seed, same workload: simulated results are bit-identical."""
+    keys = (
+        "cross_sim_latency_s", "cross_batch_sim_latency_s",
+        "forward_hop_s", "return_hop_s", "gateway_relays",
+        "cross_batch_relays", "home_hits_per_batch_request",
+        "federation_counters",
+    )
+    first, second = (run_sweep(2, 6) for _ in range(2))
+    assert {k: first[k] for k in keys} == {k: second[k] for k in keys}
 
 
 if __name__ == "__main__":

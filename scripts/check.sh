@@ -81,6 +81,41 @@ EOF
 echo "== bench_e8 federation (quick) =="
 python benchmarks/bench_e8_federation.py --quick
 
+echo "== federation fast-path guard (batched cross-domain cost) =="
+python - <<'EOF'
+# Regression fence for the federated batch fast path: the quick E12 run
+# above wrote BENCH_federation.json; a change that reopens the
+# cross-domain gap (per-request relays, re-resolved homes, unbatched
+# intra runs) fails here, not in a full bench run someone forgets.
+import json
+
+with open("BENCH_federation.json", encoding="utf-8") as handle:
+    blob = json.load(handle)
+for sweep in blob["sweeps"]:
+    if "cross_eps" not in sweep:
+        continue
+    n = sweep["domains"]
+    ratio = sweep["cross_over_intra_wall"]
+    assert ratio <= 2.0, (
+        f"{n}-domain batched cross exchange costs {ratio}x a per-request "
+        "intra exchange (budget: 2.0x)"
+    )
+    assert sweep["batch_speedup"] >= 2.0, (
+        f"{n}-domain batch speedup {sweep['batch_speedup']}x under 2.0x"
+    )
+    # one batched relay per (pair, run): n pairs -> n relays
+    assert sweep["cross_batch_relays"] == n, sweep["cross_batch_relays"]
+    # exactly two home lookups per batched request (one per endpoint)
+    assert sweep["home_hits_per_batch_request"] == 2.0, (
+        sweep["home_hits_per_batch_request"]
+    )
+    print(f"  {n} domains: {ratio}x intra wall, "
+          f"{sweep['batch_speedup']}x per-request cross, "
+          f"{sweep['cross_batch_relays']} batched relays, "
+          f"{sweep['home_hits_per_batch_request']} home hits/request")
+print("fast-path guard ok")
+EOF
+
 echo "== resilience smoke (failover across an open breaker) =="
 python - <<'EOF'
 from repro.environment.registry import AppDescriptor, Q_DIFFERENT_TIME_DIFFERENT_PLACE

@@ -72,7 +72,7 @@ REASON_OVERLOAD = "overload"
 _ALL_ON = TransparencyProfile.all_on()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ExchangeOutcome:
     """What happened to one cross-application exchange.
 
@@ -97,7 +97,7 @@ class ExchangeOutcome:
     size_bytes: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ExchangeRequest:
     """The single currency of the exchange call surface.
 
@@ -902,6 +902,18 @@ class CSCWEnvironment:
                             )
                         else:
                             handled.append("view")
+                if stale_failure is None:
+                    # the endpoint is hoisted state too: a callback that
+                    # deregisters the receiver (e.g. a federation-level
+                    # move to another home) must fail the remaining
+                    # items, not deliver them to the stale endpoint
+                    try:
+                        endpoint = self.communicators.get(receiver)
+                    except UnknownObjectError:
+                        stale_failure = (
+                            REASON_UNKNOWN_RECEIVER,
+                            f"receiver {receiver!r} has no registered communicator",
+                        )
                 if stale_failure is None:
                     if active.activity and activity_id:
                         handled.append("activity")

@@ -35,7 +35,7 @@ QUADRANTS = (
 DeliveryCallback = Callable[[str, dict[str, Any], dict[str, Any]], None]
 
 
-@dataclass
+@dataclass(slots=True)
 class AppDescriptor:
     """Everything the environment needs to know about one application."""
 

@@ -95,7 +95,7 @@ _OUTCOME_FIELDS = (
 )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Hop:
     """One step in a federated exchange's path, stamped in simulated time."""
 
@@ -104,7 +104,7 @@ class Hop:
     time: float
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FederatedOutcome:
     """A cross-domain exchange outcome with its hop metadata.
 
@@ -141,6 +141,24 @@ class FederatedOutcome:
     def cross_domain(self) -> bool:
         """True when the exchange crossed a domain boundary."""
         return self.origin != self.target
+
+
+def _same_wire_shape(a: ExchangeRequest, b: ExchangeRequest) -> bool:
+    """True when two requests serialize identically except their payload
+    document — the batch relay then reuses one envelope wire form."""
+    return (
+        a.sender == b.sender
+        and a.receiver == b.receiver
+        and a.sender_app == b.sender_app
+        and a.receiver_app == b.receiver_app
+        and a.activity_id == b.activity_id
+        and a.profile == b.profile
+        and a.interaction == b.interaction
+        and a.deadline == b.deadline
+        and a.priority == b.priority
+        and a.shed_class == b.shed_class
+        and a.min_fidelity == b.min_fidelity
+    )
 
 
 def _outcome_document(outcome: ExchangeOutcome) -> dict[str, Any]:
@@ -221,6 +239,12 @@ class Federation:
         #: memoised person -> home-domain name (resolved via federated
         #: naming on miss; invalidated by add/move)
         self._home_cache: dict[str, str] = {}
+        #: freshness token for home resolution, bumped by add/move —
+        #: ``federated_exchange_many`` watches it so a delivery callback
+        #: that re-homes someone mid-batch forces the already-resolved
+        #: routes of the remaining items to be re-derived (the federated
+        #: mirror of the resolution cache's ``generation``)
+        self._home_generation = 0
         self._binding_factory = BindingFactory(world.network)
         #: (consumer, master) -> shadowing agreement (created unstarted)
         self.shadowing: dict[tuple[str, str], ShadowingAgreement] = {}
@@ -515,6 +539,7 @@ class Federation:
         )
         home.people.add(person_id)
         self._home_cache[person_id] = domain_name
+        self._home_generation += 1
         return person
 
     def home_of(self, person_id: str) -> str:
@@ -585,6 +610,7 @@ class Federation:
         new.people.add(person_id)
         self._home_cache.pop(person_id, None)
         self._home_cache[person_id] = to_domain
+        self._home_generation += 1
         if self._metrics.enabled:
             self._metrics.inc("env.federation.moves")
         assert moved is not None
@@ -657,30 +683,103 @@ class Federation:
         The federated mirror of :meth:`CSCWEnvironment.exchange_many`:
         consecutive requests that resolve to the same (origin, target)
         domain pair form a *run*.  Intra-domain runs go through the
-        home environment's batched fast path in one call; cross-domain
-        runs ship as **one** gateway relay carrying the whole run (one
-        payload, one round trip, one dedup id), and the target unpacks
-        it into its own ``exchange_many``.  Mixed batches degrade
-        gracefully — a run of one is exactly ``federated_exchange``.
+        home environment's batched fast path (one ``exchange_many``
+        call per run, with the federation's own deadline accounting and
+        hop metadata preserved); cross-domain runs ship as **one**
+        gateway relay carrying the whole run (one payload, one round
+        trip, one dedup id), and the target unpacks it into its own
+        ``exchange_many``.  Mixed batches degrade gracefully — a
+        cross-domain run of one is exactly ``federated_exchange``.
+
+        Each request resolves its route **once** (two home lookups —
+        the per-request path re-resolving inside ``_federated_exchange``
+        would double that), and the hoisted routes never serve stale
+        homes: the batch watches the federation's home ``generation``
+        token, so a delivery callback that re-homes a person mid-batch
+        re-routes the remaining items — an item that failed
+        ``unknown-receiver`` under a route its own dispatch invalidated
+        is re-dispatched against the fresh home (re-dispatched items
+        count ``env.federation.exchanges`` once per attempt).
         """
-        outcomes: list[FederatedOutcome] = []
         if not requests:
-            return outcomes
+            return []
+        outcomes: list[FederatedOutcome | None] = [None] * len(requests)
         with self._trace.span(
             "federation.exchange_many", batch=len(requests)
         ):
-            run: list[ExchangeRequest] = []
-            run_route: tuple[str, str] | None = None
-            for request in requests:
-                route = self._route_of(request)
-                if run and route != run_route:
-                    outcomes.extend(self._exchange_run(run_route, run))
-                    run = []
-                run_route = route
-                run.append(request)
-            if run:
-                outcomes.extend(self._exchange_run(run_route, run))
-        return outcomes
+            indices = list(range(len(requests)))
+            # One re-route round per home change is enough for a single
+            # move; the depth bound keeps a pathological callback that
+            # re-homes someone on every delivery from looping forever.
+            depth = 4
+            while indices and depth:
+                depth -= 1
+                indices = self._exchange_batch(requests, indices, outcomes)
+        return outcomes  # type: ignore[return-value]
+
+    def _exchange_batch(
+        self,
+        requests: list[ExchangeRequest],
+        indices: list[int],
+        outcomes: "list[FederatedOutcome | None]",
+    ) -> list[int]:
+        """Dispatch *indices* grouped into same-route runs; fill
+        *outcomes* in place and return the indices that must be
+        re-dispatched because their dispatch re-homed their route."""
+        rerouted: list[int] = []
+        run: list[int] = []
+        run_route: tuple[str, str] | None = None
+        for index in indices:
+            route = self._route_of(requests[index])
+            if run and route != run_route:
+                generation = self._home_generation
+                self._dispatch_run(requests, run_route, run, outcomes, rerouted)
+                run = []
+                if self._home_generation != generation:
+                    # The dispatch's delivery callbacks moved someone;
+                    # this request's route (resolved before the
+                    # dispatch) may be stale — re-derive it.
+                    route = self._route_of(requests[index])
+            run_route = route
+            run.append(index)
+        if run:
+            self._dispatch_run(requests, run_route, run, outcomes, rerouted)
+        return rerouted
+
+    def _dispatch_run(
+        self,
+        requests: list[ExchangeRequest],
+        route: tuple[str, str] | None,
+        indices: list[int],
+        outcomes: "list[FederatedOutcome | None]",
+        rerouted: list[int],
+    ) -> None:
+        """Deliver one same-route run and detect mid-run re-homing.
+
+        When the run's own delivery callbacks bumped the home
+        generation, items that failed ``unknown-receiver`` under the
+        dispatched route and now resolve to a *different* route were
+        victims of the stale hoisting (a move deregisters the person
+        from the old home, so the stale attempt fails without side
+        effects) — their indices go to *rerouted* for a fresh dispatch,
+        exactly as per-item calls resolving at their own turn would
+        behave.
+        """
+        generation = self._home_generation
+        results = self._exchange_run(route, [requests[i] for i in indices])
+        for index, result in zip(indices, results):
+            outcomes[index] = result
+        if route is None or self._home_generation == generation:
+            return
+        for index, result in zip(indices, results):
+            if (
+                result.delivered
+                or result.outcome.reason_code != REASON_UNKNOWN_RECEIVER
+            ):
+                continue
+            fresh = self._route_of(requests[index])
+            if fresh is not None and fresh != route:
+                rerouted.append(index)
 
     def _route_of(self, request: ExchangeRequest) -> tuple[str, str] | None:
         """(origin, target) for a request, or None when unresolvable
@@ -694,23 +793,92 @@ class Federation:
         self, route: tuple[str, str] | None, run: list[ExchangeRequest]
     ) -> list[FederatedOutcome]:
         """Deliver one same-route run (batched where the route allows)."""
-        if route is None or route[0] == route[1] or len(run) == 1:
-            # Unresolvable or intra-domain runs reuse the single-request
-            # path: the home env's exchange_many would bypass the
-            # federation's own accounting and hop metadata.
+        if route is None:
+            # Unresolvable routes reuse the single-request path, which
+            # reports the precise unknown-sender/receiver failure.
             return [self._federated_exchange(request) for request in run]
+        if route[0] == route[1]:
+            return self._local_exchange_run(self.domain(route[0]), run)
         origin = self.domain(route[0])
         target = self.domain(route[1])
+        if len(run) == 1:
+            return [self._federated_exchange(run[0], route=route)]
         if self._metrics.enabled:
             self._metrics.inc("env.federation.exchanges", len(run))
             self._metrics.inc("env.federation.remote", len(run))
         return self._relay_exchange_group(origin, target, run)
 
-    def _federated_exchange(self, request: ExchangeRequest) -> FederatedOutcome:
+    def _local_exchange_run(
+        self, origin: Domain, run: list[ExchangeRequest]
+    ) -> list[FederatedOutcome]:
+        """Run an intra-domain run through the home env's batched path.
+
+        One ``exchange_many`` call per run — the batched pipeline the
+        :meth:`federated_exchange_many` docstring promises — while the
+        federation still does its own accounting first: already-expired
+        requests fail with the *federated* deadline reason string and
+        counter, and every outcome carries the same ``local`` hop
+        metadata the per-request path stamps.
+        """
+        obs = self._metrics
+        started = self.world.now
+        if obs.enabled:
+            obs.inc("env.federation.exchanges", len(run))
+        results: list[FederatedOutcome | None] = [None] * len(run)
+        shipped_indices: list[int] = []
+        shipped: list[ExchangeRequest] = []
+        for index, request in enumerate(run):
+            expires_at = origin.env.effective_deadline(request.deadline)
+            if expires_at is not None and started >= expires_at:
+                if obs.enabled:
+                    obs.inc("env.federation.expired")
+                results[index] = FederatedOutcome(
+                    outcome=origin.env._fail(
+                        REASON_DEADLINE_EXCEEDED,
+                        f"federated exchange deadline {expires_at:.3f} "
+                        f"already passed at {started:.3f}",
+                    ),
+                    origin=origin.name,
+                    target="",
+                    hops=(Hop(origin.name, "local", started),),
+                )
+                continue
+            shipped_indices.append(index)
+            shipped.append(
+                request
+                if request.deadline == expires_at
+                else replace(request, deadline=expires_at)
+            )
+        if shipped:
+            if obs.enabled:
+                obs.inc("env.federation.local", len(shipped))
+            exchange_outcomes = origin.env.exchange_many(shipped)
+            now = self.world.now
+            hops = (Hop(origin.name, "local", now),)
+            latency = now - started
+            for index, outcome in zip(shipped_indices, exchange_outcomes):
+                results[index] = FederatedOutcome(
+                    outcome=outcome,
+                    origin=origin.name,
+                    target=origin.name,
+                    hops=hops,
+                    latency_s=latency,
+                )
+        return results  # type: ignore[return-value]
+
+    def _federated_exchange(
+        self,
+        request: ExchangeRequest,
+        route: tuple[str, str] | None = None,
+    ) -> FederatedOutcome:
         obs = self._metrics
         if obs.enabled:
             obs.inc("env.federation.exchanges")
-        origin = self.domain(self.home_of(request.sender))
+        # A batch caller passes the route it already resolved — home
+        # resolution then runs once per request, not twice.
+        origin = self.domain(
+            route[0] if route is not None else self.home_of(request.sender)
+        )
         sender, receiver = request.sender, request.receiver
         expires_at = origin.env.effective_deadline(request.deadline)
         if expires_at is not None and self.world.now >= expires_at:
@@ -728,7 +896,7 @@ class Federation:
                 hops=(Hop(origin.name, "local", self.world.now),),
             )
         try:
-            target_name = self.home_of(receiver)
+            target_name = route[1] if route is not None else self.home_of(receiver)
         except UnknownObjectError:
             if obs.enabled:
                 obs.inc("env.federation.unknown_receiver")
@@ -1053,12 +1221,30 @@ class Federation:
         if not shipped:
             return [result for result in results if result is not None]
 
-        documents = []
+        # One serialized envelope per run shape: consecutive same-route
+        # requests usually differ only in their payload, so the first
+        # request's wire form seeds the rest (a shallow copy plus the
+        # per-request payload and deadline) instead of re-deriving
+        # ``to_document`` per relay entry, and the origin mediator's
+        # plan is synthesized once per (apps, fidelity floor).
+        documents: list[dict[str, Any]] = []
+        base_request: ExchangeRequest | None = None
+        base_document: dict[str, Any] = {}
+        plans: "dict[tuple[str, str, float], dict[str, Any] | None]" = {}
         for _, request, expires_at in shipped:
-            document = request.to_document()
+            if base_request is not None and _same_wire_shape(request, base_request):
+                document = dict(base_document)
+            else:
+                document = request.to_document()
+                base_request = request
+                base_document = dict(document)
             document["document"] = dict(request.document)
             document["deadline"] = expires_at
-            mediation = self._mediation_metadata(origin, request)
+            plan_key = (request.sender_app, request.receiver_app, request.min_fidelity)
+            try:
+                mediation = plans[plan_key]
+            except KeyError:
+                mediation = plans[plan_key] = self._mediation_metadata(origin, request)
             if mediation is not None:
                 document["mediation"] = mediation
             documents.append(document)
@@ -1230,7 +1416,7 @@ class Federation:
                 "relay_path": [],
             }
             if relay_id is not None:
-                domain.relay_seen[relay_id] = reply
+                domain.remember_relay(relay_id, reply)
             return reply
         request = ExchangeRequest.from_document(payload)
         mediation = payload.get("mediation")
@@ -1259,7 +1445,7 @@ class Federation:
             "relay_path": [],
         }
         if relay_id is not None:
-            domain.relay_seen[relay_id] = reply
+            domain.remember_relay(relay_id, reply)
         return reply
 
     def _forward_relay(
@@ -1275,7 +1461,7 @@ class Federation:
         if relay_id is not None:
             # Cache the in-flight deferred so a duplicate of the inbound
             # leg latches onto the same forwarding, not a second one.
-            domain.relay_seen[relay_id] = deferred
+            domain.remember_relay(relay_id, deferred)
         span: Span | None = None
         if self._trace.enabled:
             # A detached span for the forwarding leg: it stays open
@@ -1306,7 +1492,7 @@ class Federation:
                     {"domain": domain.name, "at": forwarded_at, "attempts": attempts}
                 ] + list(reply["relay_path"])
             if relay_id is not None:
-                domain.relay_seen[relay_id] = reply
+                domain.remember_relay(relay_id, reply)
             deferred.resolve(reply)
 
         def on_dead_letter(letter: DeadLetter) -> None:
@@ -1331,7 +1517,7 @@ class Federation:
                 ],
             }
             if relay_id is not None:
-                domain.relay_seen[relay_id] = failure
+                domain.remember_relay(relay_id, failure)
             deferred.resolve(failure)
 
         try:

@@ -54,6 +54,7 @@ from repro.obs.events import (
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.obs.tracing import NULL_TRACER, Span, Tracer
 from repro.resilience.breaker import CircuitBreaker
+from repro.sim.engine import EventHandle
 from repro.sim.transport import RequestReply
 from repro.util.errors import ConfigurationError
 from repro.util.ids import IdFactory
@@ -98,7 +99,8 @@ class _Relay:
     """Mutable state of one relay: its attempts and its single settlement."""
 
     __slots__ = ("payload", "on_reply", "on_dead_letter", "deadline",
-                 "park_at", "attempts", "settled", "span")
+                 "park_at", "attempts", "settled", "span",
+                 "budget_timer", "retry_timer")
 
     def __init__(
         self,
@@ -116,6 +118,11 @@ class _Relay:
         self.settled = False
         #: detached gateway.relay span, open from launch to settlement
         self.span: Span | None = None
+        #: pending budget/retry events, cancelled on settlement — a
+        #: settled relay must not leave garbage events deepening the heap
+        #: for the relay's whole unused budget window
+        self.budget_timer: "EventHandle | None" = None
+        self.retry_timer: "EventHandle | None" = None
 
 
 class Gateway:
@@ -281,7 +288,7 @@ class Gateway:
         state.park_at = now + self._budget_s()
         if deadline is not None:
             state.park_at = min(state.park_at, deadline)
-        self._engine.schedule_at(
+        state.budget_timer = self._engine.schedule_at(
             state.park_at,
             lambda: self._on_budget_exhausted(state),
             label=f"gateway-budget:{self.source}->{self.target}",
@@ -313,13 +320,28 @@ class Gateway:
         if attempt < self._max_attempts:
             delay = self._retry_s * (self._backoff ** (attempt - 1))
             if now + delay < state.park_at:
-                self._engine.schedule(
+                state.retry_timer = self._engine.schedule(
                     delay,
                     lambda: self._retry(state),
                     label=f"gateway-retry:{self.source}->{self.target}",
                 )
 
+    def _cancel_timers(self, state: _Relay) -> None:
+        """Drop a settled relay's pending budget/retry events.
+
+        Without this every settled relay leaves events parked up to its
+        whole unused budget window (~seconds of simulated time) in the
+        engine heap, deepening every subsequent push/pop comparison.
+        """
+        if state.budget_timer is not None:
+            state.budget_timer.cancel()
+            state.budget_timer = None
+        if state.retry_timer is not None:
+            state.retry_timer.cancel()
+            state.retry_timer = None
+
     def _retry(self, state: _Relay) -> None:
+        state.retry_timer = None
         if state.settled:
             return
         self.retries += 1
@@ -352,6 +374,7 @@ class Gateway:
                 self._obs.inc("gateway.duplicate_replies")
             return
         state.settled = True
+        self._cancel_timers(state)
         self.in_flight -= 1
         self.delivered += 1
         if self.breaker is not None:
@@ -367,6 +390,7 @@ class Gateway:
         state.on_reply(reply, state.attempts)
 
     def _on_budget_exhausted(self, state: _Relay) -> None:
+        state.budget_timer = None
         if state.settled:
             return
         self._note_failure()
@@ -378,6 +402,7 @@ class Gateway:
     def _settle_expired(self, state: _Relay) -> None:
         """Deadline hit: fail the relay without parking it."""
         state.settled = True
+        self._cancel_timers(state)
         self.in_flight -= 1
         self.expired += 1
         if self._obs.enabled:
@@ -405,6 +430,7 @@ class Gateway:
 
     def _settle_parked(self, state: _Relay, reason: str) -> None:
         state.settled = True
+        self._cancel_timers(state)
         self.in_flight -= 1
         self._close_span(state, reason)
         if self._events.enabled:

@@ -22,7 +22,7 @@ PRIORITY_URGENT = "urgent"
 _PRIORITIES = (PRIORITY_LOW, PRIORITY_NORMAL, PRIORITY_URGENT)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceEntry:
     """One hop recorded in the envelope as it moves between MTAs."""
 
@@ -30,7 +30,7 @@ class TraceEntry:
     arrival_time: float
 
 
-@dataclass
+@dataclass(slots=True)
 class InterpersonalMessage:
     """P2 content: heading fields plus an ordered list of body parts."""
 
@@ -74,7 +74,7 @@ class InterpersonalMessage:
         return 256 + sum(part.size_bytes() for part in self.body_parts)
 
 
-@dataclass
+@dataclass(slots=True)
 class Envelope:
     """P1 envelope: what MTAs route on."""
 

@@ -134,6 +134,11 @@ class Tracer:
     #: real tracers record; the null tracer advertises False
     enabled = True
 
+    __slots__ = (
+        "wall", "_clock", "_mode", "_stack", "_finished",
+        "_trace_ids", "_span_ids",
+    )
+
     def __init__(self, clock: Callable[[], float] | None = None, wall: bool = False) -> None:
         self.wall = wall
         # the clock is never None so the hot enter/exit path can call it
@@ -327,6 +332,8 @@ class NullTracer(Tracer):
     """
 
     enabled = False
+
+    __slots__ = ("_null_context",)
 
     def __init__(self) -> None:
         super().__init__()

@@ -14,7 +14,6 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
@@ -22,14 +21,31 @@ from repro.util.errors import SchedulingError
 
 Callback = Callable[[], None]
 
+#: cancelled events are purged lazily; once this many linger the queue is
+#: rebuilt in one pass (heap depth drives every push/pop comparison)
+_COMPACT_THRESHOLD = 64
 
-@dataclass(order=True)
+
 class _ScheduledEvent:
-    time: float
-    seq: int
-    callback: Callback = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    label: str = field(default="", compare=False)
+    """One queued callback; slotted and hand-ordered — heap comparisons
+    are the engine's hottest operation, and the dataclass-generated
+    ``__lt__`` built a tuple per comparison."""
+
+    __slots__ = ("time", "seq", "callback", "cancelled", "label")
+
+    def __init__(
+        self, time: float, seq: int, callback: Callback, label: str = ""
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+        self.label = label
+
+    def __lt__(self, other: "_ScheduledEvent") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
 
 
 class EventHandle:
@@ -67,7 +83,9 @@ class Engine:
         self._now = 0.0
         self._processed = 0
         self._running = False
+        self._cancelled_pending = 0
         self._obs: MetricsRegistry = NULL_METRICS
+        self._bind_instruments()
 
     def attach_metrics(self, metrics: MetricsRegistry | None) -> None:
         """Report scheduling activity to *metrics* (``None`` detaches).
@@ -77,10 +95,31 @@ class Engine:
         the hot path pays one ``enabled`` check.
         """
         self._obs = metrics if metrics is not None else NULL_METRICS
+        self._bind_instruments()
+
+    def _bind_instruments(self) -> None:
+        """Resolve the per-event instruments once — schedule/step fire on
+        every simulated action, and the registry's name lookup is dict
+        work the hot path need not repeat."""
+        obs = self._obs
+        self._scheduled_counter = obs.counter("sim.engine.scheduled")
+        self._fired_counter = obs.counter("sim.engine.fired")
+        self._depth_gauge = obs.gauge("sim.engine.queue_depth")
 
     def _note_cancel(self) -> None:
+        self._cancelled_pending += 1
         if self._obs.enabled:
             self._obs.inc("sim.engine.cancelled")
+        queue = self._queue
+        if (
+            self._cancelled_pending > _COMPACT_THRESHOLD
+            and self._cancelled_pending * 2 > len(queue)
+        ):
+            # Cancelled events are dead weight that deepens every heap
+            # comparison until popped; once they dominate, rebuild.
+            self._queue = [event for event in queue if not event.cancelled]
+            heapq.heapify(self._queue)
+            self._cancelled_pending = 0
 
     @property
     def now(self) -> float:
@@ -101,12 +140,11 @@ class Engine:
         """Schedule *callback* to run *delay* seconds from now."""
         if delay < 0:
             raise SchedulingError(f"cannot schedule into the past (delay={delay})")
-        event = _ScheduledEvent(self._now + delay, next(self._seq), callback, label=label)
+        event = _ScheduledEvent(self._now + delay, next(self._seq), callback, label)
         heapq.heappush(self._queue, event)
-        obs = self._obs
-        if obs.enabled:
-            obs.inc("sim.engine.scheduled")
-            obs.set_gauge("sim.engine.queue_depth", len(self._queue))
+        if self._obs.enabled:
+            self._scheduled_counter.inc()
+            self._depth_gauge.set(len(self._queue))
         return EventHandle(event, self)
 
     def schedule_at(self, time: float, callback: Callback, label: str = "") -> EventHandle:
@@ -122,13 +160,13 @@ class Engine:
         while self._queue:
             event = heapq.heappop(self._queue)
             if event.cancelled:
+                self._cancelled_pending -= 1
                 continue
             self._now = event.time
             self._processed += 1
-            obs = self._obs
-            if obs.enabled:
-                obs.inc("sim.engine.fired")
-                obs.set_gauge("sim.engine.queue_depth", len(self._queue))
+            if self._obs.enabled:
+                self._fired_counter.inc()
+                self._depth_gauge.set(len(self._queue))
             event.callback()
             return True
         return False
@@ -138,6 +176,7 @@ class Engine:
         queue = self._queue
         while queue and queue[0].cancelled:
             heapq.heappop(queue)
+            self._cancelled_pending -= 1
         return bool(queue)
 
     def run(self, max_events: int = 1_000_000) -> int:

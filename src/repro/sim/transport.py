@@ -21,7 +21,7 @@ from repro.util.errors import ConfigurationError
 from repro.util.ids import IdFactory
 
 
-@dataclass
+@dataclass(slots=True)
 class _OutstandingSend:
     seq: int
     payload: Any
@@ -157,7 +157,7 @@ def connect_pair(
     return forward, backward
 
 
-@dataclass
+@dataclass(slots=True)
 class _PendingRequest:
     request_id: str
     on_reply: Callable[[Any], None]

@@ -475,3 +475,106 @@ class TestUnifiedCallSurface:
         assert counters["env.federation.exchanges"] == 4
         assert counters["env.federation.remote"] == 3
         assert counters["env.federation.local"] == 1
+
+
+class TestBatchedFastPath:
+    """Regressions for the federated batch fast path (intra-run batching
+    and mid-batch re-homing)."""
+
+    def test_intra_run_is_one_batched_pipeline_call(self, world):
+        """An intra-domain run rides the home env's batched exchange_many
+        — one pipeline entry per run — with per-request field parity."""
+        from repro.environment.environment import ExchangeRequest
+
+        registry = MetricsRegistry()
+        federation, inboxes = make_federation(world, metrics=registry)
+        federation.add_person("carol", "upc", name="Carol Diaz")
+        env = federation.domain("upc").env
+
+        def request(n):
+            return ExchangeRequest(
+                sender="ana",
+                receiver="carol",
+                sender_app="app0",
+                receiver_app="app1",
+                document={"fmt0-title": f"m{n}", "fmt0-body": "b"},
+            )
+
+        # per-request baseline first (intra exchanges don't advance sim
+        # time, so outcomes are directly comparable)
+        baseline = [federation.federated_exchange(request(n)) for n in range(3)]
+
+        batched_calls = []
+        original = env.exchange_many
+
+        def counting_exchange_many(requests):
+            batched_calls.append(len(requests))
+            return original(requests)
+
+        env.exchange_many = counting_exchange_many
+        try:
+            outcomes = federation.federated_exchange_many(
+                [request(n) for n in range(3)]
+            )
+        finally:
+            env.exchange_many = original
+
+        # the whole run entered the pipeline as ONE batched call
+        assert batched_calls == [3]
+        assert [outcome_fields(o.outcome) for o in outcomes] == [
+            outcome_fields(o.outcome) for o in baseline
+        ]
+        assert [
+            (o.origin, o.target, o.latency_s, o.attempts) for o in outcomes
+        ] == [(o.origin, o.target, o.latency_s, o.attempts) for o in baseline]
+        assert [len(o.hops) for o in outcomes] == [1, 1, 1]
+        # six deliveries total (baseline + batch), all translated
+        assert len(inboxes["app1"]) == 6
+        counters = registry.snapshot()["counters"]
+        assert counters["env.federation.local"] == 6
+
+    def test_move_person_mid_batch_reroutes_remainder(self, world):
+        """A delivery callback that re-homes the receiver mid-run: the
+        hoisted routes are not served stale — the rest of the run
+        re-dispatches to the new home domain."""
+        from repro.environment.environment import ExchangeRequest
+
+        federation, _ = make_federation(world)
+        federation.add_person("dave", "upc", name="Dave Kim")
+        received: list[str] = []
+
+        def deliver(person, doc, info):
+            received.append(doc["fmt2-title"])
+            if len(received) == 1:
+                # first delivery re-homes dave: the batch dispatched the
+                # whole run to upc under the old route
+                federation.move_person("dave", "gmd")
+
+        federation.register_application(
+            AppDescriptor(name="app2", quadrants=QUAD, converter=converter(2)),
+            deliver,
+        )
+
+        outcomes = federation.federated_exchange_many(
+            [
+                ExchangeRequest(
+                    sender="ana",
+                    receiver="dave",
+                    sender_app="app0",
+                    receiver_app="app2",
+                    document={"fmt0-title": f"m{n}", "fmt0-body": "b"},
+                )
+                for n in range(3)
+            ]
+        )
+        assert [o.delivered for o in outcomes] == [True] * 3
+        # first delivery happened at the old home; the rest re-routed
+        assert (outcomes[0].origin, outcomes[0].target) == ("upc", "upc")
+        assert [(o.origin, o.target) for o in outcomes[1:]] == [
+            ("upc", "gmd"), ("upc", "gmd"),
+        ]
+        assert all(o.cross_domain for o in outcomes[1:])
+        # the re-dispatched remainder crossed the wire as one relay
+        assert federation.domain("upc").gateway_to("gmd").relays == 1
+        assert received == ["m0", "m1", "m2"]
+        assert federation.home_of("dave") == "gmd"
