@@ -33,6 +33,8 @@ for module_name in (
     "repro.obs.events",
     "repro.obs.export",
     "repro.obs.analyze",
+    "repro.obs.windows",
+    "repro.obs.profile",
 ):
     module = __import__(module_name, fromlist=["_"])
     result = doctest.testmod(module, verbose=False)
@@ -391,5 +393,76 @@ EOF
 
 echo "== bench_e13 mediation (quick) =="
 python benchmarks/bench_e13_mediation.py --quick
+
+echo "== telemetry smoke (labelled family, sampled trace, profile) =="
+python - <<'EOF'
+# The PR 10 tentpole surface in one breath: a labelled counter family
+# with deterministic snapshots, a sampling tracer that drops a healthy
+# trace but tail-retains a failed one, and a sim-time profile built
+# from the retained spans.
+from repro.obs import MetricsRegistry, Tracer, profile_spans
+
+registry = MetricsRegistry()
+outcomes = registry.counter("env.exchange.outcomes", labels=("domain", "outcome"))
+outcomes.labels(domain="upc", outcome="delivered").inc()
+outcomes.labels(domain="upc", outcome="failed").inc(2)
+snapshot = registry.snapshot()["counters"]
+assert snapshot == {
+    "env.exchange.outcomes{domain=upc,outcome=delivered}": 1,
+    "env.exchange.outcomes{domain=upc,outcome=failed}": 2,
+}, snapshot
+assert registry.cardinality()["env.exchange.outcomes"] == 2
+
+ticks = iter([0.0, 1.0, 2.0, 3.0])
+tracer = Tracer(clock=lambda: next(ticks)).configure_sampling(0.0, seed=11)
+with tracer.span("env.exchange"):
+    pass                                    # healthy: sampled out
+with tracer.span("env.exchange", reason_code="unknown-receiver"):
+    pass                                    # failed: tail-retained
+spans = tracer.finished()
+assert [s.tags.get("reason_code") for s in spans] == ["unknown-receiver"], spans
+assert tracer.sampled_out == 2 and tracer.tail_retained == 1
+
+profile = profile_spans(spans)
+[row] = profile.layers()
+assert row["layer"] == "env" and row["total_s"] == 1.0, row
+print(f"labelled family ok ({registry.cardinality()}), tail retention ok, "
+      f"profile: {row['layer']} self {row['self_s']}s")
+EOF
+
+echo "== bench_e14 telemetry (quick) =="
+python benchmarks/bench_e14_telemetry.py --quick
+
+echo "== telemetry guard (cardinality, retention, overhead cut) =="
+python - <<'EOF'
+# Regression fence for the PR 10 telemetry stack: the quick E18 run
+# above wrote BENCH_telemetry.json; fail the build on a label-family
+# cardinality breach, a lost error trace (tail retention must be
+# complete and connected), growing SLO window memory, a non-reproducible
+# export, or a sampling overhead cut below the floor.
+import json
+
+with open("BENCH_telemetry.json", encoding="utf-8") as handle:
+    blob = json.load(handle)
+limit = blob["cardinality_limit"]
+for row in blob["sweep"] + [blob["overhead_point"]]:
+    assert row["max_cardinality"] <= limit, row
+    assert row["error_retention"] == 1.0, (
+        f"lost error traces: {row['errors_retained']}/{row['errors_expected']}"
+    )
+    assert row["disconnected"] == 0, row
+last = blob["sweep"][-1]
+assert last["window_cells_mid"] == last["window_cells_end"], last
+determinism = blob["determinism"]
+assert determinism["snapshot_identical"] and determinism["jsonl_identical"]
+reduction = blob["overhead"]["overhead_reduction"]
+floor = blob["overhead"]["reduction_floor"]
+assert reduction == "inf" or reduction >= floor, (
+    f"sampling cut tracer overhead only {reduction}x (floor {floor}x)"
+)
+print(f"telemetry guard ok: cardinality <= {limit}, "
+      f"{last['errors_retained']}/{last['errors_expected']} error traces "
+      f"retained, {reduction}x overhead cut")
+EOF
 
 echo "== all checks passed =="

@@ -45,8 +45,9 @@ from repro.obs.events import (
     NULL_EVENTS,
     EventLog,
 )
-from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.obs.metrics import NULL_METRICS, GaugeFamily, MetricsRegistry
 from repro.obs.tracing import NULL_TRACER, Tracer
+from repro.obs.windows import WindowedCounter
 from repro.util.errors import ConfigurationError
 
 if TYPE_CHECKING:
@@ -77,8 +78,10 @@ class ControlPolicy:
     degrade_ratio: float = 0.75
     #: trend success ratio at/above which a drained link may recover
     recover_ratio: float = 0.9
-    #: per-tick gateway retry delta that flags a surge
+    #: windowed gateway retry count that flags a surge
     retry_surge: int = 1
+    #: ticks of retry history the surge window spans (1 = per-tick delta)
+    retry_window_ticks: int = 1
     #: in-flight relays required for a surge to count (depth signal)
     queue_depth_limit: int = 1
     #: extra relay attempts granted while SLOs burn
@@ -95,16 +98,25 @@ class ControlPolicy:
             raise ConfigurationError("control cooldown_s must be >= 0")
         if self.trend_window_s <= 0:
             raise ConfigurationError("control trend_window_s must be > 0")
+        if self.retry_window_ticks < 1:
+            raise ConfigurationError("control retry_window_ticks must be >= 1")
 
 
 @dataclass
 class _ManagedGateway:
-    """One gateway under management and its drain action + signal memo."""
+    """One gateway under management and its drain action + signal memo.
+
+    ``retry_window`` holds the gateway's retry deltas over the last
+    ``retry_window_ticks`` control ticks (one ring slot per tick), so
+    the surge signal is a sliding-window count, not a cumulative
+    difference kept by hand.
+    """
 
     key: str
     gateway: "Gateway"
     health: "HealthMonitor | None"
     drain: DrainGateway
+    retry_window: WindowedCounter | None = None
     last_retries: int = 0
 
 
@@ -140,6 +152,9 @@ class ControlPlane:
         self.actions_applied = 0
         self.actions_reverted = 0
         self.suppressed = 0
+        self._retry_gauges: GaugeFamily = self._obs.gauge(
+            "control.gateway.windowed_retries", labels=("key",)
+        )
 
     # -- signal sources ----------------------------------------------------
     def watch_slo(self, slo: "SLOEngine") -> "ControlPlane":
@@ -172,11 +187,13 @@ class ControlPlane:
         """
         if key in self._gateways:
             raise ConfigurationError(f"already managing gateway {key!r}")
+        ticks = self.policy.retry_window_ticks
         self._gateways[key] = _ManagedGateway(
             key=key,
             gateway=gateway,
             health=health,
             drain=DrainGateway(key, gateway),
+            retry_window=WindowedCounter(ticks * self.policy.tick_s, ticks),
             last_retries=gateway.retries,
         )
         self._burn_driven.append(
@@ -242,10 +259,13 @@ class ControlPlane:
 
     def _evaluate_gateway(self, managed: _ManagedGateway, now: float) -> None:
         gateway = managed.gateway
-        retries_delta = gateway.retries - managed.last_retries
+        managed.retry_window.push(gateway.retries - managed.last_retries)
         managed.last_retries = gateway.retries
+        windowed_retries = managed.retry_window.delta()
+        if self._obs.enabled:
+            self._retry_gauges.labels(key=managed.key).set(windowed_retries)
         surge = (
-            retries_delta >= self.policy.retry_surge
+            windowed_retries >= self.policy.retry_surge
             and gateway.in_flight >= self.policy.queue_depth_limit
         )
         trend = (

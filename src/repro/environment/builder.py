@@ -74,6 +74,7 @@ class EnvironmentBuilder:
         self._name = "mocca"
         self._metrics: MetricsRegistry | None = None
         self._tracer: Tracer | None = None
+        self._sampling: "tuple[float, int] | None" = None
         self._events: EventLog | None = None
         self._slo_period_s: float | None = None
         self._slo_objectives: tuple = ()
@@ -110,6 +111,23 @@ class EnvironmentBuilder:
         to the world's engine clock so span durations are simulated
         seconds."""
         self._tracer = tracer
+        return self
+
+    def with_trace_sampling(self, probability: float, seed: int = 0) -> "EnvironmentBuilder":
+        """Head-sample traces at *probability*, deterministically by *seed*.
+
+        Requires ``with_tracer``.  The tracer records roughly
+        ``probability`` of all traces (the keep/drop verdict is a seeded
+        hash of the trace id, so the same seed keeps the same traces on
+        every run), while tail-biased retention still keeps **every**
+        trace that errors, misses a deadline, fails over or dead-letters
+        — see :meth:`repro.obs.tracing.Tracer.configure_sampling`.
+        """
+        if not 0.0 <= probability <= 1.0:
+            raise ConfigurationError(
+                "trace sampling probability must be within [0, 1]"
+            )
+        self._sampling = (probability, seed)
         return self
 
     def with_event_log(self, events: EventLog) -> "EnvironmentBuilder":
@@ -307,7 +325,19 @@ class EnvironmentBuilder:
         env._pending_deliveries = {}
         env._shed_limit = self._shed_limit
         env._default_deadline_s = self._default_deadline_s
+        # duck-typed: only the sharded KB can place a receiver on a shard,
+        # so only sharded environments stamp ``shard`` span tags
+        env._shard_of = getattr(env.knowledge_base, "shard_of_person", None)
+        env._bind_labelled_metrics()
         instrument_environment(env, metrics=self._metrics, tracer=self._tracer)
+        if self._sampling is not None:
+            if self._tracer is None:
+                raise ConfigurationError(
+                    "with_trace_sampling requires with_tracer: the sampling "
+                    "verdict is the tracer's to make"
+                )
+            probability, seed = self._sampling
+            self._tracer.configure_sampling(probability, seed=seed)
         env.slo = None
         if self._slo_period_s is not None:
             if self._metrics is None:

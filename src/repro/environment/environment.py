@@ -254,6 +254,25 @@ class CSCWEnvironment:
 
         return EnvironmentBuilder(cls)
 
+    def _bind_labelled_metrics(self) -> None:
+        """Resolve the environment's labelled metric children once.
+
+        The flat ``env.exchange.*`` names stay authoritative (dashboards
+        and tests key on them); the labelled families add the ``domain``
+        dimension that lets federated runs sharing one registry tell
+        their environments apart.  Binding against
+        :data:`~repro.obs.metrics.NULL_METRICS` yields null children, so
+        the hot-path ``inc`` calls stay no-ops when metrics are off.
+        """
+        obs = self.metrics
+        outcomes = obs.counter("env.exchange.outcomes", labels=("domain", "outcome"))
+        self._m_delivered = outcomes.labels(domain=self.name, outcome="delivered")
+        self._m_failed = outcomes.labels(domain=self.name, outcome="failed")
+        self._m_reasons = obs.counter("env.exchange.reasons", labels=("domain", "reason"))
+        self._m_reason_delivered = self._m_reasons.labels(
+            domain=self.name, reason=REASON_DELIVERED
+        )
+
     # -- people ----------------------------------------------------------------
     def register_person(self, communicator: Communicator) -> None:
         """Register a person's communication endpoint with the environment."""
@@ -379,19 +398,33 @@ class CSCWEnvironment:
         if not isinstance(request, ExchangeRequest):
             positional = () if request is None else (request,)
             request = ExchangeRequest.from_kwargs(*positional, *args, **kwargs)
-        with self.tracer.span(
-            "env.exchange",
-            sender=request.sender,
-            receiver=request.receiver,
-            sender_app=request.sender_app,
-            receiver_app=request.receiver_app,
-        ) as span:
+        with self.tracer.span("env.exchange") as span:
             outcome = self._exchange(request, span.trace_id)
             span.tag(
                 delivered=outcome.delivered,
                 mode=outcome.mode,
                 reason_code=outcome.reason_code,
             )
+            # Identity enrichment only for spans somebody will read:
+            # head-sampled ones, and failures (which tail retention
+            # promotes).  A sampled-out healthy span is dropped at
+            # settlement, so tagging it would be pure overhead — this
+            # is most of sampling's win on the hot path.
+            if span.sampled or (self.tracer.enabled and not outcome.delivered):
+                span.tag(
+                    domain=self.name,
+                    sender=request.sender,
+                    receiver=request.receiver,
+                    sender_app=request.sender_app,
+                    receiver_app=request.receiver_app,
+                )
+                if self._shard_of is not None:
+                    try:
+                        shard = self._shard_of(request.receiver)
+                    except UnknownObjectError:
+                        shard = ""
+                    if shard:
+                        span.tag(shard=shard)
             return outcome
 
     def _translate_payload(
@@ -649,6 +682,8 @@ class CSCWEnvironment:
         if obs.enabled:
             obs.inc("env.exchange.outcome.delivered")
             obs.inc(f"env.exchange.reason.{REASON_DELIVERED}")
+            self._m_delivered.inc()
+            self._m_reason_delivered.inc()
             for dimension in handled:
                 obs.inc(f"env.exchange.transparency.{dimension}")
             obs.observe("env.exchange.document_bytes", size_bytes)
@@ -686,7 +721,9 @@ class CSCWEnvironment:
         :meth:`exchange` calls would (presence changes are likewise seen
         item-by-item).
         """
-        with self.tracer.span("env.exchange_many", batch=len(requests)) as span:
+        with self.tracer.span(
+            "env.exchange_many", domain=self.name, batch=len(requests)
+        ) as span:
             trace_id = span.trace_id
             outcomes: list[ExchangeOutcome] = []
             count = len(requests)
@@ -1084,9 +1121,8 @@ class CSCWEnvironment:
         if async_count:
             world_metrics.increment("env.exchange.asynchronous", async_count)
 
-    @staticmethod
     def _flush_batch_metrics(
-        obs: MetricsRegistry, outcomes: "list[ExchangeOutcome]"
+        self, obs: MetricsRegistry, outcomes: "list[ExchangeOutcome]"
     ) -> None:
         """Record one batch's outcomes as if each had been counted live."""
         obs.inc("env.exchange.attempted", len(outcomes))
@@ -1103,10 +1139,13 @@ class CSCWEnvironment:
                 size_histogram.observe(outcome.size_bytes)
         if delivered:
             obs.inc("env.exchange.outcome.delivered", delivered)
+            self._m_delivered.inc(delivered)
         if delivered != len(outcomes):
             obs.inc("env.exchange.outcome.failed", len(outcomes) - delivered)
+            self._m_failed.inc(len(outcomes) - delivered)
         for code, count in reasons.items():
             obs.inc(f"env.exchange.reason.{code}", count)
+            self._m_reasons.labels(domain=self.name, reason=code).inc(count)
         for dimension, count in dimensions.items():
             obs.inc(f"env.exchange.transparency.{dimension}", count)
 
@@ -1171,6 +1210,8 @@ class CSCWEnvironment:
         if obs.enabled:
             obs.inc("env.exchange.outcome.failed")
             obs.inc(f"env.exchange.reason.{code}")
+            self._m_failed.inc()
+            self._m_reasons.labels(domain=self.name, reason=code).inc()
         return ExchangeOutcome(
             delivered=False,
             mode="failed",

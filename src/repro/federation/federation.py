@@ -1476,7 +1476,7 @@ class Federation:
             )
             payload = dict(payload)
             payload[TRACE_KEY] = TraceContext(
-                span.trace_id, span.span_id
+                span.trace_id, span.span_id, span.sampled
             ).to_document()
 
         def close_span(outcome: str) -> None:

@@ -160,7 +160,7 @@ class Gateway:
         self._retry_s = retry_s
         self._max_attempts = max_attempts
         self._backoff = backoff
-        self._obs: MetricsRegistry = metrics if metrics is not None else NULL_METRICS
+        self.attach_metrics(metrics)
         self._tracer: Tracer = tracer if tracer is not None else NULL_TRACER
         self._events: EventLog = events if events is not None else NULL_EVENTS
         self.breaker = breaker
@@ -183,9 +183,23 @@ class Gateway:
         Counters ``gateway.relays``/``delivered``/``retries``/
         ``dead_letters``/``duplicate_replies``/``expired``/
         ``fast_failed`` plus the ``gateway.latency_s`` round-trip
-        histogram (simulated seconds).
+        histogram (simulated seconds).  The same signals are also
+        recorded per link through ``(source, target)``-labelled families
+        (``gateway.relays{source=..,target=..}`` etc.), so one registry
+        attributes traffic across every directed gateway of a
+        federation; the per-link child handles are resolved once here,
+        not per relay.
         """
         self._obs = metrics if metrics is not None else NULL_METRICS
+        obs, link = self._obs, {"source": self.source, "target": self.target}
+        self._m_relays = obs.counter("gateway.relays", labels=("source", "target")).labels(**link)
+        self._m_delivered = obs.counter("gateway.delivered", labels=("source", "target")).labels(**link)
+        self._m_retries = obs.counter("gateway.retries", labels=("source", "target")).labels(**link)
+        self._m_dead_letters = obs.counter("gateway.dead_letters", labels=("source", "target")).labels(**link)
+        self._m_expired = obs.counter("gateway.expired", labels=("source", "target")).labels(**link)
+        self._m_latency = obs.histogram(
+            "gateway.latency_s", buckets=LATENCY_BUCKETS, labels=("source", "target")
+        ).labels(**link)
 
     def ready(self) -> bool:
         """Whether routing should currently prefer this gateway.
@@ -259,22 +273,34 @@ class Gateway:
         self.in_flight += 1
         if self._obs.enabled:
             self._obs.inc("gateway.relays")
+            self._m_relays.inc()
         payload.setdefault("relay_id", self._ids.next(f"relay:{self.source}>{self.target}"))
         state = _Relay(payload, on_reply, on_dead_letter, deadline)
         if self._tracer.enabled:
             # Continue the trace the payload carries (or the caller's open
             # span) and re-stamp the payload so the receiving side parents
-            # under this hop — the wire half of trace propagation.
+            # under this hop — the wire half of trace propagation.  The
+            # ``domain`` tag mirrors the labelled metrics (the hop runs in
+            # the source domain); ``sampled`` rides along so every hop
+            # honours the decision made at the trace's origin.
             state.span = self._tracer.start_span(
                 "gateway.relay",
                 context=TraceContext.from_document(payload.get(TRACE_KEY)),
                 source=self.source,
                 target=self.target,
+                domain=self.source,
             )
-            payload[TRACE_KEY] = {
-                "trace_id": state.span.trace_id,
-                "span_id": state.span.span_id,
-            }
+            if state.span.sampled:
+                payload[TRACE_KEY] = {
+                    "trace_id": state.span.trace_id,
+                    "span_id": state.span.span_id,
+                }
+            else:
+                payload[TRACE_KEY] = {
+                    "trace_id": state.span.trace_id,
+                    "span_id": state.span.span_id,
+                    "sampled": False,
+                }
         now = self._engine.now
         if deadline is not None and now >= deadline:
             self._settle_expired(state)
@@ -347,6 +373,7 @@ class Gateway:
         self.retries += 1
         if self._obs.enabled:
             self._obs.inc("gateway.retries")
+            self._m_retries.inc()
         self._note_failure()
         self._launch(state)
 
@@ -381,11 +408,10 @@ class Gateway:
             self.breaker.record_success()
         if self._obs.enabled:
             self._obs.inc("gateway.delivered")
-            self._obs.observe(
-                "gateway.latency_s",
-                self._engine.now - sent_at,
-                buckets=LATENCY_BUCKETS,
-            )
+            self._m_delivered.inc()
+            latency = self._engine.now - sent_at
+            self._obs.observe("gateway.latency_s", latency, buckets=LATENCY_BUCKETS)
+            self._m_latency.observe(latency)
         self._close_span(state, "delivered")
         state.on_reply(reply, state.attempts)
 
@@ -407,6 +433,7 @@ class Gateway:
         self.expired += 1
         if self._obs.enabled:
             self._obs.inc("gateway.expired")
+            self._m_expired.inc()
         self._close_span(state, REASON_RELAY_DEADLINE)
         if self._events.enabled:
             self._events.record(
@@ -454,6 +481,7 @@ class Gateway:
         self.dead_letters.append(letter)
         if self._obs.enabled:
             self._obs.inc("gateway.dead_letters")
+            self._m_dead_letters.inc()
         if state.on_dead_letter is not None:
             state.on_dead_letter(letter)
 

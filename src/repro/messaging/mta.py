@@ -331,7 +331,9 @@ class MessageTransferAgent:
                 peer=node,
                 attempt=attempt,
             )
-            envelope.trace_context = TraceContext(span.trace_id, span.span_id)
+            envelope.trace_context = TraceContext(
+                span.trace_id, span.span_id, span.sampled
+            )
 
         def close(outcome: str) -> None:
             if span is not None:

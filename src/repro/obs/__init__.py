@@ -47,43 +47,63 @@ from repro.obs.instrument import (
     instrument_trader,
 )
 from repro.obs.metrics import (
+    CARDINALITY_LIMIT,
     DEFAULT_BUCKETS,
     NULL_METRICS,
+    OVERFLOW_LABEL,
     Counter,
+    CounterFamily,
     Gauge,
+    GaugeFamily,
     Histogram,
+    HistogramFamily,
     MetricsRegistry,
     NullMetricsRegistry,
 )
+from repro.obs.profile import Profile, layer_of, profile_spans
 from repro.obs.slo import LatencySLO, RatioSLO, SLOEngine
 from repro.obs.tracing import NULL_SPAN, NULL_TRACER, NullTracer, Span, Tracer
+from repro.obs.windows import (
+    WindowedCounter,
+    WindowedHistogram,
+    WindowedTrend,
+)
 
 __all__ = [
     "BYTES_BUCKETS",
+    "CARDINALITY_LIMIT",
     "COUNT_BUCKETS",
     "DEFAULT_BUCKETS",
     "NULL_EVENTS",
     "NULL_METRICS",
     "NULL_SPAN",
     "NULL_TRACER",
+    "OVERFLOW_LABEL",
     "TRACE_KEY",
     "Counter",
+    "CounterFamily",
     "Event",
     "EventLog",
     "Gauge",
+    "GaugeFamily",
     "Histogram",
+    "HistogramFamily",
     "LatencySLO",
     "MetricsRegistry",
     "NullEventLog",
     "NullMetricsRegistry",
     "NullTracer",
     "Observability",
+    "Profile",
     "RatioSLO",
     "SLOEngine",
     "Span",
     "TraceAnalyzer",
     "TraceContext",
     "Tracer",
+    "WindowedCounter",
+    "WindowedHistogram",
+    "WindowedTrend",
     "chrome_trace_json",
     "export_chrome_trace",
     "export_jsonl",
@@ -93,6 +113,8 @@ __all__ = [
     "instrument_environment",
     "instrument_mta",
     "instrument_trader",
+    "layer_of",
+    "profile_spans",
     "to_chrome_trace",
     "to_jsonl",
 ]

@@ -34,14 +34,29 @@ class TraceContext(NamedTuple):
     A ``NamedTuple`` rather than a frozen dataclass: contexts are built
     on every traced hop, and tuple construction skips the
     ``object.__setattr__`` toll frozen dataclasses pay per field.
+
+    ``sampled`` carries the head-sampling decision made once at the
+    trace's origin: every hop that continues the context inherits the
+    verdict, so a sampled trace is recorded end-to-end and a dropped one
+    is dropped everywhere (keeping :class:`~repro.obs.analyze.TraceAnalyzer`
+    connectivity guarantees intact for whatever is retained).  The wire
+    form only carries the flag when it is ``False`` — payloads from
+    full-rate tracers stay byte-identical to the pre-sampling format.
     """
 
     trace_id: str
     span_id: str
+    sampled: bool = True
 
-    def to_document(self) -> dict[str, str]:
+    def to_document(self) -> dict[str, Any]:
         """The wire form carried inside relay payloads and envelopes."""
-        return {"trace_id": self.trace_id, "span_id": self.span_id}
+        if self.sampled:
+            return {"trace_id": self.trace_id, "span_id": self.span_id}
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "sampled": False,
+        }
 
     @staticmethod
     def from_document(document: dict[str, Any] | None) -> "TraceContext | None":
@@ -49,7 +64,9 @@ class TraceContext(NamedTuple):
 
         Tolerant of payloads produced before tracing was enabled: a
         document missing either id yields ``None`` rather than a context
-        that would fabricate correlation.
+        that would fabricate correlation.  A document that never heard of
+        sampling parses as sampled — the pre-sampling wire format keeps
+        meaning "record me".
         """
         if not document:
             return None
@@ -57,4 +74,8 @@ class TraceContext(NamedTuple):
         span_id = document.get("span_id", "")
         if not trace_id:
             return None
-        return TraceContext(trace_id=trace_id, span_id=span_id)
+        return TraceContext(
+            trace_id=trace_id,
+            span_id=span_id,
+            sampled=bool(document.get("sampled", True)),
+        )

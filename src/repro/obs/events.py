@@ -104,6 +104,19 @@ class EventLog:
         self.capacity = capacity
         self._events: deque[Event] = deque(maxlen=capacity)
         self.recorded = 0
+        self._metrics: Any = None
+
+    def attach_metrics(self, metrics: Any) -> "EventLog":
+        """Surface ring-buffer evictions as the ``obs.events.dropped``
+        counter on *metrics*.
+
+        The :attr:`dropped` property already answers "how many aged
+        out?", but only to someone holding the log; the counter puts the
+        same signal next to every other health metric, where SLOs and
+        dashboards can see a ring sized too small for the run.
+        """
+        self._metrics = metrics if metrics is not None and metrics.enabled else None
+        return self
 
     @property
     def dropped(self) -> int:
@@ -114,7 +127,10 @@ class EventLog:
         self, time: float, kind: str, trace_id: str = "", **attrs: Any
     ) -> None:
         """Append one event (evicting the oldest at capacity)."""
-        self._events.append(Event(time=time, kind=kind, trace_id=trace_id, attrs=attrs))
+        events = self._events
+        if self._metrics is not None and len(events) == self.capacity:
+            self._metrics.inc("obs.events.dropped")
+        events.append(Event(time=time, kind=kind, trace_id=trace_id, attrs=attrs))
         self.recorded += 1
 
     def events(
@@ -147,8 +163,11 @@ class EventLog:
 
     def extend(self, events: Iterable[Event]) -> None:
         """Append pre-built events (merging logs in analysis scripts)."""
+        ring = self._events
         for event in events:
-            self._events.append(event)
+            if self._metrics is not None and len(ring) == self.capacity:
+                self._metrics.inc("obs.events.dropped")
+            ring.append(event)
             self.recorded += 1
 
 

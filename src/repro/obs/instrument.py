@@ -142,9 +142,20 @@ def instrument_environment(
     """
     if metrics is not None:
         environment.metrics = metrics
+        binder = getattr(environment, "_bind_labelled_metrics", None)
+        if binder is not None:
+            binder()
         instrument_engine(environment.world.engine, metrics)
         instrument_event_bus(environment.bus, metrics)
         instrument_trader(environment.trader, metrics)
+        events = getattr(environment, "events", None)
+        if events is not None and events.enabled:
+            events.attach_metrics(metrics)
+        directory = getattr(
+            getattr(environment, "knowledge_base", None), "directory", None
+        )
+        if directory is not None:
+            directory.attach_metrics(metrics)
         resolution = getattr(environment, "resolution", None)
         if resolution is not None:
             resolution.attach_metrics(metrics)

@@ -5,6 +5,23 @@ against.  A :class:`MetricsRegistry` is a plain in-process collection of
 named instruments with snapshot/reset semantics and zero-dependency
 export (``snapshot()`` for dicts/JSON, ``render_text()`` for humans).
 
+Instruments come in two shapes:
+
+* **flat** — ``registry.counter("env.exchange.attempted")`` returns a
+  single :class:`Counter`;
+* **dimensional** — ``registry.counter("gateway.relays",
+  labels=("source", "target"))`` returns a family whose
+  ``labels(source="d0", target="d1")`` call hands back a per-label-set
+  child.  One registry then serves N domains × M shards without minting
+  ad-hoc name suffixes, and snapshots stay deterministic because child
+  names render as ``name{k=v,...}`` and sort with everything else.
+
+Families enforce a hard cardinality cap: once a family holds
+:data:`CARDINALITY_LIMIT` children, novel label sets collapse into a
+shared ``__other__`` child and bump the registry-level
+``obs.cardinality.dropped`` counter, so a misbehaving label (say, a
+per-user id) cannot grow the registry without bound.
+
 Instrumented components (``sim.engine``, ``util.events``, ``odp.trader``,
 ``messaging.mta``, ``environment.exchange``) hold a registry reference
 that defaults to :data:`NULL_METRICS` — a no-op registry whose
@@ -18,6 +35,11 @@ collection on.
 1
 >>> registry.observe("latency", 3.0, buckets=(1.0, 5.0))
 >>> registry.snapshot()["counters"]["requests"]
+1
+>>> family = registry.counter("delivered", labels=("domain",))
+>>> family.labels(domain="d0").inc()
+1
+>>> registry.snapshot()["counters"]["delivered{domain=d0}"]
 1
 >>> NULL_METRICS.enabled
 False
@@ -33,6 +55,16 @@ from typing import Any
 DEFAULT_BUCKETS: tuple[float, ...] = (
     1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0,
 )
+
+#: default per-family child cap; novel label sets beyond it collapse
+#: into the shared ``__other__`` child
+CARDINALITY_LIMIT = 64
+
+#: label value every overflow child carries
+OVERFLOW_LABEL = "__other__"
+
+#: registry counter bumped once per distinct collapsed label set
+CARDINALITY_DROPPED = "obs.cardinality.dropped"
 
 
 class Counter:
@@ -146,13 +178,176 @@ class Histogram:
         self.maximum = float("-inf")
 
 
+def render_labelled_name(name: str, label_names: tuple[str, ...], values: tuple[str, ...]) -> str:
+    """The exported name of a family child: ``name{k=v,...}``.
+
+    Labels render in declaration order, so one family's children share a
+    prefix and sort deterministically.
+
+    >>> render_labelled_name("relays", ("source", "target"), ("d0", "d1"))
+    'relays{source=d0,target=d1}'
+    """
+    pairs = ",".join(f"{k}={v}" for k, v in zip(label_names, values))
+    return f"{name}{{{pairs}}}"
+
+
+class _Family:
+    """Shared machinery for dimensional instrument families.
+
+    A family owns per-label-set children, keyed by the tuple of label
+    *values* in declaration order.  Children are ordinary
+    :class:`Counter`/:class:`Gauge`/:class:`Histogram` instances also
+    registered with the owning registry under their rendered
+    ``name{k=v,...}`` name, so snapshot/render_text/reset see them for
+    free.  At the cardinality cap, novel label sets resolve to the
+    shared ``__other__`` child instead of minting new children.
+    """
+
+    __slots__ = ("name", "label_names", "limit", "_children", "_overflow", "_registry", "_dropped_keys")
+
+    #: bound on the dedup set for dropped label sets; past it every
+    #: novel overflow access bumps the dropped counter (overcount is
+    #: preferred over unbounded tracking memory)
+    _DROPPED_TRACK_LIMIT = 4 * CARDINALITY_LIMIT
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        name: str,
+        label_names: tuple[str, ...],
+        limit: int,
+    ) -> None:
+        if not label_names:
+            raise ValueError(f"family {name!r} needs at least one label name")
+        if len(set(label_names)) != len(label_names):
+            raise ValueError(f"duplicate label names in {label_names!r}")
+        if limit < 1:
+            raise ValueError(f"cardinality limit must be >= 1, got {limit}")
+        self.name = name
+        self.label_names = tuple(label_names)
+        self.limit = limit
+        self._children: dict[tuple[str, ...], Any] = {}
+        self._overflow: Any = None
+        self._registry = registry
+        self._dropped_keys: set[tuple[str, ...]] = set()
+
+    # Subclasses say how to mint one child instrument.
+    def _create(self, rendered_name: str) -> Any:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def labels(self, *values: Any, **named: Any) -> Any:
+        """The child for one label set; positional or keyword values.
+
+        Keyword form must name every declared label; positional form
+        must match the declaration order and arity.
+        """
+        if named:
+            if values:
+                raise ValueError("pass label values positionally or by name, not both")
+            try:
+                key = tuple(str(named[label]) for label in self.label_names)
+            except KeyError as exc:
+                raise ValueError(
+                    f"family {self.name!r} expects labels {self.label_names!r}"
+                ) from exc
+        else:
+            if len(values) != len(self.label_names):
+                raise ValueError(
+                    f"family {self.name!r} expects {len(self.label_names)} "
+                    f"label values, got {len(values)}"
+                )
+            key = tuple(str(value) for value in values)
+        child = self._children.get(key)
+        if child is not None:
+            return child
+        if len(self._children) >= self.limit:
+            return self._drop(key)
+        child = self._create(render_labelled_name(self.name, self.label_names, key))
+        self._children[key] = child
+        return child
+
+    def _drop(self, key: tuple[str, ...]) -> Any:
+        """Collapse an over-cap label set into the ``__other__`` child."""
+        if self._overflow is None:
+            overflow_key = (OVERFLOW_LABEL,) * len(self.label_names)
+            self._overflow = self._create(
+                render_labelled_name(self.name, self.label_names, overflow_key)
+            )
+        if key not in self._dropped_keys:
+            if len(self._dropped_keys) < self._DROPPED_TRACK_LIMIT:
+                self._dropped_keys.add(key)
+            self._registry.inc(CARDINALITY_DROPPED)
+        return self._overflow
+
+    @property
+    def cardinality(self) -> int:
+        """How many real (non-overflow) children exist."""
+        return len(self._children)
+
+    def children(self) -> dict[tuple[str, ...], Any]:
+        """Label-set → child, sorted by label values (a copy)."""
+        return {key: self._children[key] for key in sorted(self._children)}
+
+
+class CounterFamily(_Family):
+    """A dimensional counter: ``labels(...)`` yields per-set counters."""
+
+    __slots__ = ()
+
+    def _create(self, rendered_name: str) -> Counter:
+        return self._registry.counter(rendered_name)
+
+    def inc(self, amount: int = 1, **named: Any) -> int:
+        """Shorthand: ``family.inc(domain="d0")`` == ``labels(...).inc()``."""
+        return self.labels(**named).inc(amount)
+
+
+class GaugeFamily(_Family):
+    """A dimensional gauge: ``labels(...)`` yields per-set gauges."""
+
+    __slots__ = ()
+
+    def _create(self, rendered_name: str) -> Gauge:
+        return self._registry.gauge(rendered_name)
+
+    def set(self, value: float, **named: Any) -> None:
+        """Shorthand: set one labelled child in a single call."""
+        self.labels(**named).set(value)
+
+
+class HistogramFamily(_Family):
+    """A dimensional histogram; all children share the family's buckets."""
+
+    __slots__ = ("buckets",)
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        name: str,
+        label_names: tuple[str, ...],
+        limit: int,
+        buckets: tuple[float, ...],
+    ) -> None:
+        super().__init__(registry, name, label_names, limit)
+        self.buckets = buckets
+
+    def _create(self, rendered_name: str) -> Histogram:
+        return self._registry.histogram(rendered_name, self.buckets)
+
+    def observe(self, value: float, **named: Any) -> None:
+        """Shorthand: observe into one labelled child in a single call."""
+        self.labels(**named).observe(value)
+
+
 class MetricsRegistry:
     """A named collection of counters, gauges and histograms.
 
     Instruments are created lazily on first use (``inc``/``set_gauge``/
     ``observe``) or explicitly (``counter``/``gauge``/``histogram``) when
-    a caller wants non-default histogram buckets.  ``enabled`` is the
-    flag instrumented hot paths check before recording.
+    a caller wants non-default histogram buckets.  Passing ``labels=``
+    to ``counter``/``gauge``/``histogram`` returns a dimensional family
+    instead of a single instrument (see module docstring).  ``enabled``
+    is the flag instrumented hot paths check before recording.
     """
 
     #: real registries record; the null registry advertises False
@@ -162,30 +357,104 @@ class MetricsRegistry:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._families: dict[str, _Family] = {}
 
     # -- instrument access (get-or-create) --------------------------------
-    def counter(self, name: str) -> Counter:
-        """The counter *name*, created at zero when new."""
+    def counter(
+        self,
+        name: str,
+        labels: tuple[str, ...] | None = None,
+        limit: int | None = None,
+    ) -> Counter | CounterFamily:
+        """The counter *name* (or, with *labels*, its dimensional family).
+
+        ``labels`` and ``limit`` only apply at family creation; asking
+        for an existing family with different label names is an error.
+        """
+        if labels is not None:
+            return self._family(name, CounterFamily, tuple(labels), limit)
         instrument = self._counters.get(name)
         if instrument is None:
             instrument = self._counters[name] = Counter(name)
         return instrument
 
-    def gauge(self, name: str) -> Gauge:
-        """The gauge *name*, created at zero when new."""
+    def gauge(
+        self,
+        name: str,
+        labels: tuple[str, ...] | None = None,
+        limit: int | None = None,
+    ) -> Gauge | GaugeFamily:
+        """The gauge *name* (or, with *labels*, its dimensional family)."""
+        if labels is not None:
+            return self._family(name, GaugeFamily, tuple(labels), limit)
         instrument = self._gauges.get(name)
         if instrument is None:
             instrument = self._gauges[name] = Gauge(name)
         return instrument
 
-    def histogram(self, name: str, buckets: tuple[float, ...] | None = None) -> Histogram:
-        """The histogram *name*; *buckets* only applies at creation."""
+    def histogram(
+        self,
+        name: str,
+        buckets: tuple[float, ...] | None = None,
+        labels: tuple[str, ...] | None = None,
+        limit: int | None = None,
+    ) -> Histogram | HistogramFamily:
+        """The histogram *name*; *buckets* only applies at creation.
+
+        With *labels*, returns the dimensional family; every child
+        shares the family's bucket bounds.
+        """
+        if labels is not None:
+            return self._family(
+                name, HistogramFamily, tuple(labels), limit,
+                buckets if buckets is not None else DEFAULT_BUCKETS,
+            )
         instrument = self._histograms.get(name)
         if instrument is None:
             instrument = self._histograms[name] = Histogram(
                 name, buckets if buckets is not None else DEFAULT_BUCKETS
             )
         return instrument
+
+    def _family(
+        self,
+        name: str,
+        kind: type,
+        label_names: tuple[str, ...],
+        limit: int | None,
+        *extra: Any,
+    ) -> Any:
+        """Get-or-create one dimensional family; validate on reuse."""
+        family = self._families.get(name)
+        if family is None:
+            family = kind(
+                self, name, label_names,
+                limit if limit is not None else CARDINALITY_LIMIT,
+                *extra,
+            )
+            self._families[name] = family
+            return family
+        if not isinstance(family, kind):
+            raise ValueError(
+                f"family {name!r} already exists as {type(family).__name__}"
+            )
+        if family.label_names != label_names:
+            raise ValueError(
+                f"family {name!r} declared with labels {family.label_names!r}, "
+                f"requested {label_names!r}"
+            )
+        return family
+
+    def family(self, name: str) -> _Family | None:
+        """The dimensional family *name* if declared, else None."""
+        return self._families.get(name)
+
+    def cardinality(self) -> dict[str, int]:
+        """Family name → live (non-overflow) child count, sorted."""
+        return {
+            name: family.cardinality
+            for name, family in sorted(self._families.items())
+        }
 
     # -- recording shorthands ---------------------------------------------
     def inc(self, name: str, amount: int = 1) -> int:
@@ -275,6 +544,36 @@ class _NullHistogram(Histogram):
         """Discard the observation."""
 
 
+class _NullFamily:
+    """Family whose every label set resolves to one shared null child."""
+
+    __slots__ = ("_child",)
+
+    label_names: tuple[str, ...] = ()
+    cardinality = 0
+
+    def __init__(self, child: Any) -> None:
+        self._child = child
+
+    def labels(self, *values: Any, **named: Any) -> Any:
+        """Always the shared no-op child."""
+        return self._child
+
+    def inc(self, amount: int = 1, **named: Any) -> int:
+        """Discard the increment."""
+        return 0
+
+    def set(self, value: float, **named: Any) -> None:
+        """Discard the update."""
+
+    def observe(self, value: float, **named: Any) -> None:
+        """Discard the observation."""
+
+    def children(self) -> dict[tuple[str, ...], Any]:
+        """The null family never holds children."""
+        return {}
+
+
 class NullMetricsRegistry(MetricsRegistry):
     """The default, disabled registry: every operation is a no-op.
 
@@ -290,17 +589,42 @@ class NullMetricsRegistry(MetricsRegistry):
         self._null_counter = _NullCounter("null")
         self._null_gauge = _NullGauge("null")
         self._null_histogram = _NullHistogram("null")
+        self._null_counter_family = _NullFamily(self._null_counter)
+        self._null_gauge_family = _NullFamily(self._null_gauge)
+        self._null_histogram_family = _NullFamily(self._null_histogram)
 
-    def counter(self, name: str) -> Counter:
-        """Always the shared no-op counter."""
+    def counter(
+        self,
+        name: str,
+        labels: tuple[str, ...] | None = None,
+        limit: int | None = None,
+    ) -> Any:
+        """Always the shared no-op counter (or no-op family)."""
+        if labels is not None:
+            return self._null_counter_family
         return self._null_counter
 
-    def gauge(self, name: str) -> Gauge:
-        """Always the shared no-op gauge."""
+    def gauge(
+        self,
+        name: str,
+        labels: tuple[str, ...] | None = None,
+        limit: int | None = None,
+    ) -> Any:
+        """Always the shared no-op gauge (or no-op family)."""
+        if labels is not None:
+            return self._null_gauge_family
         return self._null_gauge
 
-    def histogram(self, name: str, buckets: tuple[float, ...] | None = None) -> Histogram:
-        """Always the shared no-op histogram."""
+    def histogram(
+        self,
+        name: str,
+        buckets: tuple[float, ...] | None = None,
+        labels: tuple[str, ...] | None = None,
+        limit: int | None = None,
+    ) -> Any:
+        """Always the shared no-op histogram (or no-op family)."""
+        if labels is not None:
+            return self._null_histogram_family
         return self._null_histogram
 
     def inc(self, name: str, amount: int = 1) -> int:

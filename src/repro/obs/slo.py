@@ -4,8 +4,10 @@ An SLO turns the metrics the library already collects into a judgement:
 *"≥ 99% of federated exchanges delivered over the last 60 simulated
 seconds"* or *"p99 exchange latency under 2 s"*.  The
 :class:`SLOEngine` samples the backing counters/histograms on a
-periodic sim-time tick, differences the samples to obtain per-window
-values (counters are cumulative; the window is the delta), and raises
+periodic sim-time tick, pushes each tick's cumulative delta into a
+ring-of-slots window (:class:`~repro.obs.windows.WindowedCounter` /
+:class:`~repro.obs.windows.WindowedHistogram` — one slot per sample
+period, memory O(window/period) regardless of run length), and raises
 **burn-rate alerts** as ``slo-burn`` events when the error budget is
 being consumed faster than the configured multiple.
 
@@ -27,11 +29,13 @@ shadowing, a started engine keeps the event queue non-empty, so prefer
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.obs.events import KIND_SLO_BURN, NULL_EVENTS, EventLog
 from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.windows import WindowedCounter, WindowedHistogram
 from repro.util.errors import ConfigurationError
 
 if TYPE_CHECKING:  # imported lazily at runtime: sim.engine imports obs
@@ -96,31 +100,26 @@ class LatencySLO:
 
 @dataclass
 class _Objective:
-    """Shared bookkeeping for one objective: samples and alert state."""
+    """Shared bookkeeping for one objective: window state and alerts.
+
+    ``last`` is the cumulative reading at the most recent sampler tick;
+    each tick pushes ``live - last`` into a ring whose slot width is the
+    sample period, so the ring's sum is exactly the delta a cumulative
+    baseline sample would have produced — at O(window / period) memory
+    instead of retaining every sample.  The first tick only establishes
+    ``last`` (there is no earlier reading to difference against).
+    """
 
     name: str
     window_s: float
     burn_threshold: float
-    #: (sample_time, payload) — payload shape depends on the subtype
-    samples: list = field(default_factory=list)
+    #: ring slots = ceil(window_s / sample period), fixed at declaration
+    slots: int = 0
+    #: cumulative payload at the last sampler tick (None before any tick)
+    last: Any = None
     #: currently in a burn-alert episode (edge-triggered events)
     alerting: bool = False
     alerts: int = 0
-
-    def prune(self, now: float) -> None:
-        """Drop samples that can no longer serve as the window baseline.
-
-        The newest sample older than the window is kept: it is the
-        baseline a full window differences against.
-        """
-        cutoff = now - self.window_s
-        samples = self.samples
-        while len(samples) >= 2 and samples[1][0] <= cutoff:
-            samples.pop(0)
-
-    def baseline(self) -> Any:
-        """The payload to difference the live value against (None = empty)."""
-        return self.samples[0][1] if self.samples else None
 
 
 @dataclass
@@ -128,6 +127,8 @@ class _RatioObjective(_Objective):
     good: str = ""
     total: str = ""
     target: float = 0.0
+    good_window: WindowedCounter | None = None
+    total_window: WindowedCounter | None = None
 
 
 @dataclass
@@ -135,6 +136,9 @@ class _LatencyObjective(_Objective):
     histogram: str = ""
     quantile: float = 0.99
     threshold_s: float = 0.0
+    #: created lazily at the first tick, once the backing histogram's
+    #: bucket layout is known
+    window: WindowedHistogram | None = None
 
 
 class SLOEngine:
@@ -240,6 +244,16 @@ class SLOEngine:
             raise ConfigurationError(f"objective {objective.name!r} already declared")
         if objective.window_s <= 0:
             raise ConfigurationError("objective window_s must be > 0")
+        # One ring slot per sample period; a window that is not an exact
+        # multiple of the period rounds up (the baseline a cumulative
+        # sampler would have kept spans whole periods too).
+        objective.slots = max(
+            1, int(math.ceil(objective.window_s / self._period_s - 1e-9))
+        )
+        if isinstance(objective, _RatioObjective):
+            span = objective.slots * self._period_s
+            objective.good_window = WindowedCounter(span, objective.slots)
+            objective.total_window = WindowedCounter(span, objective.slots)
         self._objectives[objective.name] = objective
 
     # -- lifecycle ---------------------------------------------------------
@@ -254,7 +268,7 @@ class SLOEngine:
         return self
 
     def stop(self) -> None:
-        """Stop sampling (retained samples keep answering evaluate())."""
+        """Stop sampling (the frozen windows keep answering evaluate())."""
         if self._task is not None:
             self._task.stop()
             self._task = None
@@ -270,12 +284,34 @@ class SLOEngine:
         histogram = self._metrics.histogram(objective.histogram)
         return (list(histogram.bucket_counts), histogram.maximum)
 
+    def _advance(self, objective: _Objective, live: Any) -> None:
+        """Push one tick's cumulative delta into the objective's window."""
+        if isinstance(objective, _RatioObjective):
+            if objective.last is not None:
+                good0, total0 = objective.last
+                objective.good_window.push(live[0] - good0)
+                objective.total_window.push(live[1] - total0)
+            objective.last = live
+            return
+        assert isinstance(objective, _LatencyObjective)
+        counts, _maximum = live
+        if objective.window is None:
+            histogram = self._metrics.histogram(objective.histogram)
+            objective.window = WindowedHistogram(
+                objective.slots * self._period_s, objective.slots, histogram.bounds
+            )
+        if objective.last is not None:
+            counts0 = objective.last[0]
+            objective.window.push_counts(
+                [c1 - c0 for c1, c0 in zip(counts, counts0)]
+            )
+        objective.last = live
+
     def _sample(self) -> None:
         now = self._engine.now
         for objective in self._objectives.values():
             live = self._read(objective)
-            objective.samples.append((now, live))
-            objective.prune(now)
+            self._advance(objective, live)
             status = self._status(objective, live=live)
             burning = (
                 status["burn_rate"] >= objective.burn_threshold
@@ -300,12 +336,14 @@ class SLOEngine:
     def _status(self, objective: _Objective, live: Any = None) -> dict[str, Any]:
         if live is None:  # the sampler passes its fresh read to avoid a reread
             live = self._read(objective)
-        base = objective.baseline()
+        # Window value = ring sum + whatever accrued since the last tick
+        # (so evaluate() between ticks sees fresh traffic, exactly as a
+        # cumulative-baseline difference would).
         if isinstance(objective, _RatioObjective):
-            good0, total0 = base if base is not None else (0, 0)
             good1, total1 = live
-            good = good1 - good0
-            total = total1 - total0
+            last = objective.last if objective.last is not None else (0, 0)
+            good = objective.good_window.delta() + (good1 - last[0])
+            total = objective.total_window.delta() + (total1 - last[1])
             ratio = good / total if total else 1.0
             budget = 1.0 - objective.target
             burn = ((1.0 - ratio) / budget) if budget > 0 else (
@@ -321,9 +359,20 @@ class SLOEngine:
             }
         assert isinstance(objective, _LatencyObjective)
         histogram = self._metrics.histogram(objective.histogram)
-        counts0 = base[0] if base is not None else [0] * len(histogram.bucket_counts)
         counts1, maximum = live
-        deltas = [c1 - c0 for c1, c0 in zip(counts1, counts0)]
+        counts0 = (
+            objective.last[0]
+            if objective.last is not None
+            else [0] * len(counts1)
+        )
+        windowed = (
+            objective.window.counts()
+            if objective.window is not None
+            else [0] * len(counts1)
+        )
+        deltas = [
+            w + (c1 - c0) for w, c1, c0 in zip(windowed, counts1, counts0)
+        ]
         total = sum(deltas)
         value = self._bucket_quantile(
             histogram, deltas, total, objective.quantile, maximum
@@ -391,3 +440,23 @@ class SLOEngine:
     def healthy(self) -> bool:
         """True when every objective is currently met."""
         return all(status["met"] for status in self.evaluate().values())
+
+    def window_cells(self) -> dict[str, int]:
+        """Live ring cells per objective — the engine's window memory.
+
+        Bounded by each objective's slot count no matter how long the
+        run: the soak benchmark samples this mid-run and at the end to
+        prove the windows hold O(window / period) state, not O(events).
+        """
+        cells: dict[str, int] = {}
+        for name, objective in sorted(self._objectives.items()):
+            if isinstance(objective, _RatioObjective):
+                cells[name] = max(
+                    objective.good_window.cells, objective.total_window.cells
+                )
+            else:
+                assert isinstance(objective, _LatencyObjective)
+                cells[name] = (
+                    objective.window.cells if objective.window is not None else 0
+                )
+        return cells

@@ -11,10 +11,13 @@ demonstrably works), a failed probe counts towards tripping it.
 Health is therefore *eventual* knowledge: between probes the monitor
 answers with the last observation, and a key never probed reports the
 ``default`` verdict (healthy unless configured otherwise).  Probe
-outcomes are exported as ``resilience.health.*`` counters, and a
-bounded per-key history backs :meth:`HealthMonitor.trend` — the
-windowed success ratio plus probe-latency slope the adaptive control
-plane reads to act on *degrading* links before their breaker trips.
+outcomes are exported as ``resilience.health.*`` counters, and per-key
+:class:`~repro.obs.windows.WindowedTrend` rings back
+:meth:`HealthMonitor.trend` — the windowed success ratio plus
+probe-latency slope the adaptive control plane reads to act on
+*degrading* links before their breaker trips.  The rings hold moment
+sums per slot, so trend memory is O(slots) per key, independent of how
+long the soak runs or how fast probes fire.
 """
 
 from __future__ import annotations
@@ -24,7 +27,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.obs.events import KIND_HEALTH_TRANSITION, NULL_EVENTS, EventLog
-from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.obs.metrics import NULL_METRICS, GaugeFamily, MetricsRegistry
+from repro.obs.windows import WindowedTrend
 from repro.resilience.breaker import CircuitBreaker
 from repro.sim.engine import Engine, PeriodicTask
 from repro.util.errors import ConfigurationError
@@ -32,8 +36,8 @@ from repro.util.errors import ConfigurationError
 #: a probe receives ``report`` and must eventually call it with True/False
 Probe = Callable[[Callable[[bool], None]], None]
 
-#: probe observations retained per key for trend computation
-HISTORY_LIMIT = 256
+#: ring slots per trend window — the whole per-key trend footprint
+TREND_SLOTS = 32
 
 
 @dataclass(frozen=True)
@@ -61,8 +65,9 @@ class _Watch:
     healthy: bool
     probes: int = 0
     failures: int = 0
-    #: (report_time, healthy, probe_latency_s), bounded ring
-    history: deque = field(default_factory=lambda: deque(maxlen=HISTORY_LIMIT))
+    #: window_s → moments ring; created lazily per requested window so a
+    #: caller's first trend() call arms the ring its next reads consume
+    trends: dict = field(default_factory=dict)
     #: issue times of probes whose report is still outstanding (FIFO)
     pending: deque = field(default_factory=deque)
 
@@ -86,6 +91,12 @@ class HealthMonitor:
         self._obs: MetricsRegistry = metrics if metrics is not None else NULL_METRICS
         self._events: EventLog = events if events is not None else NULL_EVENTS
         self._watches: dict[str, _Watch] = {}
+        self._trend_ratio: GaugeFamily = self._obs.gauge(
+            "resilience.health.trend.success_ratio", labels=("key",)
+        )
+        self._trend_slope: GaugeFamily = self._obs.gauge(
+            "resilience.health.trend.latency_slope", labels=("key",)
+        )
 
     def watch(
         self,
@@ -132,7 +143,8 @@ class HealthMonitor:
             return
         now = self._engine.now
         issued = watch.pending.popleft() if watch.pending else now
-        watch.history.append((now, healthy, now - issued))
+        for trend in watch.trends.values():
+            trend.add(now, healthy, now - issued)
         if healthy != watch.healthy and self._events.enabled:
             # Edge-triggered: one event per flip, not one per probe.
             self._events.record(
@@ -157,49 +169,30 @@ class HealthMonitor:
     def trend(self, key: str, window_s: float = 10.0) -> HealthTrend:
         """Success ratio and latency slope for *key* over the last window.
 
-        Reads the bounded probe history (sim-time stamped), so the view
-        is exactly as fresh as the probe cadence.  Also exports the
-        window as ``resilience.health.trend.*`` gauges keyed by name —
-        the signal surface the adaptive control plane polls.
+        Reads the key's :class:`~repro.obs.windows.WindowedTrend` ring
+        for *window_s* (created on first request; it fills as reports
+        arrive), so the view is exactly as fresh as the probe cadence at
+        O(slots) memory.  Also exports the window through the labelled
+        ``resilience.health.trend.*`` gauge families — the signal
+        surface the adaptive control plane polls.
         """
         if window_s <= 0:
             raise ConfigurationError("trend window_s must be > 0")
         watch = self._watches.get(key)
-        cutoff = self._engine.now - window_s
-        rows = (
-            [row for row in watch.history if row[0] >= cutoff]
-            if watch is not None
-            else []
-        )
-        if not rows:
+        if watch is None:
             trend = HealthTrend(success_ratio=1.0, latency_slope=0.0, samples=0)
         else:
-            good = sum(1 for _, ok, _ in rows if ok)
-            slope = self._latency_slope(rows)
+            ring = watch.trends.get(window_s)
+            if ring is None:
+                ring = watch.trends[window_s] = WindowedTrend(window_s, TREND_SLOTS)
+            ratio, slope, samples = ring.read(self._engine.now)
             trend = HealthTrend(
-                success_ratio=good / len(rows),
-                latency_slope=slope,
-                samples=len(rows),
+                success_ratio=ratio, latency_slope=slope, samples=samples
             )
         if self._obs.enabled:
-            self._obs.set_gauge(
-                f"resilience.health.trend.success_ratio:{key}", trend.success_ratio
-            )
-            self._obs.set_gauge(
-                f"resilience.health.trend.latency_slope:{key}", trend.latency_slope
-            )
+            self._trend_ratio.labels(key=key).set(trend.success_ratio)
+            self._trend_slope.labels(key=key).set(trend.latency_slope)
         return trend
-
-    @staticmethod
-    def _latency_slope(rows: list[tuple[float, bool, float]]) -> float:
-        """Least-squares slope of probe latency over sim-time (s/s)."""
-        if len(rows) < 2:
-            return 0.0
-        mean_t = sum(t for t, _, _ in rows) / len(rows)
-        mean_l = sum(lat for _, _, lat in rows) / len(rows)
-        num = sum((t - mean_t) * (lat - mean_l) for t, _, lat in rows)
-        den = sum((t - mean_t) ** 2 for t, _, _ in rows)
-        return num / den if den else 0.0
 
     def stats(self) -> dict[str, dict[str, Any]]:
         """Per-key probe/failure counts and current verdicts."""

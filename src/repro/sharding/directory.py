@@ -76,6 +76,43 @@ class ShardedDirectory:
         self.reads_by_shard: dict[str, int] = {agent.dsa_id: 0 for agent in self.shards}
         self.writes_by_shard: dict[str, int] = {agent.dsa_id: 0 for agent in self.shards}
         self.fanouts = 0
+        # labelled metric children, bound by attach_metrics (None = off)
+        self._m_reads: dict[str, Any] | None = None
+        self._m_writes: dict[str, Any] | None = None
+        self._m_fanouts: Any = None
+
+    def attach_metrics(self, metrics: Any) -> "ShardedDirectory":
+        """Mirror the per-shard counters into labelled metric families.
+
+        ``directory.ops{shard=...,op=reads|writes}`` children are
+        resolved once per shard here — the routing hot path then pays a
+        dict lookup and an ``inc``, never a label resolution.  Shard
+        count is fixed at construction, so family cardinality is bounded
+        by 2 x n_shards.
+        """
+        if metrics is None or not metrics.enabled:
+            return self
+        ops = metrics.counter("directory.ops", labels=("shard", "op"))
+        self._m_reads = {
+            agent.dsa_id: ops.labels(shard=agent.dsa_id, op="reads")
+            for agent in self.shards
+        }
+        self._m_writes = {
+            agent.dsa_id: ops.labels(shard=agent.dsa_id, op="writes")
+            for agent in self.shards
+        }
+        self._m_fanouts = metrics.counter("directory.fanouts")
+        return self
+
+    def _count_read(self, dsa_id: str) -> None:
+        self.reads_by_shard[dsa_id] += 1
+        if self._m_reads is not None:
+            self._m_reads[dsa_id].inc()
+
+    def _count_write(self, dsa_id: str) -> None:
+        self.writes_by_shard[dsa_id] += 1
+        if self._m_writes is not None:
+            self._m_writes[dsa_id].inc()
 
     # -- routing -----------------------------------------------------------
     def shard_id_for(self, name: "DistinguishedName | str") -> str:
@@ -120,14 +157,14 @@ class ShardedDirectory:
         if agent is None:
             entry: Entry | None = None
             for shard in self.shards:
-                self.writes_by_shard[shard.dsa_id] += 1
+                self._count_write(shard.dsa_id)
                 self._ensure_ancestors(shard, parsed)
                 if not shard.dit.exists(parsed):
                     entry = shard.dit.add(parsed, attributes)
             if entry is None:
                 entry = self.shards[0].dit.read(parsed)
             return entry
-        self.writes_by_shard[agent.dsa_id] += 1
+        self._count_write(agent.dsa_id)
         self._ensure_ancestors(agent, parsed)
         return agent.dit.add(parsed, attributes)
 
@@ -136,7 +173,7 @@ class ShardedDirectory:
         agent = self.agent_for(name)
         if agent is None:
             agent = self.shards[0]
-        self.reads_by_shard[agent.dsa_id] += 1
+        self._count_read(agent.dsa_id)
         return agent.dit.exists(name if isinstance(name, DistinguishedName) else dn(name))
 
     def read(self, name: "DistinguishedName | str") -> Entry:
@@ -144,7 +181,7 @@ class ShardedDirectory:
         agent = self.agent_for(name)
         if agent is None:
             agent = self.shards[0]
-        self.reads_by_shard[agent.dsa_id] += 1
+        self._count_read(agent.dsa_id)
         return agent.dit.read(name if isinstance(name, DistinguishedName) else dn(name))
 
     def modify(
@@ -160,7 +197,7 @@ class ShardedDirectory:
             agents = list(self.shards)
         entry: Entry | None = None
         for agent in agents:
-            self.writes_by_shard[agent.dsa_id] += 1
+            self._count_write(agent.dsa_id)
             entry = agent.dit.modify(name, add=add, replace=replace, delete=delete)
         assert entry is not None
         return entry
@@ -170,10 +207,10 @@ class ShardedDirectory:
         agent = self.agent_for(name)
         if agent is None:
             for shard in self.shards:
-                self.writes_by_shard[shard.dsa_id] += 1
+                self._count_write(shard.dsa_id)
                 shard.dit.delete(name)
             return
-        self.writes_by_shard[agent.dsa_id] += 1
+        self._count_write(agent.dsa_id)
         agent.dit.delete(name)
 
     def search(
@@ -191,13 +228,15 @@ class ShardedDirectory:
         """
         agent = self.agent_for(base)
         if agent is not None:
-            self.reads_by_shard[agent.dsa_id] += 1
+            self._count_read(agent.dsa_id)
             return agent.dit.search(base, scope=scope, where=where, limit=limit)
         self.fanouts += 1
+        if self._m_fanouts is not None:
+            self._m_fanouts.inc()
         merged: dict[str, Entry] = {}
         found_base = 0
         for shard in self.shards:
-            self.reads_by_shard[shard.dsa_id] += 1
+            self._count_read(shard.dsa_id)
             try:
                 entries = shard.dit.search(base, scope=scope, where=where, limit=None)
             except NoSuchEntryError:

@@ -309,6 +309,51 @@ class TestEnvironmentBuilder:
         assert failure.trace_id == "trace-0002"
         assert tracer.finished()[-1].tags["reason_code"] == failure.reason_code
 
+    def test_recorded_exchange_spans_carry_identity_tags(self, world):
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        env = (CSCWEnvironment.builder()
+               .with_world(world)
+               .with_name("mocca")
+               .with_tracer(tracer)
+               .with_sharding(2)
+               .build())
+        self._populate(env)
+        env.exchange("ana", "ana", "conferencing", "conferencing",
+                     {"topic": "t", "entry": "e", "author": "ana"})
+        [span] = tracer.finished()
+        assert span.tags["domain"] == "mocca"
+        assert span.tags["sender"] == "ana"
+        assert span.tags["receiver"] == "ana"
+        assert span.tags["sender_app"] == "conferencing"
+        assert span.tags["receiver_app"] == "conferencing"
+        assert span.tags["shard"]  # resolved through the directory ring
+
+    def test_failed_unsampled_exchange_keeps_identity_context(self, world):
+        # p=0.0 drops every healthy trace; the identity tags exist only
+        # where a reader can see them: on retained (here: failed) spans
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        env = (CSCWEnvironment.builder()
+               .with_world(world)
+               .with_name("mocca")
+               .with_tracer(tracer)
+               .with_trace_sampling(0.0, seed=1)
+               .build())
+        self._populate(env)
+        env.exchange("ana", "ana", "conferencing", "conferencing",
+                     {"topic": "t", "entry": "e", "author": "ana"})
+        assert tracer.finished() == []  # healthy trace sampled out
+        failure = env.exchange("ana", "ghost", "conferencing", "conferencing",
+                               {"topic": "t", "entry": "e"},
+                               profile=TransparencyProfile.all_off())
+        [span] = tracer.finished()  # tail retention rescued the failure
+        assert span.tags["reason_code"] == failure.reason_code
+        assert span.tags["domain"] == "mocca"
+        assert span.tags["receiver"] == "ghost"
+
     def test_with_trader_policy_installs_hook(self, world):
         from repro.util.errors import NoOfferError
 

@@ -98,6 +98,26 @@ class TestSimClockSpans:
         # ids keep running: no collision with spans recorded pre-reset
         assert (span.trace_id, span.span_id) == ("trace-0002", "span-0002")
 
+    def test_drain_consumes_finished_spans(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        batch = tracer.drain()
+        assert [span.name for span in batch] == ["a"]
+        assert tracer.finished() == []  # consumed, not copied
+        with tracer.span("b") as span:
+            pass
+        # ids keep running across drains (unlike reset(ids=True))
+        assert span.trace_id == "trace-0002"
+        assert [s.name for s in tracer.drain()] == ["b"]
+
+    def test_drain_sweeps_retained_unsampled_traces(self):
+        tracer = Tracer().configure_sampling(0.0, seed=1)
+        with tracer.span("op", reason_code="timeout"):
+            pass
+        assert [span.name for span in tracer.drain()] == ["op"]
+        assert tracer.drain() == []
+
     def test_reset_with_ids_restores_fresh_tracer_determinism(self):
         """reset(ids=True) makes a reused tracer emit exactly the ids a
         fresh one would — required when a reseeded run reuses it."""
